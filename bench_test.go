@@ -1,0 +1,217 @@
+package slimsim
+
+// Benchmark harness regenerating the paper's experiments (see
+// EXPERIMENTS.md for the mapping):
+//
+//   - BenchmarkTable1CTMC / BenchmarkTable1Simulator — Table I: the
+//     baseline pipeline's cost explodes with the redundancy degree while
+//     the simulator's cost is flat in model size.
+//   - BenchmarkFig5Permanent / BenchmarkFig5Recoverable — Fig. 5: strategy
+//     sweeps on the launcher case study.
+//   - BenchmarkGenerators — the Chernoff–Hoeffding vs sequential-generator
+//     ablation (paper §III-A future work).
+//   - BenchmarkParallelScaling — the §III-C fair parallelization.
+//   - BenchmarkFrontend / BenchmarkPath — infrastructure costs.
+//
+// Run: go test -bench=. -benchmem
+// The human-readable row/series printer lives in cmd/slimbench.
+
+import (
+	"fmt"
+	"testing"
+
+	"slimsim/internal/casestudy"
+)
+
+// loadSensorFilter builds the Table I model at a redundancy degree.
+func loadSensorFilter(b *testing.B, size int) *Model {
+	b.Helper()
+	src, err := casestudy.SensorFilter(casestudy.DefaultSensorFilter(size))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := LoadModel(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// loadLauncher builds the Fig. 5 model for a fault mode.
+func loadLauncher(b *testing.B, mode casestudy.FaultMode) *Model {
+	b.Helper()
+	src, err := casestudy.Launcher(casestudy.DefaultLauncher(mode))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := LoadModel(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkTable1CTMC measures the baseline flow (state space → lumping →
+// uniformization) per model size. Expect super-linear growth in both time
+// and allocations — the left half of Table I.
+func BenchmarkTable1CTMC(b *testing.B) {
+	for _, size := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			m := loadSensorFilter(b, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := m.CheckCTMC(casestudy.SensorFilterGoal, 150, 1<<21)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.States), "states")
+				b.ReportMetric(float64(rep.LumpedStates), "lumped")
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Simulator measures the Monte Carlo flow per model size at
+// fixed (δ, ε). Expect near-flat cost in model size (the path count is
+// fixed a priori by the Chernoff–Hoeffding bound) — the right half of
+// Table I.
+func BenchmarkTable1Simulator(b *testing.B) {
+	for _, size := range []int{2, 4, 6, 8} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			m := loadSensorFilter(b, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := m.Analyze(Options{
+					Goal: casestudy.SensorFilterGoal, Bound: 150,
+					Strategy: "asap", Delta: 0.05, Epsilon: 0.05,
+					Workers: 4, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.Paths), "paths")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5Permanent sweeps the strategies on the permanent-fault
+// launcher; the estimated probabilities (reported as a metric) must
+// coincide across strategies.
+func BenchmarkFig5Permanent(b *testing.B) {
+	m := loadLauncher(b, casestudy.FaultsPermanent)
+	for _, strat := range []string{"asap", "progressive", "local", "maxtime"} {
+		b.Run(strat, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := m.Analyze(Options{
+					Goal: casestudy.LauncherGoal, Bound: 600,
+					Strategy: strat, Delta: 0.05, Epsilon: 0.05,
+					Workers: 4, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.Probability, "P")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5Recoverable sweeps the strategies on the recoverable-fault
+// launcher; the reported P metric separates: asap > progressive ≈ local >
+// maxtime.
+func BenchmarkFig5Recoverable(b *testing.B) {
+	m := loadLauncher(b, casestudy.FaultsRecoverable)
+	for _, strat := range []string{"asap", "progressive", "local", "maxtime"} {
+		b.Run(strat, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := m.Analyze(Options{
+					Goal: casestudy.LauncherGoal, Bound: 600,
+					Strategy: strat, Delta: 0.05, Epsilon: 0.05,
+					Workers: 4, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.Probability, "P")
+			}
+		})
+	}
+}
+
+// BenchmarkGenerators compares the sample-count generators at equal
+// accuracy targets; the paths metric shows the sequential methods' savings.
+func BenchmarkGenerators(b *testing.B) {
+	m := loadSensorFilter(b, 2)
+	for _, method := range []string{"chernoff", "gauss", "chow-robbins"} {
+		b.Run(method, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := m.Analyze(Options{
+					Goal: casestudy.SensorFilterGoal, Bound: 150,
+					Strategy: "asap", Delta: 0.05, Epsilon: 0.02, Method: method,
+					Workers: 1, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.Paths), "paths")
+			}
+		})
+	}
+}
+
+// BenchmarkParallelScaling measures the fair round-based collector's
+// speed-up with worker count (paper §III-C).
+func BenchmarkParallelScaling(b *testing.B) {
+	m := loadSensorFilter(b, 4)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := m.Analyze(Options{
+					Goal: casestudy.SensorFilterGoal, Bound: 150,
+					Strategy: "asap", Delta: 0.05, Epsilon: 0.05,
+					Workers: workers, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFrontend measures parsing plus instantiation of the generated
+// launcher model (≈ the size of the paper's 800-line case study).
+func BenchmarkFrontend(b *testing.B) {
+	src, err := casestudy.Launcher(casestudy.DefaultLauncher(casestudy.FaultsRecoverable))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadModel(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPath measures the cost of generating a single path through the
+// launcher model — the simulator's unit of work.
+func BenchmarkPath(b *testing.B) {
+	m := loadLauncher(b, casestudy.FaultsRecoverable)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A one-worker analysis at a very loose accuracy performs few
+		// paths; divide the measured time by the paths metric.
+		rep, err := m.Analyze(Options{
+			Goal: casestudy.LauncherGoal, Bound: 600,
+			Strategy: "progressive", Delta: 0.4, Epsilon: 0.4,
+			Workers: 1, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.TotalSteps)/float64(rep.Paths), "steps/path")
+	}
+}

@@ -1,0 +1,170 @@
+// Command slimsim is the Monte Carlo analyzer CLI: it loads a SLIM model,
+// compiles a time-bounded property, and estimates its probability under a
+// chosen scheduling strategy. Its flags mirror the inputs of the paper's
+// GUI (Fig. 1): model file, confidence, error bound, and strategy.
+//
+// Example:
+//
+//	slimsim -model launcher.slim \
+//	        -goal 'not thr1.powered and not thr2.powered' \
+//	        -bound 3600 -strategy progressive -delta 0.05 -eps 0.01
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"slimsim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "slimsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("slimsim", flag.ContinueOnError)
+	var (
+		modelPath   = fs.String("model", "", "path to the SLIM model file (required)")
+		goal        = fs.String("goal", "", "goal predicate over instance paths (required unless -prop is given)")
+		pattern     = fs.String("prop", "", "full property pattern, e.g. 'P(<> [0,3600] failure)' (overrides -goal/-kind/-bound)")
+		constraint  = fs.String("constraint", "", "constraint predicate for -kind until")
+		kind        = fs.String("kind", "reach", "property kind: reach, always or until")
+		bound       = fs.Float64("bound", 0, "time bound u of the property (required)")
+		strat       = fs.String("strategy", "progressive", "strategy: asap, progressive, local or maxtime")
+		delta       = fs.Float64("delta", 0.05, "statistical risk δ (confidence is 1-δ)")
+		eps         = fs.Float64("eps", 0.01, "error bound ε")
+		method      = fs.String("method", "chernoff", "sample-count generator: chernoff, gauss or chow-robbins")
+		workers     = fs.Int("workers", runtime.NumCPU(), "parallel sampling workers")
+		seed        = fs.Uint64("seed", 1, "random seed (runs with equal seeds are reproducible)")
+		onLock      = fs.String("on-lock", "violate", "deadlock/timelock policy: violate or error")
+		quiet       = fs.Bool("q", false, "print only the probability")
+		simulate    = fs.Int("simulate", 0, "instead of analyzing, print N sample path traces")
+		interactive = fs.Bool("interactive", false, "instead of analyzing, drive one path interactively (Input strategy)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || (*pattern == "" && (*goal == "" || *bound <= 0)) {
+		fs.Usage()
+		return fmt.Errorf("-model plus either -prop or (-goal and a positive -bound) are required")
+	}
+
+	m, err := slimsim.LoadModelFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	if *interactive {
+		return runInteractive(m, slimsim.Options{
+			Pattern:    *pattern,
+			Kind:       slimsim.PropertyKind(*kind),
+			Goal:       *goal,
+			Constraint: *constraint,
+			Bound:      *bound,
+			Seed:       *seed,
+		})
+	}
+	if *simulate > 0 {
+		traces, err := m.Simulate(slimsim.Options{
+			Pattern:    *pattern,
+			Kind:       slimsim.PropertyKind(*kind),
+			Goal:       *goal,
+			Constraint: *constraint,
+			Bound:      *bound,
+			Strategy:   *strat,
+			Seed:       *seed,
+		}, *simulate)
+		if err != nil {
+			return err
+		}
+		for i, tr := range traces {
+			fmt.Printf("--- path %d: %s at t=%g (%s) ---\n", i+1, verdictWord(tr.Satisfied), tr.EndTime, tr.Termination)
+			for _, ev := range tr.Events {
+				fmt.Println(" ", ev)
+			}
+		}
+		return nil
+	}
+	if !*quiet {
+		fmt.Printf("loaded %s: %d processes, %d variables\n", *modelPath, m.NumProcesses(), m.NumVars())
+	}
+	rep, err := m.Analyze(slimsim.Options{
+		Pattern:    *pattern,
+		Kind:       slimsim.PropertyKind(*kind),
+		Goal:       *goal,
+		Constraint: *constraint,
+		Bound:      *bound,
+		Strategy:   *strat,
+		Delta:      *delta,
+		Epsilon:    *eps,
+		Method:     *method,
+		Workers:    *workers,
+		Seed:       *seed,
+		OnLock:     *onLock,
+	})
+	if err != nil {
+		return err
+	}
+	if *quiet {
+		fmt.Printf("%.6f\n", rep.Probability)
+		return nil
+	}
+	fmt.Println(rep)
+	return nil
+}
+
+func verdictWord(sat bool) string {
+	if sat {
+		return "satisfied"
+	}
+	return "violated"
+}
+
+// runInteractive drives one path with decisions read from stdin, showing
+// the candidate moves and their enabling windows at every step — the CLI
+// form of the paper's Input strategy.
+func runInteractive(m *slimsim.Model, opts slimsim.Options) error {
+	in := bufio.NewScanner(os.Stdin)
+	tr, err := m.SimulateInteractive(opts, func(p slimsim.Prompt) (slimsim.Decision, error) {
+		fmt.Printf("\ndecision point (max delay %g):\n", p.MaxDelay)
+		if len(p.Moves) == 0 {
+			fmt.Println("  no guarded moves; enter a delay")
+		}
+		for i, mv := range p.Moves {
+			fmt.Printf("  [%d] %s  enabled at %s\n", i, mv.Label, mv.Window)
+		}
+		fmt.Print("delay [move]> ")
+		if !in.Scan() {
+			return slimsim.Decision{}, fmt.Errorf("input closed")
+		}
+		var d float64
+		move := -1
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			return slimsim.Decision{}, fmt.Errorf("empty input")
+		}
+		if _, err := fmt.Sscanf(fields[0], "%g", &d); err != nil {
+			return slimsim.Decision{}, fmt.Errorf("bad delay %q", fields[0])
+		}
+		if len(fields) > 1 {
+			if _, err := fmt.Sscanf(fields[1], "%d", &move); err != nil {
+				return slimsim.Decision{}, fmt.Errorf("bad move %q", fields[1])
+			}
+		}
+		return slimsim.Decision{Delay: d, Move: move}, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npath %s at t=%g (%s):\n", verdictWord(tr.Satisfied), tr.EndTime, tr.Termination)
+	for _, ev := range tr.Events {
+		fmt.Println(" ", ev)
+	}
+	return nil
+}

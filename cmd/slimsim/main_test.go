@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testModel = `
+device Unit
+features
+  alive: out data port bool default true;
+end Unit;
+
+device implementation Unit.Imp
+modes
+  run: initial mode;
+end Unit.Imp;
+
+system S
+end S;
+
+system implementation S.Imp
+subcomponents
+  u: device Unit.Imp;
+end S.Imp;
+
+error model Fail
+states
+  ok: initial state;
+  dead: state;
+end Fail;
+
+error model implementation Fail.Imp
+events
+  die: error event occurrence poisson 0.1;
+transitions
+  ok -[die]-> dead;
+end Fail.Imp;
+
+root S.Imp;
+
+extend u with Fail.Imp {
+  inject dead: alive := false;
+}
+`
+
+func writeModel(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.slim")
+	if err := os.WriteFile(path, []byte(testModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAnalysis(t *testing.T) {
+	path := writeModel(t)
+	err := run([]string{
+		"-model", path, "-goal", "not u.alive", "-bound", "10",
+		"-eps", "0.05", "-workers", "2", "-q",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithPattern(t *testing.T) {
+	path := writeModel(t)
+	err := run([]string{
+		"-model", path, "-prop", "P(<> [0,10] not u.alive)",
+		"-eps", "0.05", "-q",
+	})
+	if err != nil {
+		t.Fatalf("run with -prop: %v", err)
+	}
+}
+
+func TestRunSimulateTraces(t *testing.T) {
+	path := writeModel(t)
+	err := run([]string{
+		"-model", path, "-goal", "not u.alive", "-bound", "10",
+		"-simulate", "2",
+	})
+	if err != nil {
+		t.Fatalf("run -simulate: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := [][]string{
+		{},                            // nothing
+		{"-model", "x.slim"},          // no goal/bound
+		{"-goal", "g", "-bound", "1"}, // no model
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d: expected usage error", i)
+		}
+	}
+	// Missing file.
+	if err := run([]string{"-model", "/nonexistent.slim", "-goal", "g", "-bound", "1"}); err == nil {
+		t.Error("expected file error")
+	}
+	// Bad strategy reaches the analyzer's validation.
+	path := writeModel(t)
+	err := run([]string{"-model", path, "-goal", "not u.alive", "-bound", "1", "-strategy", "zzz"})
+	if err == nil || !strings.Contains(err.Error(), "unknown strategy") {
+		t.Errorf("expected strategy error, got %v", err)
+	}
+}

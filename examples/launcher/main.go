@@ -1,0 +1,90 @@
+// Launcher case study (paper §V, Fig. 4/5): an abstract but realistic
+// launcher design by Airbus Defence and Space — PCDUs with linearly
+// draining batteries, redundant GPS/gyro navigation, two DPU triplexes and
+// thrusters, with transient/hot/permanent fault models woven in by fault
+// injection. The mission fails when neither triplex can command its
+// thruster.
+//
+// Run with -describe to print the architecture; otherwise the example
+// sweeps the property bound like Fig. 5 and prints one curve per strategy
+// for both fault variants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slimsim"
+	"slimsim/internal/casestudy"
+)
+
+func main() {
+	describe := flag.Bool("describe", false, "print the architecture and generated model")
+	flag.Parse()
+	if err := run(*describe); err != nil {
+		fmt.Fprintln(os.Stderr, "launcher:", err)
+		os.Exit(1)
+	}
+}
+
+func run(describe bool) error {
+	if describe {
+		src, err := casestudy.Launcher(casestudy.DefaultLauncher(casestudy.FaultsRecoverable))
+		if err != nil {
+			return err
+		}
+		fmt.Println("Architecture (paper Fig. 4):")
+		fmt.Println("  power:      pcdu1, pcdu2 (battery: continuous energy, derive -1.0)")
+		fmt.Println("  navigation: gps1, gps2, gyro1, gyro2 -> nav combiner")
+		fmt.Println("  processing: dpu11..dpu13 -> tri1, dpu21..dpu23 -> tri2 (2-of-3 vote)")
+		fmt.Println("  actuation:  tri1 -> thr1, tri2 -> thr2")
+		fmt.Println("  faults:     batteries/sensors permanent; DPUs hot with restart window")
+		fmt.Println()
+		fmt.Println("Generated SLIM source:")
+		fmt.Println(src)
+		return nil
+	}
+
+	for _, mode := range []casestudy.FaultMode{casestudy.FaultsPermanent, casestudy.FaultsRecoverable} {
+		src, err := casestudy.Launcher(casestudy.DefaultLauncher(mode))
+		if err != nil {
+			return err
+		}
+		m, err := slimsim.LoadModel(src)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== %s DPU faults (%d processes, %d variables) ===\n",
+			mode, m.NumProcesses(), m.NumVars())
+		fmt.Printf("%-8s %10s %12s %8s %10s\n", "u", "asap", "progressive", "local", "maxtime")
+		for _, u := range []float64{300, 600, 900} {
+			fmt.Printf("%-8.0f", u)
+			for _, strat := range []string{"asap", "progressive", "local", "maxtime"} {
+				rep, err := m.Analyze(slimsim.Options{
+					Goal:     casestudy.LauncherGoal,
+					Bound:    u,
+					Strategy: strat,
+					Delta:    0.05,
+					Epsilon:  0.02,
+					Workers:  4,
+					Seed:     1,
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Printf(" %10.3f", rep.Probability)
+			}
+			fmt.Println()
+		}
+		switch mode {
+		case casestudy.FaultsPermanent:
+			fmt.Println("-> strategies coincide: only probabilistic/deterministic timing (Fig. 5 left)")
+		case casestudy.FaultsRecoverable:
+			fmt.Println("-> ASAP repairs too early (worst), MaxTime never does (best),")
+			fmt.Println("   Progressive/Local in between (Fig. 5 right)")
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module slimsim
+
+go 1.22

@@ -1,0 +1,235 @@
+package ctmc
+
+import (
+	"fmt"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/network"
+)
+
+// BuildResult carries the explicit chain together with exploration
+// statistics (reported in the Table I benchmark).
+type BuildResult struct {
+	// Chain is the tangible-state CTMC.
+	Chain *CTMC
+	// Explored counts all discrete states visited, including vanishing
+	// ones.
+	Explored int
+	// Vanishing counts immediate states eliminated by maximal progress.
+	Vanishing int
+}
+
+// Build unfolds the network's reachable discrete state space into a CTMC.
+//
+// The untimed (Markovian) fragment of SLIM is required: the model may not
+// contain clock or continuous variables, so every guard is delay-constant
+// and every state is either *vanishing* (some guarded move enabled — it
+// fires immediately under maximal progress, chosen uniformly) or *tangible*
+// (only Markovian moves, raced by rate) or absorbing. goal labels the
+// target states of the reachability property. maxStates bounds the
+// exploration.
+func Build(rt *network.Runtime, goal expr.Expr, maxStates int) (*BuildResult, error) {
+	for _, d := range rt.Net().Vars {
+		if d.Type.Timed() {
+			return nil, fmt.Errorf("ctmc: model has timed variable %s; the CTMC flow handles only the untimed fragment", d.Name)
+		}
+	}
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	if err := expr.CheckBool(goal, rt.Net().DeclMap()); err != nil {
+		return nil, fmt.Errorf("ctmc: goal: %w", err)
+	}
+
+	b := &builder{
+		rt:        rt,
+		goal:      goal,
+		maxStates: maxStates,
+		index:     make(map[string]int),
+		resolved:  make(map[string][]weighted),
+	}
+	init, err := rt.InitialState()
+	if err != nil {
+		return nil, err
+	}
+	initDist, err := b.resolve(&init, make(map[string]bool))
+	if err != nil {
+		return nil, err
+	}
+	initial := make(map[int]float64)
+	for _, w := range initDist {
+		idx, err := b.tangible(w.st)
+		if err != nil {
+			return nil, err
+		}
+		initial[idx] += w.p
+	}
+	// BFS over tangible states. Goal states are absorbing for bounded
+	// reachability (uniformization treats them so), hence they are not
+	// expanded — the pruning MRMC applies when checking a single
+	// property.
+	for head := 0; head < len(b.states); head++ {
+		if b.goalFlags[head] {
+			continue
+		}
+		if err := b.expand(head); err != nil {
+			return nil, err
+		}
+	}
+
+	n := len(b.states)
+	chain := &CTMC{
+		Edges:   b.edges,
+		Initial: make([]float64, n),
+		Goal:    b.goalFlags,
+	}
+	for idx, p := range initial {
+		chain.Initial[idx] = p
+	}
+	if err := chain.Validate(); err != nil {
+		return nil, err
+	}
+	return &BuildResult{Chain: chain, Explored: b.explored, Vanishing: b.vanishing}, nil
+}
+
+// weighted is a probability-weighted tangible state.
+type weighted struct {
+	st *network.State
+	p  float64
+}
+
+type builder struct {
+	rt        *network.Runtime
+	goal      expr.Expr
+	maxStates int
+
+	states    []*network.State // tangible states by index
+	index     map[string]int   // state key -> tangible index
+	goalFlags []bool           // per tangible state
+	edges     [][]Edge
+	resolved  map[string][]weighted // memoized vanishing resolution
+	explored  int
+	vanishing int
+}
+
+// tangible interns a tangible state and returns its index.
+func (b *builder) tangible(st *network.State) (int, error) {
+	key := st.Key()
+	if idx, ok := b.index[key]; ok {
+		return idx, nil
+	}
+	if len(b.states) >= b.maxStates {
+		return 0, fmt.Errorf("ctmc: state space exceeds %d tangible states", b.maxStates)
+	}
+	idx := len(b.states)
+	cp := st.Clone()
+	b.states = append(b.states, &cp)
+	b.index[key] = idx
+	b.edges = append(b.edges, nil)
+	g, err := expr.EvalBool(b.goal, b.rt.Env(&cp))
+	if err != nil {
+		return 0, fmt.Errorf("ctmc: evaluating goal: %w", err)
+	}
+	b.goalFlags = append(b.goalFlags, g)
+	return idx, nil
+}
+
+// immediateMoves returns the guarded moves enabled right now, or nil.
+func (b *builder) immediateMoves(st *network.State) ([]network.Move, []network.Move, error) {
+	moves := b.rt.Moves(st)
+	var immediate, markovian []network.Move
+	for i := range moves {
+		if moves[i].Markovian() {
+			markovian = append(markovian, moves[i])
+			continue
+		}
+		ok, err := b.rt.EnabledAt(st, &moves[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			immediate = append(immediate, moves[i])
+		}
+	}
+	return immediate, markovian, nil
+}
+
+// resolve eliminates vanishing states: starting from st, follow immediate
+// transitions (uniformly probable, maximal progress) until tangible states
+// are reached. onPath detects cycles of immediate transitions.
+func (b *builder) resolve(st *network.State, onPath map[string]bool) ([]weighted, error) {
+	key := st.Key()
+	if cached, ok := b.resolved[key]; ok {
+		return cached, nil
+	}
+	if onPath[key] {
+		return nil, fmt.Errorf("ctmc: cycle of immediate transitions through state %s", key)
+	}
+	b.explored++
+	immediate, _, err := b.immediateMoves(st)
+	if err != nil {
+		return nil, err
+	}
+	if len(immediate) == 0 {
+		out := []weighted{{st: st, p: 1}}
+		b.resolved[key] = out
+		return out, nil
+	}
+	b.vanishing++
+	onPath[key] = true
+	defer delete(onPath, key)
+
+	acc := make(map[string]weighted)
+	share := 1 / float64(len(immediate))
+	for i := range immediate {
+		succ, err := b.rt.Apply(st, &immediate[i])
+		if err != nil {
+			return nil, err
+		}
+		sub, err := b.resolve(&succ, onPath)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range sub {
+			k := w.st.Key()
+			entry := acc[k]
+			entry.st = w.st
+			entry.p += share * w.p
+			acc[k] = entry
+		}
+	}
+	out := make([]weighted, 0, len(acc))
+	for _, w := range acc {
+		out = append(out, w)
+	}
+	b.resolved[key] = out
+	return out, nil
+}
+
+// expand adds the Markovian edges of tangible state idx, exploring
+// successors.
+func (b *builder) expand(idx int) error {
+	st := b.states[idx]
+	_, markovian, err := b.immediateMoves(st)
+	if err != nil {
+		return err
+	}
+	for i := range markovian {
+		succ, err := b.rt.Apply(st, &markovian[i])
+		if err != nil {
+			return err
+		}
+		dist, err := b.resolve(&succ, make(map[string]bool))
+		if err != nil {
+			return err
+		}
+		for _, w := range dist {
+			tIdx, err := b.tangible(w.st)
+			if err != nil {
+				return err
+			}
+			b.edges[idx] = append(b.edges[idx], Edge{To: tIdx, Rate: markovian[i].Rate * w.p})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,399 @@
+// Package intervals implements sets of real intervals with open or closed
+// endpoints, together with the Boolean algebra over them (union,
+// intersection, complement).
+//
+// Interval sets are the workhorse of guard analysis in the simulator: given
+// a location whose continuous variables evolve linearly with time, the set
+// of delays at which a transition guard holds is exactly such a set. The
+// Progressive strategy samples uniformly from it, ASAP takes its infimum,
+// and MaxTime compares it against the invariant bound.
+package intervals
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Interval is a connected subset of the extended real line. Endpoints may be
+// open or closed; infinite endpoints are always open.
+type Interval struct {
+	// Lo and Hi are the endpoints. Lo may be math.Inf(-1) and Hi
+	// math.Inf(1).
+	Lo, Hi float64
+	// LoOpen and HiOpen record whether the respective endpoint is
+	// excluded from the interval.
+	LoOpen, HiOpen bool
+}
+
+// Point returns the degenerate interval [x, x].
+func Point(x float64) Interval {
+	return Interval{Lo: x, Hi: x}
+}
+
+// Closed returns the interval [lo, hi].
+func Closed(lo, hi float64) Interval {
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Open returns the interval (lo, hi).
+func Open(lo, hi float64) Interval {
+	return Interval{Lo: lo, Hi: hi, LoOpen: true, HiOpen: true}
+}
+
+// ClosedOpen returns the interval [lo, hi).
+func ClosedOpen(lo, hi float64) Interval {
+	return Interval{Lo: lo, Hi: hi, HiOpen: true}
+}
+
+// OpenClosed returns the interval (lo, hi].
+func OpenClosed(lo, hi float64) Interval {
+	return Interval{Lo: lo, Hi: hi, LoOpen: true}
+}
+
+// All returns the interval (-inf, +inf).
+func All() Interval {
+	return Interval{Lo: math.Inf(-1), Hi: math.Inf(1), LoOpen: true, HiOpen: true}
+}
+
+// AtLeast returns the interval [x, +inf).
+func AtLeast(x float64) Interval {
+	return Interval{Lo: x, Hi: math.Inf(1), HiOpen: true}
+}
+
+// AtMost returns the interval (-inf, x].
+func AtMost(x float64) Interval {
+	return Interval{Lo: math.Inf(-1), Hi: x, LoOpen: true}
+}
+
+// GreaterThan returns the interval (x, +inf).
+func GreaterThan(x float64) Interval {
+	return Interval{Lo: x, Hi: math.Inf(1), LoOpen: true, HiOpen: true}
+}
+
+// LessThan returns the interval (-inf, x).
+func LessThan(x float64) Interval {
+	return Interval{Lo: math.Inf(-1), Hi: x, LoOpen: true, HiOpen: true}
+}
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool {
+	if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
+		return true
+	}
+	if iv.Lo > iv.Hi {
+		return true
+	}
+	if iv.Lo == iv.Hi {
+		// A degenerate interval is non-empty only if both endpoints
+		// are closed and finite.
+		return iv.LoOpen || iv.HiOpen || math.IsInf(iv.Lo, 0)
+	}
+	return false
+}
+
+// Contains reports whether x lies in the interval.
+func (iv Interval) Contains(x float64) bool {
+	if iv.Empty() {
+		return false
+	}
+	if x < iv.Lo || (x == iv.Lo && iv.LoOpen) {
+		return false
+	}
+	if x > iv.Hi || (x == iv.Hi && iv.HiOpen) {
+		return false
+	}
+	return true
+}
+
+// Length returns the measure of the interval (0 for points, +inf for
+// unbounded intervals).
+func (iv Interval) Length() float64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Intersect returns the intersection of two intervals.
+func (iv Interval) Intersect(other Interval) Interval {
+	out := iv
+	if other.Lo > out.Lo || (other.Lo == out.Lo && other.LoOpen) {
+		out.Lo, out.LoOpen = other.Lo, other.LoOpen
+	}
+	if other.Hi < out.Hi || (other.Hi == out.Hi && other.HiOpen) {
+		out.Hi, out.HiOpen = other.Hi, other.HiOpen
+	}
+	return out
+}
+
+// String renders the interval in conventional bracket notation.
+func (iv Interval) String() string {
+	if iv.Empty() {
+		return "∅"
+	}
+	lb, rb := "[", "]"
+	if iv.LoOpen {
+		lb = "("
+	}
+	if iv.HiOpen {
+		rb = ")"
+	}
+	return fmt.Sprintf("%s%g,%g%s", lb, iv.Lo, iv.Hi, rb)
+}
+
+// touchesOrOverlaps reports whether a and b overlap or are adjacent such
+// that their union is a single interval. Requires a.Lo <= b.Lo.
+func touchesOrOverlaps(a, b Interval) bool {
+	if b.Lo < a.Hi {
+		return true
+	}
+	if b.Lo > a.Hi {
+		return false
+	}
+	// b.Lo == a.Hi: they join unless both endpoints are open.
+	return !(a.HiOpen && b.LoOpen)
+}
+
+// Set is a finite union of disjoint, non-adjacent intervals kept in
+// ascending order. The zero value is the empty set.
+type Set struct {
+	ivs []Interval
+}
+
+// NewSet builds a set from arbitrary intervals, normalizing overlaps and
+// dropping empty members.
+func NewSet(ivs ...Interval) Set {
+	var s Set
+	for _, iv := range ivs {
+		s = s.Union(FromInterval(iv))
+	}
+	return s
+}
+
+// FromInterval returns the set containing exactly iv.
+func FromInterval(iv Interval) Set {
+	if iv.Empty() {
+		return Set{}
+	}
+	return Set{ivs: []Interval{iv}}
+}
+
+// EmptySet returns the empty set.
+func EmptySet() Set { return Set{} }
+
+// FullSet returns the set covering the whole real line.
+func FullSet() Set { return FromInterval(All()) }
+
+// Empty reports whether the set has no points.
+func (s Set) Empty() bool { return len(s.ivs) == 0 }
+
+// Intervals returns a copy of the set's constituent intervals in ascending
+// order.
+func (s Set) Intervals() []Interval {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return out
+}
+
+// Contains reports whether x lies in the set.
+func (s Set) Contains(x float64) bool {
+	for _, iv := range s.ivs {
+		if iv.Contains(x) {
+			return true
+		}
+		if x < iv.Lo {
+			break
+		}
+	}
+	return false
+}
+
+// Measure returns the total length of the set (possibly +inf).
+func (s Set) Measure() float64 {
+	var total float64
+	for _, iv := range s.ivs {
+		total += iv.Length()
+	}
+	return total
+}
+
+// Inf returns the infimum of the set and whether it is attained (i.e. the
+// lowest endpoint is closed). Calling Inf on an empty set returns
+// (+inf, false).
+func (s Set) Inf() (float64, bool) {
+	if s.Empty() {
+		return math.Inf(1), false
+	}
+	first := s.ivs[0]
+	return first.Lo, !first.LoOpen && !math.IsInf(first.Lo, -1)
+}
+
+// Sup returns the supremum of the set and whether it is attained. Calling
+// Sup on an empty set returns (-inf, false).
+func (s Set) Sup() (float64, bool) {
+	if s.Empty() {
+		return math.Inf(-1), false
+	}
+	last := s.ivs[len(s.ivs)-1]
+	return last.Hi, !last.HiOpen && !math.IsInf(last.Hi, 0)
+}
+
+// Union returns the union of two sets.
+func (s Set) Union(other Set) Set {
+	if s.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return s
+	}
+	merged := make([]Interval, 0, len(s.ivs)+len(other.ivs))
+	i, j := 0, 0
+	for i < len(s.ivs) || j < len(other.ivs) {
+		var next Interval
+		switch {
+		case i == len(s.ivs):
+			next, j = other.ivs[j], j+1
+		case j == len(other.ivs):
+			next, i = s.ivs[i], i+1
+		case lessStart(s.ivs[i], other.ivs[j]):
+			next, i = s.ivs[i], i+1
+		default:
+			next, j = other.ivs[j], j+1
+		}
+		if n := len(merged); n > 0 && touchesOrOverlaps(merged[n-1], next) {
+			merged[n-1] = join(merged[n-1], next)
+		} else {
+			merged = append(merged, next)
+		}
+	}
+	return Set{ivs: merged}
+}
+
+// lessStart reports whether a starts strictly before b (taking openness
+// into account: a closed endpoint precedes an open one at the same value).
+func lessStart(a, b Interval) bool {
+	if a.Lo != b.Lo {
+		return a.Lo < b.Lo
+	}
+	return !a.LoOpen && b.LoOpen
+}
+
+// join merges two overlapping-or-adjacent intervals where a starts at or
+// before b.
+func join(a, b Interval) Interval {
+	out := a
+	if b.Hi > out.Hi || (b.Hi == out.Hi && out.HiOpen && !b.HiOpen) {
+		out.Hi, out.HiOpen = b.Hi, b.HiOpen
+	}
+	return out
+}
+
+// Intersect returns the intersection of two sets.
+func (s Set) Intersect(other Set) Set {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(other.ivs) {
+		iv := s.ivs[i].Intersect(other.ivs[j])
+		if !iv.Empty() {
+			out = append(out, iv)
+		}
+		// Advance whichever interval ends first.
+		if endsBefore(s.ivs[i], other.ivs[j]) {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Set{ivs: out}
+}
+
+// endsBefore reports whether a's upper endpoint precedes b's.
+func endsBefore(a, b Interval) bool {
+	if a.Hi != b.Hi {
+		return a.Hi < b.Hi
+	}
+	return a.HiOpen && !b.HiOpen
+}
+
+// Complement returns the complement of the set with respect to the real
+// line.
+func (s Set) Complement() Set {
+	if s.Empty() {
+		return FullSet()
+	}
+	out := make([]Interval, 0, len(s.ivs)+1)
+	cursorLo := math.Inf(-1)
+	cursorOpen := true // infinite endpoints are open
+	for _, iv := range s.ivs {
+		gap := Interval{Lo: cursorLo, LoOpen: cursorOpen, Hi: iv.Lo, HiOpen: !iv.LoOpen}
+		if !gap.Empty() {
+			out = append(out, gap)
+		}
+		cursorLo, cursorOpen = iv.Hi, !iv.HiOpen
+	}
+	tail := Interval{Lo: cursorLo, LoOpen: cursorOpen, Hi: math.Inf(1), HiOpen: true}
+	if !tail.Empty() {
+		out = append(out, tail)
+	}
+	return Set{ivs: out}
+}
+
+// Minus returns the set difference s \ other.
+func (s Set) Minus(other Set) Set {
+	return s.Intersect(other.Complement())
+}
+
+// Equal reports whether two sets contain exactly the same points.
+func (s Set) Equal(other Set) bool {
+	if len(s.ivs) != len(other.ivs) {
+		return false
+	}
+	for i, iv := range s.ivs {
+		if iv != other.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as a union of intervals.
+func (s Set) String() string {
+	if s.Empty() {
+		return "∅"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, " ∪ ")
+}
+
+// SampleUniform maps u ∈ [0,1) to a point of the set, distributed uniformly
+// by measure. The set must have positive, finite measure; otherwise ok is
+// false. Degenerate (zero-measure) components are ignored unless the whole
+// set has measure zero, in which case the lowest point is returned if one
+// exists.
+func (s Set) SampleUniform(u float64) (x float64, ok bool) {
+	total := s.Measure()
+	if math.IsInf(total, 1) {
+		return 0, false
+	}
+	if total == 0 {
+		// All components are single points; pick the first.
+		if len(s.ivs) > 0 {
+			return s.ivs[0].Lo, true
+		}
+		return 0, false
+	}
+	target := u * total
+	for _, iv := range s.ivs {
+		l := iv.Length()
+		if target <= l {
+			return iv.Lo + target, true
+		}
+		target -= l
+	}
+	// Rounding slop: return the supremum.
+	return s.ivs[len(s.ivs)-1].Hi, true
+}

@@ -1,0 +1,338 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/slim"
+	"slimsim/internal/sta"
+)
+
+// convertExpr lowers a surface expression to a resolved expr.Expr in the
+// scope of inst: bare names resolve to the instance's data subcomponents
+// and ports, dotted names descend through subcomponents.
+func (b *Built) convertExpr(e slim.Expr, inst *Instance) (expr.Expr, error) {
+	switch n := e.(type) {
+	case *slim.NumLit:
+		if n.IsInt {
+			return expr.Literal(expr.IntVal(int64(n.Value))), nil
+		}
+		return expr.Literal(expr.RealVal(n.Value)), nil
+	case *slim.BoolLit:
+		return expr.Literal(expr.BoolVal(n.Value)), nil
+	case *slim.RefExpr:
+		id, name, err := b.resolveData(inst, n.Path, n.Pos)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Var(name, id), nil
+	case *slim.UnaryExpr:
+		x, err := b.convertExpr(n.X, inst)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "not" {
+			return expr.Not(x), nil
+		}
+		return expr.Neg(x), nil
+	case *slim.BinExpr:
+		l, err := b.convertExpr(n.L, inst)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.convertExpr(n.R, inst)
+		if err != nil {
+			return nil, err
+		}
+		op, err := binOp(n.Op, n.Pos)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Bin(op, l, r), nil
+	case *slim.CondExpr:
+		c, err := b.convertExpr(n.If, inst)
+		if err != nil {
+			return nil, err
+		}
+		a, err := b.convertExpr(n.Then, inst)
+		if err != nil {
+			return nil, err
+		}
+		el, err := b.convertExpr(n.Else, inst)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Ite(c, a, el), nil
+	case *slim.InModesExpr:
+		return b.convertInModes(n, inst)
+	default:
+		return nil, fmt.Errorf("model: %s: unsupported expression", e.Position())
+	}
+}
+
+func binOp(op string, pos slim.Pos) (expr.Op, error) {
+	switch op {
+	case "+":
+		return expr.OpAdd, nil
+	case "-":
+		return expr.OpSub, nil
+	case "*":
+		return expr.OpMul, nil
+	case "/":
+		return expr.OpDiv, nil
+	case "mod":
+		return expr.OpMod, nil
+	case "and":
+		return expr.OpAnd, nil
+	case "or":
+		return expr.OpOr, nil
+	case "=":
+		return expr.OpEq, nil
+	case "!=":
+		return expr.OpNe, nil
+	case "<":
+		return expr.OpLt, nil
+	case "<=":
+		return expr.OpLe, nil
+	case ">":
+		return expr.OpGt, nil
+	case ">=":
+		return expr.OpGe, nil
+	default:
+		return 0, fmt.Errorf("model: %s: unknown operator %q", pos, op)
+	}
+}
+
+// resolveData resolves a dotted data reference from inst: each prefix
+// segment descends into a subcomponent; the final segment names a data
+// subcomponent, a data port, or a synthetic variable (@mode, @err).
+func (b *Built) resolveData(inst *Instance, path []string, pos slim.Pos) (expr.VarID, string, error) {
+	cur := inst
+	for k := 0; k < len(path)-1; k++ {
+		child, ok := cur.Children[path[k]]
+		if !ok {
+			return expr.NoVar, "", fmt.Errorf("model: %s: %s has no subcomponent %s",
+				pos, describe(cur), path[k])
+		}
+		cur = child
+	}
+	name := cur.qualify(path[len(path)-1])
+	id, ok := b.lookupVar(name)
+	if !ok {
+		return expr.NoVar, "", fmt.Errorf("model: %s: unknown data element %s", pos, name)
+	}
+	return id, name, nil
+}
+
+// resolveInstance resolves a dotted instance path from inst.
+func (b *Built) resolveInstance(inst *Instance, path []string, pos slim.Pos) (*Instance, error) {
+	cur := inst
+	for _, seg := range path {
+		child, ok := cur.Children[seg]
+		if !ok {
+			return nil, fmt.Errorf("model: %s: %s has no subcomponent %s", pos, describe(cur), seg)
+		}
+		cur = child
+	}
+	return cur, nil
+}
+
+func describe(i *Instance) string {
+	if i.Path == "" {
+		return "the root component"
+	}
+	return i.Path
+}
+
+// convertInModes lowers "path in modes (...)" to a disjunction over the
+// @mode (or @err) variable.
+func (b *Built) convertInModes(n *slim.InModesExpr, inst *Instance) (expr.Expr, error) {
+	// A trailing "@err" segment targets the attached error model's
+	// states.
+	path := n.Path
+	errStates := false
+	if len(path) > 0 && path[len(path)-1] == "@err" {
+		path = path[:len(path)-1]
+		errStates = true
+	}
+	target, err := b.resolveInstance(inst, path, n.Pos)
+	if err != nil {
+		return nil, err
+	}
+	if errStates {
+		if target.errVar == expr.NoVar {
+			return nil, fmt.Errorf("model: %s: %s has no attached error model", n.Pos, describe(target))
+		}
+		terms := make([]expr.Expr, 0, len(n.Modes))
+		for _, m := range n.Modes {
+			idx, ok := target.errIdx[m]
+			if !ok {
+				return nil, fmt.Errorf("model: %s: error model of %s has no state %s", n.Pos, describe(target), m)
+			}
+			terms = append(terms, expr.Bin(expr.OpEq,
+				expr.Var(target.qualify("@err"), target.errVar),
+				expr.Literal(expr.IntVal(int64(idx)))))
+		}
+		return expr.Or(terms...), nil
+	}
+	if target.modeVar == expr.NoVar {
+		return nil, fmt.Errorf("model: %s: %s has no modes", n.Pos, describe(target))
+	}
+	return modePredicate(target, n.Modes, n.Pos)
+}
+
+// buildProcesses lowers each moded instance to an STA process.
+func (b *Built) buildProcesses(inst *Instance) error {
+	if len(inst.Impl.Modes) > 0 {
+		if err := b.buildProcess(inst); err != nil {
+			return err
+		}
+	} else if len(inst.Impl.Transitions) > 0 {
+		return fmt.Errorf("model: %s: component %s has transitions but no modes",
+			inst.Impl.Pos, inst.Impl.Name())
+	}
+	for _, name := range inst.ChildOrder {
+		if err := b.buildProcesses(inst.Children[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *Built) buildProcess(inst *Instance) error {
+	name := inst.Path
+	if name == "" {
+		name = "root"
+	}
+	p := &sta.Process{
+		Name:     name,
+		Alphabet: make(map[string]struct{}),
+	}
+
+	// activationGuard restricts a deactivated subtree: the conjunction of
+	// every ancestor's "in modes" clause on the path to the root.
+	activation, err := b.activationPredicate(inst)
+	if err != nil {
+		return err
+	}
+
+	for i, md := range inst.Impl.Modes {
+		loc := sta.Location{Name: md.Name, Urgent: md.Urgent}
+		if md.Invariant != nil {
+			inv, err := b.convertExpr(md.Invariant, inst)
+			if err != nil {
+				return err
+			}
+			loc.Invariant = inv
+		}
+		if len(md.Derivs) > 0 {
+			loc.Rates = make(map[expr.VarID]float64, len(md.Derivs))
+			for _, d := range md.Derivs {
+				id, qname, err := b.resolveData(inst, []string{d.Var}, d.Pos)
+				if err != nil {
+					return err
+				}
+				decl := &b.Net.Vars[id]
+				if !decl.Type.Continuous {
+					return fmt.Errorf("model: %s: trajectory equation for non-continuous variable %s", d.Pos, qname)
+				}
+				rate, err := constEval(d.Rate, expr.RealType())
+				if err != nil {
+					return fmt.Errorf("model: %s: trajectory rate of %s: %w", d.Pos, qname, err)
+				}
+				loc.Rates[id] = rate.Real()
+			}
+		}
+		if md.Initial {
+			p.Initial = sta.LocID(i)
+		}
+		p.Locations = append(p.Locations, loc)
+	}
+
+	for _, tr := range inst.Impl.Transitions {
+		fromIdx, ok := inst.modeIdx[tr.From]
+		if !ok {
+			return fmt.Errorf("model: %s: unknown mode %s", tr.Pos, tr.From)
+		}
+		toIdx, ok := inst.modeIdx[tr.To]
+		if !ok {
+			return fmt.Errorf("model: %s: unknown mode %s", tr.Pos, tr.To)
+		}
+		st := sta.Transition{From: sta.LocID(fromIdx), To: sta.LocID(toIdx), Action: sta.Tau}
+		if tr.Event != nil {
+			owner, f, err := b.resolvePort(inst, tr.Event, tr.Pos)
+			if err != nil {
+				return err
+			}
+			if !f.Event {
+				return fmt.Errorf("model: %s: transition trigger %s is not an event port",
+					tr.Pos, strings.Join(tr.Event, "."))
+			}
+			action := b.actionOf(owner, f.Name)
+			st.Action = action
+			p.Alphabet[action] = struct{}{}
+		}
+		var guards []expr.Expr
+		if activation != nil {
+			guards = append(guards, activation)
+		}
+		if tr.Guard != nil {
+			g, err := b.convertExpr(tr.Guard, inst)
+			if err != nil {
+				return err
+			}
+			guards = append(guards, g)
+		}
+		if len(guards) > 0 {
+			st.Guard = expr.And(guards...)
+		}
+		for _, a := range tr.Effects {
+			id, qname, err := b.resolveData(inst, a.Target, a.Pos)
+			if err != nil {
+				return err
+			}
+			rhs, err := b.convertExpr(a.Value, inst)
+			if err != nil {
+				return err
+			}
+			st.Effects = append(st.Effects, sta.Assignment{Var: id, Name: qname, Expr: rhs})
+		}
+		// Track the active mode in the synthetic @mode variable.
+		st.Effects = append(st.Effects, sta.Assignment{
+			Var:  inst.modeVar,
+			Name: inst.qualify("@mode"),
+			Expr: expr.Literal(expr.IntVal(int64(toIdx))),
+		})
+		p.Transitions = append(p.Transitions, st)
+	}
+
+	b.Net.Processes = append(b.Net.Processes, p)
+	b.processes[inst.Path] = p
+	return nil
+}
+
+// activationPredicate conjoins the "in modes" clauses of all ancestors.
+// nil means the instance is always active.
+func (b *Built) activationPredicate(inst *Instance) (expr.Expr, error) {
+	var terms []expr.Expr
+	for cur := inst; cur.Parent != nil; cur = cur.Parent {
+		if len(cur.InModes) == 0 {
+			continue
+		}
+		parent := cur.Parent
+		if parent.modeVar == expr.NoVar {
+			return nil, fmt.Errorf("model: subcomponent %s is mode-dependent but %s has no modes",
+				cur.Path, describe(parent))
+		}
+		pred, err := modePredicate(parent, cur.InModes, cur.Impl.Pos)
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, pred)
+	}
+	if len(terms) == 0 {
+		return nil, nil
+	}
+	return expr.And(terms...), nil
+}

@@ -1,0 +1,359 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/slim"
+	"slimsim/internal/sta"
+)
+
+// extendAll performs model extension: for every "extend" clause it
+// instantiates the error model as an additional STA process attached to the
+// target instance, and weaves the declared fault injections into the
+// nominal model with override semantics — while the error automaton is in
+// an injected state, every reader of the target data element observes the
+// injected value; the nominal value is preserved underneath and reappears
+// on recovery (paper §II-D, "model extension").
+func (b *Built) extendAll() error {
+	type pendingInjection struct {
+		target   expr.VarID
+		stateVar expr.VarID
+		stateIdx int
+		value    expr.Expr
+		pos      slim.Pos
+	}
+	var injections []pendingInjection
+
+	for _, ext := range b.src.Extensions {
+		inst, err := b.resolveInstance(b.Root, ext.Target, ext.Pos)
+		if err != nil {
+			return err
+		}
+		if inst.errVar != expr.NoVar {
+			return fmt.Errorf("model: %s: %s already has an error model", ext.Pos, describe(inst))
+		}
+		impl, ok := b.src.ErrorImpls[ext.ErrorImplRef]
+		if !ok {
+			return fmt.Errorf("model: %s: unknown error model implementation %s", ext.Pos, ext.ErrorImplRef)
+		}
+		et, ok := b.src.ErrorTypes[impl.TypeName]
+		if !ok {
+			return fmt.Errorf("model: %s: error implementation %s has no type %s",
+				ext.Pos, ext.ErrorImplRef, impl.TypeName)
+		}
+		if err := b.extendOne(inst, ext, et, impl); err != nil {
+			return err
+		}
+		for _, inj := range ext.Injections {
+			stateIdx, ok := inst.errIdx[inj.State]
+			if !ok {
+				return fmt.Errorf("model: %s: error model %s has no state %s", inj.Pos, et.Name, inj.State)
+			}
+			target, _, err := b.resolveData(inst, inj.Target, inj.Pos)
+			if err != nil {
+				return err
+			}
+			value, err := b.convertExpr(inj.Value, inst)
+			if err != nil {
+				return err
+			}
+			injections = append(injections, pendingInjection{
+				target:   target,
+				stateVar: inst.errVar,
+				stateIdx: stateIdx,
+				value:    value,
+				pos:      inj.Pos,
+			})
+		}
+	}
+
+	// Weave injections: group by target variable, then shadow each
+	// target. The shadow (a new flow variable) takes over the target's
+	// public name; the original is renamed "<name>@nom" and keeps
+	// receiving writes.
+	byTarget := make(map[expr.VarID][]pendingInjection)
+	var targetOrder []expr.VarID
+	for _, inj := range injections {
+		if _, seen := byTarget[inj.target]; !seen {
+			targetOrder = append(targetOrder, inj.target)
+		}
+		byTarget[inj.target] = append(byTarget[inj.target], inj)
+	}
+	var shadows []expr.VarID
+	oldToNew := make(map[expr.VarID]expr.VarID)
+	for _, target := range targetOrder {
+		injs := byTarget[target]
+		orig := &b.Net.Vars[target]
+		publicName := orig.Name
+		origType := orig.Type
+
+		// Build the observed value: fold injections over the nominal
+		// reading.
+		observed := expr.Expr(expr.Var(publicName+"@nom", target))
+		for k := len(injs) - 1; k >= 0; k-- {
+			cond := expr.Bin(expr.OpEq,
+				expr.Var(varName(b, injs[k].stateVar), injs[k].stateVar),
+				expr.Literal(expr.IntVal(int64(injs[k].stateIdx))))
+			observed = expr.Ite(cond, injs[k].value, observed)
+		}
+
+		// Rename the original and register the shadow under the
+		// public name.
+		delete(b.varIDs, publicName)
+		orig.Name = publicName + "@nom"
+		b.varIDs[orig.Name] = target
+		shadowType := origType
+		shadowType.Clock = false
+		shadowType.Continuous = false
+		shadow, err := b.addVar(sta.VarDecl{
+			Name:     publicName,
+			Type:     shadowType,
+			Init:     orig.Init,
+			Flow:     true,
+			FlowExpr: observed,
+		})
+		if err != nil {
+			return err
+		}
+		shadows = append(shadows, shadow)
+		oldToNew[target] = shadow
+	}
+
+	if len(oldToNew) > 0 {
+		b.redirectReads(oldToNew, shadows)
+	}
+	return nil
+}
+
+// varName returns the declared name of a variable.
+func varName(b *Built, id expr.VarID) string { return b.Net.Vars[id].Name }
+
+// redirectReads rewrites every read of an injected variable to its shadow,
+// in all guards, invariants, effect right-hand sides and flow expressions —
+// except inside the shadows' own defining expressions, which must keep
+// reading the nominal value.
+func (b *Built) redirectReads(oldToNew map[expr.VarID]expr.VarID, shadows []expr.VarID) {
+	skip := make(map[expr.VarID]bool, len(shadows))
+	for _, s := range shadows {
+		skip[s] = true
+	}
+	rewrite := func(e expr.Expr) {
+		if e == nil {
+			return
+		}
+		expr.Walk(e, func(n expr.Expr) {
+			r, ok := n.(*expr.Ref)
+			if !ok {
+				return
+			}
+			if to, hit := oldToNew[r.ID]; hit {
+				r.Name = b.Net.Vars[to].Name
+				r.ID = to
+			}
+		})
+	}
+	for _, p := range b.Net.Processes {
+		for li := range p.Locations {
+			rewrite(p.Locations[li].Invariant)
+		}
+		for ti := range p.Transitions {
+			rewrite(p.Transitions[ti].Guard)
+			for ai := range p.Transitions[ti].Effects {
+				rewrite(p.Transitions[ti].Effects[ai].Expr)
+			}
+		}
+	}
+	for i := range b.Net.Vars {
+		if !b.Net.Vars[i].Flow || skip[expr.VarID(i)] {
+			continue
+		}
+		rewrite(b.Net.Vars[i].FlowExpr)
+	}
+}
+
+// extendOne lowers one error model implementation into an STA process.
+func (b *Built) extendOne(inst *Instance, ext *slim.Extension, et *slim.ErrorType, impl *slim.ErrorImpl) error {
+	if len(et.States) == 0 {
+		return fmt.Errorf("model: %s: error model %s has no states", et.Pos, et.Name)
+	}
+	stateIdx := make(map[string]int, len(et.States))
+	initial := -1
+	for i, s := range et.States {
+		if _, dup := stateIdx[s.Name]; dup {
+			return fmt.Errorf("model: %s: duplicate error state %s", s.Pos, s.Name)
+		}
+		stateIdx[s.Name] = i
+		if s.Initial {
+			if initial != -1 {
+				return fmt.Errorf("model: %s: multiple initial error states", s.Pos)
+			}
+			initial = i
+		}
+	}
+	if initial == -1 {
+		return fmt.Errorf("model: %s: error model %s has no initial state", et.Pos, et.Name)
+	}
+
+	events := make(map[string]*slim.ErrorEvent, len(impl.Events))
+	for _, ev := range impl.Events {
+		if _, dup := events[ev.Name]; dup {
+			return fmt.Errorf("model: %s: duplicate error event %s", ev.Pos, ev.Name)
+		}
+		events[ev.Name] = ev
+	}
+
+	errVar, err := b.addVar(sta.VarDecl{
+		Name: inst.qualify("@err"),
+		Type: expr.IntRangeType(0, int64(len(et.States)-1)),
+		Init: expr.IntVal(int64(initial)),
+	})
+	if err != nil {
+		return err
+	}
+	inst.errVar = errVar
+	inst.errIdx = stateIdx
+
+	// A timing clock is allocated only when some transition uses a
+	// window; it resets on every discrete transition of the error
+	// process (the paper's implicit per-automaton clock, Fig. 2).
+	needClock := false
+	for _, tr := range impl.Transitions {
+		if tr.HasAfter {
+			needClock = true
+		}
+	}
+	clockVar := expr.NoVar
+	if needClock {
+		clockVar, err = b.addVar(sta.VarDecl{
+			Name: inst.qualify("@err.clk"),
+			Type: expr.ClockType(),
+			Init: expr.RealVal(0),
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	procName := inst.qualify("@err")
+	p := &sta.Process{
+		Name:     procName + ".proc",
+		Initial:  sta.LocID(initial),
+		Alphabet: make(map[string]struct{}),
+	}
+	// Invariants: a state with timed exits must be left by the latest
+	// window's upper bound.
+	maxHi := make([]float64, len(et.States))
+	hasAfter := make([]bool, len(et.States))
+	for _, tr := range impl.Transitions {
+		if !tr.HasAfter {
+			continue
+		}
+		from, ok := stateIdx[tr.From]
+		if !ok {
+			return fmt.Errorf("model: %s: unknown error state %s", tr.Pos, tr.From)
+		}
+		hasAfter[from] = true
+		if tr.Hi > maxHi[from] {
+			maxHi[from] = tr.Hi
+		}
+	}
+	for i, s := range et.States {
+		loc := sta.Location{Name: s.Name}
+		if hasAfter[i] {
+			loc.Invariant = expr.Bin(expr.OpLe,
+				expr.Var(inst.qualify("@err.clk"), clockVar),
+				expr.Literal(expr.RealVal(maxHi[i])))
+		}
+		p.Locations = append(p.Locations, loc)
+	}
+
+	for _, tr := range impl.Transitions {
+		from, ok := stateIdx[tr.From]
+		if !ok {
+			return fmt.Errorf("model: %s: unknown error state %s", tr.Pos, tr.From)
+		}
+		to, ok := stateIdx[tr.To]
+		if !ok {
+			return fmt.Errorf("model: %s: unknown error state %s", tr.Pos, tr.To)
+		}
+		ev, ok := events[tr.Event]
+		if !ok {
+			return fmt.Errorf("model: %s: unknown error event %s", tr.Pos, tr.Event)
+		}
+		st := sta.Transition{From: sta.LocID(from), To: sta.LocID(to), Action: sta.Tau}
+		switch ev.Kind {
+		case ErrEventInternalKind:
+			if ev.HasRate {
+				if tr.HasAfter {
+					return fmt.Errorf("model: %s: transition combines a Poisson event with a timing window", tr.Pos)
+				}
+				st.Rate = ev.Rate
+			}
+		case ErrEventPropagationKind:
+			// Propagations synchronize globally by name (a
+			// documented simplification of COMPASS's
+			// sibling/parent-child propagation connections).
+			action := "@prop." + ev.Name
+			st.Action = action
+			p.Alphabet[action] = struct{}{}
+		case ErrEventResetKind:
+			if len(ext.ResetOn) == 0 {
+				return fmt.Errorf("model: %s: reset event %s used but the extension has no \"reset on\" binding",
+					tr.Pos, ev.Name)
+			}
+			owner, f, err := b.resolvePort(inst, ext.ResetOn, ext.Pos)
+			if err != nil {
+				return err
+			}
+			if !f.Event {
+				return fmt.Errorf("model: %s: reset binding %v is not an event port", ext.Pos, ext.ResetOn)
+			}
+			action := b.actionOf(owner, f.Name)
+			st.Action = action
+			p.Alphabet[action] = struct{}{}
+		}
+		if tr.HasAfter {
+			clk := expr.Var(inst.qualify("@err.clk"), clockVar)
+			guard := expr.And(
+				expr.Bin(expr.OpGe, clk, expr.Literal(expr.RealVal(tr.Lo))),
+				expr.Bin(expr.OpLe, clk, expr.Literal(expr.RealVal(tr.Hi))),
+			)
+			st.Guard = guard
+		}
+		// Track the error state and reset the timing clock.
+		st.Effects = append(st.Effects, sta.Assignment{
+			Var:  errVar,
+			Name: inst.qualify("@err"),
+			Expr: expr.Literal(expr.IntVal(int64(to))),
+		})
+		if clockVar != expr.NoVar {
+			st.Effects = append(st.Effects, sta.Assignment{
+				Var:  clockVar,
+				Name: inst.qualify("@err.clk"),
+				Expr: expr.Literal(expr.RealVal(0)),
+			})
+		}
+		p.Transitions = append(p.Transitions, st)
+	}
+
+	// Sanity: windows must be satisfiable against the derived invariant.
+	for _, tr := range impl.Transitions {
+		if tr.HasAfter && (math.IsInf(tr.Hi, 1) || tr.Hi < tr.Lo) {
+			return fmt.Errorf("model: %s: invalid timing window", tr.Pos)
+		}
+	}
+
+	b.Net.Processes = append(b.Net.Processes, p)
+	b.processes[procName] = p
+	return nil
+}
+
+// Error event kind aliases keep the switch above readable without
+// importing slim's constants at every use.
+const (
+	ErrEventInternalKind    = slim.ErrEventInternal
+	ErrEventPropagationKind = slim.ErrEventPropagation
+	ErrEventResetKind       = slim.ErrEventReset
+)

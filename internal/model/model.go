@@ -1,0 +1,606 @@
+// Package model lowers a parsed SLIM model to the executable STA network:
+// it instantiates the component tree from the root implementation,
+// allocates the global variable table (data subcomponents, data ports, and
+// synthetic @mode variables), compiles port connections into
+// synchronization classes and data flows, compiles modes/transitions into
+// STA processes, and performs model extension — weaving error models and
+// fault injections into the nominal model (paper §II-D).
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/slim"
+	"slimsim/internal/sta"
+)
+
+// Instance is a node of the instantiated component tree.
+type Instance struct {
+	// Path is the dotted instance path; empty for the root.
+	Path string
+	// Type and Impl are the component declarations.
+	Type *slim.ComponentType
+	Impl *slim.ComponentImpl
+	// Parent is nil for the root.
+	Parent *Instance
+	// Children maps subcomponent name to instance.
+	Children map[string]*Instance
+	// ChildOrder preserves declaration order.
+	ChildOrder []string
+	// InModes is the activation restriction from the parent's
+	// subcomponent declaration.
+	InModes []string
+
+	// modeVar is the @mode variable (NoVar if the instance has no
+	// modes).
+	modeVar expr.VarID
+	// modeIdx maps mode name to location index.
+	modeIdx map[string]int
+	// errProc, errVar and errIdx describe an attached error model.
+	errVar expr.VarID
+	errIdx map[string]int
+}
+
+// qualify returns the fully qualified name of a local name.
+func (i *Instance) qualify(name string) string {
+	if i.Path == "" {
+		return name
+	}
+	return i.Path + "." + name
+}
+
+// Built is the result of instantiation.
+type Built struct {
+	// Net is the lowered network, ready for network.New.
+	Net *sta.Network
+	// Root is the instance tree.
+	Root *Instance
+
+	src       *slim.Model
+	varIDs    map[string]expr.VarID
+	eventRoot map[string]string // union-find over event port keys
+	processes map[string]*sta.Process
+}
+
+// Instantiate lowers the model.
+func Instantiate(m *slim.Model) (*Built, error) {
+	b := &Built{
+		Net:       &sta.Network{},
+		src:       m,
+		varIDs:    make(map[string]expr.VarID),
+		eventRoot: make(map[string]string),
+		processes: make(map[string]*sta.Process),
+	}
+	rootImpl, ok := m.ComponentImpls[m.Root]
+	if !ok {
+		return nil, fmt.Errorf("model: root implementation %s not declared", m.Root)
+	}
+	root, err := b.instantiate("", rootImpl, nil, nil, map[string]bool{})
+	if err != nil {
+		return nil, err
+	}
+	b.Root = root
+
+	if err := b.declareVars(root); err != nil {
+		return nil, err
+	}
+	if err := b.assignComputedFlows(root); err != nil {
+		return nil, err
+	}
+	if err := b.buildEventClasses(root); err != nil {
+		return nil, err
+	}
+	if err := b.buildFlows(root); err != nil {
+		return nil, err
+	}
+	if err := b.buildProcesses(root); err != nil {
+		return nil, err
+	}
+	if err := b.extendAll(); err != nil {
+		return nil, err
+	}
+	if len(b.Net.Processes) == 0 {
+		return nil, fmt.Errorf("model: no component has modes; nothing to simulate")
+	}
+	return b, nil
+}
+
+// instantiate recursively builds the instance tree, detecting recursive
+// component definitions.
+func (b *Built) instantiate(path string, impl *slim.ComponentImpl, parent *Instance, inModes []string, onPath map[string]bool) (*Instance, error) {
+	name := impl.Name()
+	if onPath[name] {
+		return nil, fmt.Errorf("model: recursive component definition through %s", name)
+	}
+	onPath[name] = true
+	defer delete(onPath, name)
+
+	ct, ok := b.src.ComponentTypes[impl.TypeName]
+	if !ok {
+		return nil, fmt.Errorf("model: implementation %s has no component type %s", name, impl.TypeName)
+	}
+	inst := &Instance{
+		Path:     path,
+		Type:     ct,
+		Impl:     impl,
+		Parent:   parent,
+		Children: make(map[string]*Instance),
+		InModes:  inModes,
+		modeVar:  expr.NoVar,
+		errVar:   expr.NoVar,
+	}
+	for _, sub := range impl.Subcomponents {
+		if sub.Data != nil {
+			continue
+		}
+		subImpl, ok := b.src.ComponentImpls[sub.ImplRef]
+		if !ok {
+			return nil, fmt.Errorf("model: %s: subcomponent %s references unknown implementation %s",
+				name, sub.Name, sub.ImplRef)
+		}
+		if _, dup := inst.Children[sub.Name]; dup {
+			return nil, fmt.Errorf("model: %s: duplicate subcomponent %s", name, sub.Name)
+		}
+		childPath := sub.Name
+		if path != "" {
+			childPath = path + "." + sub.Name
+		}
+		child, err := b.instantiate(childPath, subImpl, inst, sub.InModes, onPath)
+		if err != nil {
+			return nil, err
+		}
+		inst.Children[sub.Name] = child
+		inst.ChildOrder = append(inst.ChildOrder, sub.Name)
+	}
+	return inst, nil
+}
+
+// addVar appends a variable declaration and records its ID.
+func (b *Built) addVar(decl sta.VarDecl) (expr.VarID, error) {
+	if _, dup := b.varIDs[decl.Name]; dup {
+		return expr.NoVar, fmt.Errorf("model: duplicate variable %s", decl.Name)
+	}
+	id := expr.VarID(len(b.Net.Vars))
+	b.Net.Vars = append(b.Net.Vars, decl)
+	b.varIDs[decl.Name] = id
+	return id, nil
+}
+
+// lookupVar resolves a fully qualified variable name.
+func (b *Built) lookupVar(name string) (expr.VarID, bool) {
+	id, ok := b.varIDs[name]
+	return id, ok
+}
+
+// dataTypeOf converts a surface data type.
+func dataTypeOf(dt *slim.DataType) (expr.Type, error) {
+	switch dt.Name {
+	case "bool":
+		return expr.BoolType(), nil
+	case "int":
+		if dt.HasRange {
+			return expr.IntRangeType(dt.Lo, dt.Hi), nil
+		}
+		return expr.IntType(), nil
+	case "real":
+		return expr.RealType(), nil
+	case "clock":
+		return expr.ClockType(), nil
+	case "continuous":
+		return expr.ContinuousType(), nil
+	default:
+		return expr.Type{}, fmt.Errorf("model: %s: unknown data type %q", dt.Pos, dt.Name)
+	}
+}
+
+// declareVars walks the tree declaring ports, data subcomponents and @mode
+// variables in deterministic order.
+func (b *Built) declareVars(inst *Instance) error {
+	for _, f := range inst.Type.Features {
+		if f.Event {
+			continue
+		}
+		t, err := dataTypeOf(f.Type)
+		if err != nil {
+			return err
+		}
+		if t.Timed() {
+			return fmt.Errorf("model: %s: data port %s cannot be a %s", f.Pos, inst.qualify(f.Name), f.Type.Name)
+		}
+		init := t.Default()
+		if f.Default != nil {
+			v, err := constEval(f.Default, t)
+			if err != nil {
+				return fmt.Errorf("model: %s: default of port %s: %w", f.Pos, inst.qualify(f.Name), err)
+			}
+			init = v
+		}
+		if _, err := b.addVar(sta.VarDecl{Name: inst.qualify(f.Name), Type: t, Init: init}); err != nil {
+			return err
+		}
+	}
+	for _, sub := range inst.Impl.Subcomponents {
+		if sub.Data == nil {
+			continue
+		}
+		t, err := dataTypeOf(sub.Data)
+		if err != nil {
+			return err
+		}
+		init := t.Default()
+		if sub.Default != nil {
+			v, err := constEval(sub.Default, t)
+			if err != nil {
+				return fmt.Errorf("model: %s: default of %s: %w", sub.Pos, inst.qualify(sub.Name), err)
+			}
+			init = v
+		}
+		if _, err := b.addVar(sta.VarDecl{Name: inst.qualify(sub.Name), Type: t, Init: init}); err != nil {
+			return err
+		}
+	}
+	if len(inst.Impl.Modes) > 0 {
+		inst.modeIdx = make(map[string]int, len(inst.Impl.Modes))
+		initialIdx := -1
+		for i, md := range inst.Impl.Modes {
+			if _, dup := inst.modeIdx[md.Name]; dup {
+				return fmt.Errorf("model: %s: duplicate mode %s", md.Pos, md.Name)
+			}
+			inst.modeIdx[md.Name] = i
+			if md.Initial {
+				if initialIdx != -1 {
+					return fmt.Errorf("model: %s: multiple initial modes", md.Pos)
+				}
+				initialIdx = i
+			}
+		}
+		if initialIdx == -1 {
+			return fmt.Errorf("model: %s: component %s has no initial mode", inst.Impl.Pos, inst.Impl.Name())
+		}
+		id, err := b.addVar(sta.VarDecl{
+			Name: inst.qualify("@mode"),
+			Type: expr.IntRangeType(0, int64(len(inst.Impl.Modes)-1)),
+			Init: expr.IntVal(int64(initialIdx)),
+		})
+		if err != nil {
+			return err
+		}
+		inst.modeVar = id
+	}
+	for _, name := range inst.ChildOrder {
+		if err := b.declareVars(inst.Children[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// assignComputedFlows fills in the flow expressions of computed out ports
+// ("out data port T := expr"). It runs after declareVars so that the
+// expressions can reference any port or data element in the instance's
+// scope.
+func (b *Built) assignComputedFlows(inst *Instance) error {
+	for _, f := range inst.Type.Features {
+		if f.Event || f.Compute == nil {
+			continue
+		}
+		id, ok := b.lookupVar(inst.qualify(f.Name))
+		if !ok {
+			return fmt.Errorf("model: %s: unresolved computed port %s", f.Pos, inst.qualify(f.Name))
+		}
+		e, err := b.convertExpr(f.Compute, inst)
+		if err != nil {
+			return err
+		}
+		b.Net.Vars[id].Flow = true
+		b.Net.Vars[id].FlowExpr = e
+	}
+	for _, name := range inst.ChildOrder {
+		if err := b.assignComputedFlows(inst.Children[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// constEval evaluates a constant expression (literals, negation, and
+// arithmetic over literals) for defaults and trajectory rates.
+func constEval(e slim.Expr, want expr.Type) (expr.Value, error) {
+	v, err := constEvalAny(e)
+	if err != nil {
+		return expr.Value{}, err
+	}
+	// Integer literals coerce to real where a real is expected.
+	if want.Kind == expr.KindReal && v.Kind() == expr.KindInt {
+		v = expr.RealVal(v.AsFloat())
+	}
+	if !want.Admits(v) {
+		return expr.Value{}, fmt.Errorf("value %s not admitted by type %s", v, want)
+	}
+	return v, nil
+}
+
+func constEvalAny(e slim.Expr) (expr.Value, error) {
+	switch n := e.(type) {
+	case *slim.NumLit:
+		if n.IsInt {
+			return expr.IntVal(int64(n.Value)), nil
+		}
+		return expr.RealVal(n.Value), nil
+	case *slim.BoolLit:
+		return expr.BoolVal(n.Value), nil
+	case *slim.UnaryExpr:
+		if n.Op != "-" {
+			return expr.Value{}, fmt.Errorf("%s: non-constant expression", n.Pos)
+		}
+		v, err := constEvalAny(n.X)
+		if err != nil {
+			return expr.Value{}, err
+		}
+		switch v.Kind() {
+		case expr.KindInt:
+			return expr.IntVal(-v.Int()), nil
+		case expr.KindReal:
+			return expr.RealVal(-v.Real()), nil
+		default:
+			return expr.Value{}, fmt.Errorf("%s: cannot negate %s", n.Pos, v.Kind())
+		}
+	case *slim.BinExpr:
+		l, err := constEvalAny(n.L)
+		if err != nil {
+			return expr.Value{}, err
+		}
+		r, err := constEvalAny(n.R)
+		if err != nil {
+			return expr.Value{}, err
+		}
+		if !l.IsNumeric() || !r.IsNumeric() {
+			return expr.Value{}, fmt.Errorf("%s: non-numeric constant arithmetic", n.Pos)
+		}
+		lf, rf := l.AsFloat(), r.AsFloat()
+		var out float64
+		switch n.Op {
+		case "+":
+			out = lf + rf
+		case "-":
+			out = lf - rf
+		case "*":
+			out = lf * rf
+		case "/":
+			if rf == 0 {
+				return expr.Value{}, fmt.Errorf("%s: constant division by zero", n.Pos)
+			}
+			out = lf / rf
+		default:
+			return expr.Value{}, fmt.Errorf("%s: non-constant expression", n.Pos)
+		}
+		if l.Kind() == expr.KindInt && r.Kind() == expr.KindInt && out == float64(int64(out)) {
+			return expr.IntVal(int64(out)), nil
+		}
+		return expr.RealVal(out), nil
+	default:
+		return expr.Value{}, fmt.Errorf("%s: non-constant expression", e.Position())
+	}
+}
+
+// --- Event synchronization classes (union-find) ---
+
+// eventKey identifies an event port instance.
+func eventKey(inst *Instance, port string) string { return inst.qualify(port) }
+
+func (b *Built) find(key string) string {
+	root, ok := b.eventRoot[key]
+	if !ok || root == key {
+		return key
+	}
+	r := b.find(root)
+	b.eventRoot[key] = r
+	return r
+}
+
+func (b *Built) union(a, c string) {
+	ra, rc := b.find(a), b.find(c)
+	if ra != rc {
+		// Keep the lexicographically smaller representative for
+		// determinism.
+		if rc < ra {
+			ra, rc = rc, ra
+		}
+		b.eventRoot[rc] = ra
+	}
+}
+
+// actionOf returns the STA action name of an event port.
+func (b *Built) actionOf(inst *Instance, port string) string {
+	return "@ev." + b.find(eventKey(inst, port))
+}
+
+// resolvePort resolves a connection endpoint reference within inst to
+// (owner instance, port feature).
+func (b *Built) resolvePort(inst *Instance, ref []string, pos slim.Pos) (*Instance, *slim.Feature, error) {
+	owner := inst
+	port := ref[0]
+	if len(ref) == 2 {
+		child, ok := inst.Children[ref[0]]
+		if !ok {
+			return nil, nil, fmt.Errorf("model: %s: unknown subcomponent %s in %s", pos, ref[0], inst.Impl.Name())
+		}
+		owner = child
+		port = ref[1]
+	} else if len(ref) > 2 {
+		return nil, nil, fmt.Errorf("model: %s: connection endpoints may have at most two segments", pos)
+	}
+	for _, f := range owner.Type.Features {
+		if f.Name == port {
+			return owner, f, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("model: %s: component %s has no port %s", pos, owner.Type.Name, port)
+}
+
+// buildEventClasses merges connected event ports into synchronization
+// classes.
+func (b *Built) buildEventClasses(inst *Instance) error {
+	for _, c := range inst.Impl.Connections {
+		if !c.Event {
+			continue
+		}
+		fromInst, fromF, err := b.resolvePort(inst, c.From, c.Pos)
+		if err != nil {
+			return err
+		}
+		toInst, toF, err := b.resolvePort(inst, c.To, c.Pos)
+		if err != nil {
+			return err
+		}
+		if !fromF.Event || !toF.Event {
+			return fmt.Errorf("model: %s: event connection endpoints must be event ports", c.Pos)
+		}
+		b.union(eventKey(fromInst, fromF.Name), eventKey(toInst, toF.Name))
+	}
+	for _, name := range inst.ChildOrder {
+		if err := b.buildEventClasses(inst.Children[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Data flows ---
+
+// buildFlows turns data connections into flow definitions on their target
+// port variables.
+func (b *Built) buildFlows(inst *Instance) error {
+	// Collect connections per target variable, preserving order.
+	type drive struct {
+		cond expr.Expr // nil = unconditional
+		src  expr.Expr
+		pos  slim.Pos
+	}
+	drivers := make(map[expr.VarID][]drive)
+	var order []expr.VarID
+
+	var walk func(i *Instance) error
+	walk = func(i *Instance) error {
+		for _, c := range i.Impl.Connections {
+			if c.Event {
+				continue
+			}
+			fromInst, fromF, err := b.resolvePort(i, c.From, c.Pos)
+			if err != nil {
+				return err
+			}
+			toInst, toF, err := b.resolvePort(i, c.To, c.Pos)
+			if err != nil {
+				return err
+			}
+			if fromF.Event || toF.Event {
+				return fmt.Errorf("model: %s: data connection endpoints must be data ports", c.Pos)
+			}
+			srcID, ok := b.lookupVar(fromInst.qualify(fromF.Name))
+			if !ok {
+				return fmt.Errorf("model: %s: unresolved source port", c.Pos)
+			}
+			dstID, ok := b.lookupVar(toInst.qualify(toF.Name))
+			if !ok {
+				return fmt.Errorf("model: %s: unresolved target port", c.Pos)
+			}
+			var cond expr.Expr
+			if len(c.InModes) > 0 {
+				if i.modeVar == expr.NoVar {
+					return fmt.Errorf("model: %s: mode-dependent connection in component without modes", c.Pos)
+				}
+				cond, err = modePredicate(i, c.InModes, c.Pos)
+				if err != nil {
+					return err
+				}
+			}
+			if _, seen := drivers[dstID]; !seen {
+				order = append(order, dstID)
+			}
+			drivers[dstID] = append(drivers[dstID], drive{
+				cond: cond,
+				src:  expr.Var(fromInst.qualify(fromF.Name), srcID),
+				pos:  c.Pos,
+			})
+		}
+		for _, name := range i.ChildOrder {
+			if err := walk(i.Children[name]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(inst); err != nil {
+		return err
+	}
+
+	for _, dst := range order {
+		ds := drivers[dst]
+		decl := &b.Net.Vars[dst]
+		if decl.Flow {
+			return fmt.Errorf("model: %s: computed port %s cannot be a connection target", ds[0].pos, decl.Name)
+		}
+		// Fold mode-dependent drivers over the port default;
+		// unconditional drivers must be unique and last in the fold.
+		flow := expr.Expr(expr.Literal(decl.Init))
+		unconditional := 0
+		for k := len(ds) - 1; k >= 0; k-- {
+			if ds[k].cond == nil {
+				unconditional++
+				if unconditional > 1 {
+					return fmt.Errorf("model: %s: port %s has multiple unconditional drivers", ds[k].pos, decl.Name)
+				}
+				flow = ds[k].src
+				continue
+			}
+			flow = expr.Ite(ds[k].cond, ds[k].src, flow)
+		}
+		decl.Flow = true
+		decl.FlowExpr = flow
+	}
+	return nil
+}
+
+// modePredicate builds "@mode ∈ modes" for instance i.
+func modePredicate(i *Instance, modes []string, pos slim.Pos) (expr.Expr, error) {
+	terms := make([]expr.Expr, 0, len(modes))
+	for _, m := range modes {
+		idx, ok := i.modeIdx[m]
+		if !ok {
+			return nil, fmt.Errorf("model: %s: component %s has no mode %s", pos, i.Impl.Name(), m)
+		}
+		terms = append(terms, expr.Bin(expr.OpEq,
+			expr.Var(i.qualify("@mode"), i.modeVar),
+			expr.Literal(expr.IntVal(int64(idx)))))
+	}
+	return expr.Or(terms...), nil
+}
+
+// sortedVarNames returns all declared variable names (for diagnostics).
+func (b *Built) sortedVarNames() []string {
+	names := make([]string, 0, len(b.varIDs))
+	for n := range b.varIDs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CompileExpr parses and resolves an expression in the root instance's
+// scope — the entry point used for property goals, where instance paths
+// are written from the root (e.g. "gps1.measurement").
+func (b *Built) CompileExpr(src string) (expr.Expr, error) {
+	ast, err := slim.ParseExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := b.convertExpr(ast, b.Root)
+	if err != nil {
+		return nil, fmt.Errorf("%w (known variables: %s)", err, strings.Join(b.sortedVarNames(), ", "))
+	}
+	return e, nil
+}

@@ -1,0 +1,518 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/intervals"
+	"slimsim/internal/sta"
+)
+
+// Runtime is the executable form of an STA network. It is immutable after
+// construction and safe for concurrent use; all mutable simulation state
+// lives in State values.
+type Runtime struct {
+	net       *sta.Network
+	flowOrder []expr.VarID     // topological evaluation order of flow vars
+	actions   map[string][]int // action -> indices of participating processes
+	contRates map[expr.VarID]*contRate
+}
+
+// New validates the network and prepares the runtime: flow variables are
+// topologically sorted (cyclic data connections are rejected), the
+// synchronization map is built, and trajectory ownership is checked (at
+// most one process drives each continuous variable).
+func New(net *sta.Network) (*Runtime, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		net:       net,
+		actions:   make(map[string][]int),
+		contRates: make(map[expr.VarID]*contRate),
+	}
+	for pi, p := range net.Processes {
+		for a := range p.Alphabet {
+			rt.actions[a] = append(rt.actions[a], pi)
+		}
+		for li := range p.Locations {
+			for v, r := range p.Locations[li].Rates {
+				if v < 0 || int(v) >= len(net.Vars) {
+					return nil, fmt.Errorf("network: process %s sets rate of out-of-range variable %d", p.Name, v)
+				}
+				decl := &net.Vars[v]
+				if !decl.Type.Timed() {
+					return nil, fmt.Errorf("network: process %s sets rate of non-timed variable %s", p.Name, decl.Name)
+				}
+				cr, ok := rt.contRates[v]
+				if !ok {
+					fallback := 0.0
+					if decl.Type.Clock {
+						fallback = 1.0
+					}
+					cr = &contRate{proc: pi, perLoc: make(map[sta.LocID]float64), fallback: fallback}
+					rt.contRates[v] = cr
+				}
+				if cr.proc != pi {
+					return nil, fmt.Errorf("network: variable %s has trajectory equations in two processes (%s and %s)",
+						decl.Name, net.Processes[cr.proc].Name, p.Name)
+				}
+				cr.perLoc[sta.LocID(li)] = r
+			}
+		}
+	}
+	for a := range rt.actions {
+		sort.Ints(rt.actions[a])
+	}
+	order, err := flowOrder(net)
+	if err != nil {
+		return nil, err
+	}
+	rt.flowOrder = order
+	if err := rt.checkStatic(); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// Net returns the underlying STA network.
+func (rt *Runtime) Net() *sta.Network { return rt.net }
+
+// flowOrder topologically sorts flow variables by their dependencies on
+// other flow variables, rejecting cycles.
+func flowOrder(net *sta.Network) ([]expr.VarID, error) {
+	isFlow := make(map[expr.VarID]bool, len(net.Vars))
+	for i := range net.Vars {
+		if net.Vars[i].Flow {
+			isFlow[expr.VarID(i)] = true
+		}
+	}
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[expr.VarID]int, len(isFlow))
+	var order []expr.VarID
+	var visit func(v expr.VarID) error
+	visit = func(v expr.VarID) error {
+		switch state[v] {
+		case visiting:
+			return fmt.Errorf("network: cyclic data-port dependency through %s", net.Vars[v].Name)
+		case done:
+			return nil
+		}
+		state[v] = visiting
+		for dep := range expr.Refs(net.Vars[v].FlowExpr) {
+			if isFlow[dep] {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[v] = done
+		order = append(order, v)
+		return nil
+	}
+	// Iterate in ID order for determinism.
+	for i := range net.Vars {
+		v := expr.VarID(i)
+		if isFlow[v] {
+			if err := visit(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return order, nil
+}
+
+// checkStatic type-checks every guard, invariant, effect and flow
+// expression and verifies linearity in timed contexts.
+func (rt *Runtime) checkStatic() error {
+	decls := rt.net.DeclMap()
+	for i := range rt.net.Vars {
+		d := &rt.net.Vars[i]
+		if !d.Flow {
+			continue
+		}
+		k, err := expr.Check(d.FlowExpr, decls)
+		if err != nil {
+			return fmt.Errorf("network: flow %s: %w", d.Name, err)
+		}
+		if k != d.Type.Kind {
+			return fmt.Errorf("network: flow %s has kind %s, declared %s", d.Name, k, d.Type.Kind)
+		}
+		if err := expr.TimedLinear(d.FlowExpr, decls); err != nil {
+			return fmt.Errorf("network: flow %s: %w", d.Name, err)
+		}
+	}
+	for _, p := range rt.net.Processes {
+		for li := range p.Locations {
+			inv := p.Locations[li].Invariant
+			if inv == nil {
+				continue
+			}
+			if err := expr.CheckBool(inv, decls); err != nil {
+				return fmt.Errorf("network: %s.%s invariant: %w", p.Name, p.Locations[li].Name, err)
+			}
+			if err := expr.TimedLinear(inv, decls); err != nil {
+				return fmt.Errorf("network: %s.%s invariant: %w", p.Name, p.Locations[li].Name, err)
+			}
+		}
+		for ti := range p.Transitions {
+			tr := &p.Transitions[ti]
+			if tr.Guard != nil {
+				if err := expr.CheckBool(tr.Guard, decls); err != nil {
+					return fmt.Errorf("network: %s transition %d guard: %w", p.Name, ti, err)
+				}
+				if err := expr.TimedLinear(tr.Guard, decls); err != nil {
+					return fmt.Errorf("network: %s transition %d guard: %w", p.Name, ti, err)
+				}
+			}
+			for ai := range tr.Effects {
+				as := &tr.Effects[ai]
+				if as.Var < 0 || int(as.Var) >= len(rt.net.Vars) {
+					return fmt.Errorf("network: %s transition %d assigns out-of-range variable", p.Name, ti)
+				}
+				target := &rt.net.Vars[as.Var]
+				if target.Flow {
+					return fmt.Errorf("network: %s transition %d assigns flow variable %s", p.Name, ti, target.Name)
+				}
+				k, err := expr.Check(as.Expr, decls)
+				if err != nil {
+					return fmt.Errorf("network: %s transition %d effect: %w", p.Name, ti, err)
+				}
+				if k != target.Type.Kind && !(k == expr.KindInt && target.Type.Kind == expr.KindReal) {
+					return fmt.Errorf("network: %s transition %d assigns %s value to %s variable %s",
+						p.Name, ti, k, target.Type.Kind, target.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// InitialState builds the network's initial configuration with flow
+// variables propagated.
+func (rt *Runtime) InitialState() (State, error) {
+	st := State{
+		Locs: make([]sta.LocID, len(rt.net.Processes)),
+		Vals: make([]expr.Value, len(rt.net.Vars)),
+	}
+	for i, p := range rt.net.Processes {
+		st.Locs[i] = p.Initial
+	}
+	for i := range rt.net.Vars {
+		st.Vals[i] = rt.net.Vars[i].Init
+	}
+	if err := rt.propagateFlows(&st); err != nil {
+		return State{}, err
+	}
+	return st, nil
+}
+
+// Env returns an expression environment reading from st.
+func (rt *Runtime) Env(st *State) expr.RateEnv {
+	return &env{rt: rt, st: st}
+}
+
+// propagateFlows recomputes every flow variable in dependency order.
+func (rt *Runtime) propagateFlows(st *State) error {
+	e := &env{rt: rt, st: st}
+	for _, v := range rt.flowOrder {
+		val, err := rt.net.Vars[v].FlowExpr.Eval(e)
+		if err != nil {
+			return fmt.Errorf("network: evaluating flow %s: %w", rt.net.Vars[v].Name, err)
+		}
+		if k := rt.net.Vars[v].Type.Kind; k == expr.KindReal && val.Kind() == expr.KindInt {
+			val = expr.RealVal(val.AsFloat())
+		}
+		if !rt.net.Vars[v].Type.Admits(val) {
+			return fmt.Errorf("network: flow %s value %s violates type %s",
+				rt.net.Vars[v].Name, val, rt.net.Vars[v].Type)
+		}
+		st.Vals[v] = val
+	}
+	return nil
+}
+
+// MaxDelay returns the largest delay permitted by all location invariants
+// from st: the supremum D of {d ≥ 0 : every invariant holds throughout
+// [0, d]}. attained reports whether delaying exactly D is allowed (the
+// bound is closed); D may be +inf. If an invariant is already violated at
+// d = 0, MaxDelay returns (0, false, false).
+func (rt *Runtime) MaxDelay(st *State) (d float64, attained, nowOK bool, err error) {
+	e := &env{rt: rt, st: st}
+	bound := math.Inf(1)
+	boundAttained := true
+	for pi, p := range rt.net.Processes {
+		loc := &p.Locations[st.Locs[pi]]
+		if loc.Urgent {
+			bound, boundAttained = 0, true
+			continue
+		}
+		if loc.Invariant == nil {
+			continue
+		}
+		w, werr := expr.Window(loc.Invariant, e)
+		if werr != nil {
+			return 0, false, false, fmt.Errorf("network: invariant of %s.%s: %w", p.Name, loc.Name, werr)
+		}
+		d, att, ok := prefixBound(w)
+		if !ok {
+			return 0, false, false, nil
+		}
+		if d < bound || (d == bound && !att) {
+			bound, boundAttained = d, att
+		}
+	}
+	if bound == 0 {
+		return 0, boundAttained, true, nil
+	}
+	return bound, boundAttained && !math.IsInf(bound, 1), true, nil
+}
+
+// UrgentNow reports whether some process currently occupies an urgent
+// location (used to classify zero-delay locks).
+func (rt *Runtime) UrgentNow(st *State) bool {
+	for pi, p := range rt.net.Processes {
+		if p.Locations[st.Locs[pi]].Urgent {
+			return true
+		}
+	}
+	return false
+}
+
+// prefixBound returns the largest D such that [0, D] ⊆ w (or [0, D) if the
+// component is right-open). ok is false when 0 ∉ w.
+func prefixBound(w intervals.Set) (d float64, attained, ok bool) {
+	for _, iv := range w.Intervals() {
+		if iv.Contains(0) {
+			return iv.Hi, !iv.HiOpen && !math.IsInf(iv.Hi, 1), true
+		}
+	}
+	return 0, false, false
+}
+
+// Move is a global discrete step: either a single process's internal or
+// Markovian transition, or a synchronized vector of transitions sharing an
+// action.
+type Move struct {
+	// Action is the shared label, or sta.Tau.
+	Action string
+	// Parts lists the participating (process, transition) pairs in
+	// ascending process order.
+	Parts []Part
+	// Rate is positive for Markovian moves.
+	Rate float64
+}
+
+// Part identifies one process's contribution to a move.
+type Part struct {
+	Proc  int
+	Trans int // index into the process's Transitions
+}
+
+// Markovian reports whether the move fires after an exponential delay.
+func (m *Move) Markovian() bool { return m.Rate > 0 }
+
+// Label renders the move for traces.
+func (m *Move) Label(rt *Runtime) string {
+	if len(m.Parts) == 0 {
+		return m.Action
+	}
+	p := rt.net.Processes[m.Parts[0].Proc]
+	tr := &p.Transitions[m.Parts[0].Trans]
+	from := p.Locations[tr.From].Name
+	to := p.Locations[tr.To].Name
+	if m.Action == sta.Tau {
+		return fmt.Sprintf("%s: %s -> %s", p.Name, from, to)
+	}
+	return fmt.Sprintf("%s (%d procs): %s: %s -> %s", m.Action, len(m.Parts), p.Name, from, to)
+}
+
+// Moves enumerates the candidate global moves from st, ignoring guards:
+// every internal (τ) transition of every process individually, every
+// Markovian transition individually, and every combination of transitions
+// sharing a synchronized action (one per participating process).
+//
+// Guard truth is evaluated separately (at a delay) via EnabledAt or
+// Windows, so candidates here are purely structural.
+func (rt *Runtime) Moves(st *State) []Move {
+	var moves []Move
+	// Internal and Markovian moves.
+	for pi, p := range rt.net.Processes {
+		for _, ti := range p.Outgoing(st.Locs[pi]) {
+			tr := &p.Transitions[ti]
+			if tr.Action != sta.Tau {
+				continue
+			}
+			moves = append(moves, Move{
+				Action: sta.Tau,
+				Parts:  []Part{{Proc: pi, Trans: ti}},
+				Rate:   tr.Rate,
+			})
+		}
+	}
+	// Synchronized moves: for each action, the cross product of each
+	// participating process's candidate transitions.
+	actions := make([]string, 0, len(rt.actions))
+	for a := range rt.actions {
+		actions = append(actions, a)
+	}
+	sort.Strings(actions)
+	for _, a := range actions {
+		procs := rt.actions[a]
+		perProc := make([][]int, len(procs))
+		feasible := true
+		for i, pi := range procs {
+			p := rt.net.Processes[pi]
+			for _, ti := range p.Outgoing(st.Locs[pi]) {
+				if p.Transitions[ti].Action == a {
+					perProc[i] = append(perProc[i], ti)
+				}
+			}
+			if len(perProc[i]) == 0 {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		combo := make([]int, len(procs))
+		var emit func(i int)
+		emit = func(i int) {
+			if i == len(procs) {
+				parts := make([]Part, len(procs))
+				for j, pi := range procs {
+					parts[j] = Part{Proc: pi, Trans: combo[j]}
+				}
+				moves = append(moves, Move{Action: a, Parts: parts})
+				return
+			}
+			for _, ti := range perProc[i] {
+				combo[i] = ti
+				emit(i + 1)
+			}
+		}
+		emit(0)
+	}
+	return moves
+}
+
+// Window returns the set of delays d (within the whole real line; callers
+// intersect with [0, maxDelay]) at which every guard of the move holds.
+// Markovian moves have no guard window (they race by rate); Window returns
+// the full set for them.
+func (rt *Runtime) Window(st *State, m *Move) (intervals.Set, error) {
+	if m.Markovian() {
+		return intervals.FullSet(), nil
+	}
+	e := &env{rt: rt, st: st}
+	w := intervals.FullSet()
+	for _, part := range m.Parts {
+		tr := &rt.net.Processes[part.Proc].Transitions[part.Trans]
+		if tr.Guard == nil {
+			continue
+		}
+		gw, err := expr.Window(tr.Guard, e)
+		if err != nil {
+			return intervals.Set{}, fmt.Errorf("network: guard of %s transition %d: %w",
+				rt.net.Processes[part.Proc].Name, part.Trans, err)
+		}
+		w = w.Intersect(gw)
+		if w.Empty() {
+			break
+		}
+	}
+	return w, nil
+}
+
+// EnabledAt reports whether the move's guards all hold right now (delay 0).
+func (rt *Runtime) EnabledAt(st *State, m *Move) (bool, error) {
+	if m.Markovian() {
+		return true, nil
+	}
+	e := &env{rt: rt, st: st}
+	for _, part := range m.Parts {
+		tr := &rt.net.Processes[part.Proc].Transitions[part.Trans]
+		if tr.Guard == nil {
+			continue
+		}
+		ok, err := expr.EvalBool(tr.Guard, e)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Advance returns the state after letting d time units pass: timed
+// variables move along their trajectories, flows are re-propagated, and
+// Time increases. It does not check invariants; callers bound d by
+// MaxDelay.
+func (rt *Runtime) Advance(st *State, d float64) (State, error) {
+	if d < 0 {
+		return State{}, fmt.Errorf("network: negative delay %g", d)
+	}
+	out := st.Clone()
+	if d == 0 {
+		return out, nil
+	}
+	e := &env{rt: rt, st: st}
+	for i := range rt.net.Vars {
+		decl := &rt.net.Vars[i]
+		if decl.Flow || !decl.Type.Timed() {
+			continue
+		}
+		id := expr.VarID(i)
+		rate := e.VarRate(id)
+		if rate != 0 {
+			out.Vals[id] = expr.RealVal(st.Vals[id].Real() + rate*d)
+		}
+	}
+	out.Time += d
+	if err := rt.propagateFlows(&out); err != nil {
+		return State{}, err
+	}
+	return out, nil
+}
+
+// Apply fires the move from st (whose guards are assumed enabled) and
+// returns the successor. Effects of the participating processes apply
+// sequentially in ascending process order; flows re-propagate afterwards.
+func (rt *Runtime) Apply(st *State, m *Move) (State, error) {
+	out := st.Clone()
+	for _, part := range m.Parts {
+		p := rt.net.Processes[part.Proc]
+		tr := &p.Transitions[part.Trans]
+		e := &env{rt: rt, st: &out}
+		for ai := range tr.Effects {
+			as := &tr.Effects[ai]
+			val, err := as.Expr.Eval(e)
+			if err != nil {
+				return State{}, fmt.Errorf("network: effect %s of %s: %w", as.Name, p.Name, err)
+			}
+			decl := &rt.net.Vars[as.Var]
+			if decl.Type.Kind == expr.KindReal && val.Kind() == expr.KindInt {
+				val = expr.RealVal(val.AsFloat())
+			}
+			if !decl.Type.Admits(val) {
+				return State{}, fmt.Errorf("network: effect %s := %s violates type %s of %s",
+					as.Name, val, decl.Type, decl.Name)
+			}
+			out.Vals[as.Var] = val
+		}
+		out.Locs[part.Proc] = tr.To
+	}
+	if err := rt.propagateFlows(&out); err != nil {
+		return State{}, err
+	}
+	return out, nil
+}

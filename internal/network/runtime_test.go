@@ -1,0 +1,591 @@
+package network
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/sta"
+)
+
+// gpsNet builds the paper's Listing-1 GPS automaton: a clock x, location
+// acquisition with invariant x <= 120, a transition to active guarded by
+// x >= 10 on action "activate" setting measurement := true.
+func gpsNet(t *testing.T) (*Runtime, State) {
+	t.Helper()
+	xID, mID := expr.VarID(0), expr.VarID(1)
+	p := &sta.Process{
+		Name: "gps",
+		Locations: []sta.Location{
+			{Name: "acquisition", Invariant: expr.Bin(expr.OpLe, expr.Var("x", xID), expr.Literal(expr.RealVal(120)))},
+			{Name: "active"},
+		},
+		Initial: 0,
+		Transitions: []sta.Transition{
+			{
+				From: 0, To: 1, Action: "activate",
+				Guard: expr.Bin(expr.OpGe, expr.Var("x", xID), expr.Literal(expr.RealVal(10))),
+				Effects: []sta.Assignment{
+					{Var: mID, Name: "measurement", Expr: expr.True()},
+				},
+			},
+		},
+		Vars:     []expr.VarID{xID, mID},
+		Alphabet: map[string]struct{}{"activate": {}},
+	}
+	net := &sta.Network{
+		Processes: []*sta.Process{p},
+		Vars: []sta.VarDecl{
+			{Name: "x", Type: expr.ClockType(), Init: expr.RealVal(0)},
+			{Name: "measurement", Type: expr.BoolType(), Init: expr.BoolVal(false)},
+		},
+	}
+	rt, err := New(net)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, err := rt.InitialState()
+	if err != nil {
+		t.Fatalf("InitialState: %v", err)
+	}
+	return rt, st
+}
+
+func TestMaxDelayFromInvariant(t *testing.T) {
+	rt, st := gpsNet(t)
+	d, attained, nowOK, err := rt.MaxDelay(&st)
+	if err != nil {
+		t.Fatalf("MaxDelay: %v", err)
+	}
+	if d != 120 || !attained || !nowOK {
+		t.Errorf("MaxDelay = (%v,%v,%v), want (120,true,true)", d, attained, nowOK)
+	}
+
+	// After advancing 50, only 70 remain.
+	st2, err := rt.Advance(&st, 50)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if got := st2.Vals[0].Real(); got != 50 {
+		t.Errorf("clock after advance = %v, want 50", got)
+	}
+	if st2.Time != 50 {
+		t.Errorf("Time = %v, want 50", st2.Time)
+	}
+	d, _, _, err = rt.MaxDelay(&st2)
+	if err != nil {
+		t.Fatalf("MaxDelay: %v", err)
+	}
+	if d != 70 {
+		t.Errorf("remaining delay = %v, want 70", d)
+	}
+}
+
+func TestGuardWindowAndApply(t *testing.T) {
+	rt, st := gpsNet(t)
+	moves := rt.Moves(&st)
+	if len(moves) != 1 {
+		t.Fatalf("Moves = %d, want 1", len(moves))
+	}
+	m := &moves[0]
+	if m.Action != "activate" || m.Markovian() {
+		t.Errorf("unexpected move %+v", m)
+	}
+
+	w, err := rt.Window(&st, m)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	// Guard x >= 10 with x(d) = d: window [10, inf); the invariant bound
+	// (120) is applied by callers.
+	if !w.Contains(10) || w.Contains(9.99) || !w.Contains(1000) {
+		t.Errorf("guard window = %v, want [10,inf)", w)
+	}
+
+	ok, err := rt.EnabledAt(&st, m)
+	if err != nil || ok {
+		t.Errorf("EnabledAt initially = (%v,%v), want (false,nil)", ok, err)
+	}
+
+	st2, err := rt.Advance(&st, 15)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	ok, err = rt.EnabledAt(&st2, m)
+	if err != nil || !ok {
+		t.Errorf("EnabledAt after 15 = (%v,%v), want (true,nil)", ok, err)
+	}
+
+	st3, err := rt.Apply(&st2, m)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if st3.Locs[0] != 1 {
+		t.Errorf("location after apply = %v, want 1 (active)", st3.Locs[0])
+	}
+	if !st3.Vals[1].Bool() {
+		t.Error("measurement should be true after apply")
+	}
+}
+
+// syncNet builds two processes that must synchronize on action "go", where
+// the second has two alternative go-transitions.
+func syncNet(t *testing.T) (*Runtime, State) {
+	t.Helper()
+	a := &sta.Process{
+		Name:      "a",
+		Locations: []sta.Location{{Name: "s"}, {Name: "t"}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: "go"},
+		},
+		Alphabet: map[string]struct{}{"go": {}},
+	}
+	b := &sta.Process{
+		Name:      "b",
+		Locations: []sta.Location{{Name: "s"}, {Name: "t"}, {Name: "u"}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: "go"},
+			{From: 0, To: 2, Action: "go"},
+			{From: 0, To: 2, Action: sta.Tau, Guard: expr.False()},
+		},
+		Alphabet: map[string]struct{}{"go": {}},
+	}
+	net := &sta.Network{Processes: []*sta.Process{a, b}}
+	rt, err := New(net)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, err := rt.InitialState()
+	if err != nil {
+		t.Fatalf("InitialState: %v", err)
+	}
+	return rt, st
+}
+
+func TestSynchronizedMoves(t *testing.T) {
+	rt, st := syncNet(t)
+	moves := rt.Moves(&st)
+	// 1 τ move (from b) + 2 synchronized combinations.
+	var tau, sync int
+	for i := range moves {
+		if moves[i].Action == sta.Tau {
+			tau++
+		} else {
+			sync++
+			if len(moves[i].Parts) != 2 {
+				t.Errorf("sync move has %d parts, want 2", len(moves[i].Parts))
+			}
+		}
+	}
+	if tau != 1 || sync != 2 {
+		t.Errorf("got %d τ and %d sync moves, want 1 and 2", tau, sync)
+	}
+
+	// Applying a sync move advances both processes.
+	for i := range moves {
+		if moves[i].Action != "go" {
+			continue
+		}
+		st2, err := rt.Apply(&st, &moves[i])
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		if st2.Locs[0] != 1 {
+			t.Errorf("process a at %v, want 1", st2.Locs[0])
+		}
+		if st2.Locs[1] == 0 {
+			t.Error("process b did not move")
+		}
+		break
+	}
+}
+
+func TestSyncBlockedWhenPartnerCannot(t *testing.T) {
+	rt, st := syncNet(t)
+	// Move process a to its terminal location; "go" then has no
+	// candidates from a, so no sync moves appear even though b has some.
+	moves := rt.Moves(&st)
+	var goMove *Move
+	for i := range moves {
+		if moves[i].Action == "go" {
+			goMove = &moves[i]
+			break
+		}
+	}
+	st2, err := rt.Apply(&st, goMove)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	for _, m := range rt.Moves(&st2) {
+		if m.Action == "go" {
+			t.Errorf("unexpected sync move from %+v", st2.Locs)
+		}
+	}
+}
+
+func TestMarkovianMoves(t *testing.T) {
+	p := &sta.Process{
+		Name:      "err",
+		Locations: []sta.Location{{Name: "ok"}, {Name: "failed"}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau, Rate: 0.5},
+			{From: 0, To: 0, Action: sta.Tau, Rate: 1.5},
+		},
+	}
+	rt, err := New(&sta.Network{Processes: []*sta.Process{p}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, err := rt.InitialState()
+	if err != nil {
+		t.Fatalf("InitialState: %v", err)
+	}
+	moves := rt.Moves(&st)
+	if len(moves) != 2 {
+		t.Fatalf("Moves = %d, want 2", len(moves))
+	}
+	var total float64
+	for i := range moves {
+		if !moves[i].Markovian() {
+			t.Errorf("move %d should be Markovian", i)
+		}
+		total += moves[i].Rate
+	}
+	if total != 2.0 {
+		t.Errorf("total rate = %v, want 2", total)
+	}
+	d, attained, nowOK, err := rt.MaxDelay(&st)
+	if err != nil {
+		t.Fatalf("MaxDelay: %v", err)
+	}
+	if !math.IsInf(d, 1) || attained || !nowOK {
+		t.Errorf("MaxDelay = (%v,%v,%v), want (+inf,false,true)", d, attained, nowOK)
+	}
+}
+
+func TestFlowPropagation(t *testing.T) {
+	// sensor.out (int) --> filter.in = sensor.out * gain
+	outID, gainID, inID := expr.VarID(0), expr.VarID(1), expr.VarID(2)
+	p := &sta.Process{
+		Name:      "sensor",
+		Locations: []sta.Location{{Name: "on"}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 0, Action: sta.Tau, Guard: expr.True(),
+				Effects: []sta.Assignment{{Var: outID, Name: "out", Expr: expr.Literal(expr.IntVal(4))}}},
+		},
+	}
+	net := &sta.Network{
+		Processes: []*sta.Process{p},
+		Vars: []sta.VarDecl{
+			{Name: "out", Type: expr.IntType(), Init: expr.IntVal(2)},
+			{Name: "gain", Type: expr.IntType(), Init: expr.IntVal(3)},
+			{Name: "in", Type: expr.IntType(), Init: expr.IntVal(0), Flow: true,
+				FlowExpr: expr.Bin(expr.OpMul, expr.Var("out", outID), expr.Var("gain", gainID))},
+		},
+	}
+	rt, err := New(net)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, err := rt.InitialState()
+	if err != nil {
+		t.Fatalf("InitialState: %v", err)
+	}
+	if got := st.Vals[inID].Int(); got != 6 {
+		t.Errorf("initial flow value = %v, want 6", got)
+	}
+	moves := rt.Moves(&st)
+	st2, err := rt.Apply(&st, &moves[0])
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got := st2.Vals[inID].Int(); got != 12 {
+		t.Errorf("flow value after effect = %v, want 12", got)
+	}
+}
+
+func TestFlowCycleRejected(t *testing.T) {
+	net := &sta.Network{
+		Processes: []*sta.Process{{
+			Name:      "p",
+			Locations: []sta.Location{{Name: "s"}},
+			Initial:   0,
+		}},
+		Vars: []sta.VarDecl{
+			{Name: "a", Type: expr.IntType(), Init: expr.IntVal(0), Flow: true, FlowExpr: expr.Var("b", 1)},
+			{Name: "b", Type: expr.IntType(), Init: expr.IntVal(0), Flow: true, FlowExpr: expr.Var("a", 0)},
+		},
+	}
+	if _, err := New(net); err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Errorf("expected cyclic-dependency error, got %v", err)
+	}
+}
+
+func TestEffectAssignToFlowRejected(t *testing.T) {
+	net := &sta.Network{
+		Processes: []*sta.Process{{
+			Name:      "p",
+			Locations: []sta.Location{{Name: "s"}},
+			Initial:   0,
+			Transitions: []sta.Transition{
+				{From: 0, To: 0, Action: sta.Tau, Guard: expr.True(),
+					Effects: []sta.Assignment{{Var: 0, Name: "f", Expr: expr.Literal(expr.IntVal(1))}}},
+			},
+		}},
+		Vars: []sta.VarDecl{
+			{Name: "f", Type: expr.IntType(), Init: expr.IntVal(0), Flow: true, FlowExpr: expr.Literal(expr.IntVal(5))},
+		},
+	}
+	if _, err := New(net); err == nil || !strings.Contains(err.Error(), "flow") {
+		t.Errorf("expected flow-assignment error, got %v", err)
+	}
+}
+
+func TestContinuousTrajectory(t *testing.T) {
+	// Battery: energy continuous, rate -2 while discharging.
+	eID := expr.VarID(0)
+	p := &sta.Process{
+		Name: "battery",
+		Locations: []sta.Location{
+			{
+				Name:      "discharging",
+				Invariant: expr.Bin(expr.OpGe, expr.Var("energy", eID), expr.Literal(expr.RealVal(0))),
+				Rates:     map[expr.VarID]float64{eID: -2},
+			},
+			{Name: "empty"},
+		},
+		Initial: 0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau,
+				Guard: expr.Bin(expr.OpLe, expr.Var("energy", eID), expr.Literal(expr.RealVal(0)))},
+		},
+		Vars: []expr.VarID{eID},
+	}
+	net := &sta.Network{
+		Processes: []*sta.Process{p},
+		Vars: []sta.VarDecl{
+			{Name: "energy", Type: expr.ContinuousType(), Init: expr.RealVal(100)},
+		},
+	}
+	rt, err := New(net)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, err := rt.InitialState()
+	if err != nil {
+		t.Fatalf("InitialState: %v", err)
+	}
+	// energy(d) = 100 - 2d >= 0 until d = 50.
+	d, attained, nowOK, err := rt.MaxDelay(&st)
+	if err != nil {
+		t.Fatalf("MaxDelay: %v", err)
+	}
+	if d != 50 || !attained || !nowOK {
+		t.Errorf("MaxDelay = (%v,%v,%v), want (50,true,true)", d, attained, nowOK)
+	}
+	st2, err := rt.Advance(&st, 50)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if got := st2.Vals[eID].Real(); got != 0 {
+		t.Errorf("energy after 50 = %v, want 0", got)
+	}
+	moves := rt.Moves(&st2)
+	ok, err := rt.EnabledAt(&st2, &moves[0])
+	if err != nil || !ok {
+		t.Errorf("deplete transition should be enabled at boundary: (%v,%v)", ok, err)
+	}
+	// In the empty location the rate defaults to 0.
+	st3, err := rt.Apply(&st2, &moves[0])
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	st4, err := rt.Advance(&st3, 10)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if got := st4.Vals[eID].Real(); got != 0 {
+		t.Errorf("energy should stay 0 in empty location, got %v", got)
+	}
+}
+
+func TestUrgentLocationBlocksTime(t *testing.T) {
+	p := &sta.Process{
+		Name:      "u",
+		Locations: []sta.Location{{Name: "now", Urgent: true}, {Name: "done"}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau, Guard: expr.True()},
+		},
+	}
+	rt, err := New(&sta.Network{Processes: []*sta.Process{p}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, _ := rt.InitialState()
+	d, attained, nowOK, err := rt.MaxDelay(&st)
+	if err != nil {
+		t.Fatalf("MaxDelay: %v", err)
+	}
+	if d != 0 || !attained || !nowOK {
+		t.Errorf("MaxDelay in urgent = (%v,%v,%v), want (0,true,true)", d, attained, nowOK)
+	}
+}
+
+func TestInvariantViolatedNow(t *testing.T) {
+	xID := expr.VarID(0)
+	p := &sta.Process{
+		Name: "p",
+		Locations: []sta.Location{
+			{Name: "s", Invariant: expr.Bin(expr.OpLe, expr.Var("x", xID), expr.Literal(expr.RealVal(5)))},
+		},
+		Initial: 0,
+		Vars:    []expr.VarID{xID},
+	}
+	net := &sta.Network{
+		Processes: []*sta.Process{p},
+		Vars:      []sta.VarDecl{{Name: "x", Type: expr.ClockType(), Init: expr.RealVal(10)}},
+	}
+	rt, err := New(net)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, _ := rt.InitialState()
+	_, _, nowOK, err := rt.MaxDelay(&st)
+	if err != nil {
+		t.Fatalf("MaxDelay: %v", err)
+	}
+	if nowOK {
+		t.Error("invariant should be violated at the initial valuation")
+	}
+}
+
+func TestTypeRangeEnforcedOnEffects(t *testing.T) {
+	nID := expr.VarID(0)
+	p := &sta.Process{
+		Name:      "p",
+		Locations: []sta.Location{{Name: "s"}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 0, Action: sta.Tau, Guard: expr.True(),
+				Effects: []sta.Assignment{{Var: nID, Name: "n",
+					Expr: expr.Bin(expr.OpAdd, expr.Var("n", nID), expr.Literal(expr.IntVal(1)))}}},
+		},
+		Vars: []expr.VarID{nID},
+	}
+	net := &sta.Network{
+		Processes: []*sta.Process{p},
+		Vars:      []sta.VarDecl{{Name: "n", Type: expr.IntRangeType(0, 2), Init: expr.IntVal(0)}},
+	}
+	rt, err := New(net)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, _ := rt.InitialState()
+	var applyErr error
+	for i := 0; i < 5; i++ {
+		moves := rt.Moves(&st)
+		st, applyErr = rt.Apply(&st, &moves[0])
+		if applyErr != nil {
+			break
+		}
+	}
+	if applyErr == nil {
+		t.Error("expected range violation after incrementing past 2")
+	}
+}
+
+func TestMoveLabel(t *testing.T) {
+	rt, st := gpsNet(t)
+	moves := rt.Moves(&st)
+	label := moves[0].Label(rt)
+	if !strings.Contains(label, "gps") || !strings.Contains(label, "acquisition") {
+		t.Errorf("label %q should mention process and source location", label)
+	}
+}
+
+// TestQuickAdvanceAdditivity checks the semilattice law of timed steps:
+// advancing by a+b equals advancing by a then b, for all variable kinds.
+func TestQuickAdvanceAdditivity(t *testing.T) {
+	eID, xID, nID := expr.VarID(0), expr.VarID(1), expr.VarID(2)
+	p := &sta.Process{
+		Name: "p",
+		Locations: []sta.Location{
+			{Name: "run", Rates: map[expr.VarID]float64{eID: -0.5}},
+		},
+		Initial: 0,
+		Vars:    []expr.VarID{eID, xID, nID},
+	}
+	net := &sta.Network{
+		Processes: []*sta.Process{p},
+		Vars: []sta.VarDecl{
+			{Name: "e", Type: expr.ContinuousType(), Init: expr.RealVal(100)},
+			{Name: "x", Type: expr.ClockType(), Init: expr.RealVal(0)},
+			{Name: "n", Type: expr.IntType(), Init: expr.IntVal(7)},
+		},
+	}
+	rt, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := rt.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a8, b8 uint8) bool {
+		a := float64(a8) / 16
+		b := float64(b8) / 16
+		oneShot, err1 := rt.Advance(&st, a+b)
+		step1, err2 := rt.Advance(&st, a)
+		twoShot, err3 := rt.Advance(&step1, b)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for i := range oneShot.Vals {
+			x, y := oneShot.Vals[i], twoShot.Vals[i]
+			if x.Kind() != y.Kind() {
+				return false
+			}
+			if x.IsNumeric() && math.Abs(x.AsFloat()-y.AsFloat()) > 1e-9 {
+				return false
+			}
+		}
+		return math.Abs(oneShot.Time-twoShot.Time) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUrgentNow(t *testing.T) {
+	p := &sta.Process{
+		Name:      "p",
+		Locations: []sta.Location{{Name: "calm"}, {Name: "rush", Urgent: true}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau, Guard: expr.True()},
+		},
+	}
+	rt, err := New(&sta.Network{Processes: []*sta.Process{p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := rt.InitialState()
+	if rt.UrgentNow(&st) {
+		t.Error("initial location is not urgent")
+	}
+	moves := rt.Moves(&st)
+	st2, err := rt.Apply(&st, &moves[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.UrgentNow(&st2) {
+		t.Error("target location is urgent")
+	}
+}

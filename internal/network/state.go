@@ -1,0 +1,117 @@
+// Package network implements the Network of Event-Data Automata (NEDA): the
+// executable composition of the STA processes of a SLIM model. It exposes
+// the operations path generation needs — the enabled discrete moves of a
+// state (with multiway event synchronization), the invariant-bounded
+// maximum delay, per-move enabling windows as a function of the delay, and
+// state successors for timed and discrete steps.
+package network
+
+import (
+	"strconv"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/sta"
+)
+
+// State is a global configuration: one location per process, a value per
+// global variable, and the elapsed model time.
+type State struct {
+	// Locs holds the current location of each process, indexed like
+	// Runtime.Processes.
+	Locs []sta.LocID
+	// Vals holds the current value of each global variable, indexed by
+	// expr.VarID.
+	Vals []expr.Value
+	// Time is the global elapsed time.
+	Time float64
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() State {
+	out := State{
+		Locs: make([]sta.LocID, len(s.Locs)),
+		Vals: make([]expr.Value, len(s.Vals)),
+		Time: s.Time,
+	}
+	copy(out.Locs, s.Locs)
+	copy(out.Vals, s.Vals)
+	return out
+}
+
+// Key returns a canonical string identifying the discrete part of the state
+// (locations and variable values, not time). It is used for explicit state
+// space exploration of untimed models and for trace deduplication.
+func (s *State) Key() string {
+	buf := make([]byte, 0, 4*len(s.Locs)+8*len(s.Vals))
+	for i, l := range s.Locs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(l), 10)
+	}
+	buf = append(buf, '|')
+	for i, v := range s.Vals {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = v.AppendText(buf)
+	}
+	return string(buf)
+}
+
+// env adapts a State to expr.Env / expr.RateEnv for a given runtime.
+type env struct {
+	rt *Runtime
+	st *State
+}
+
+var _ expr.RateEnv = (*env)(nil)
+
+// VarValue implements expr.Env.
+func (e *env) VarValue(id expr.VarID) expr.Value {
+	return e.st.Vals[id]
+}
+
+// VarRate implements expr.RateEnv. Clocks advance at rate 1, continuous
+// variables at the rate declared by the owning process's current location
+// (default 0), flow variables at the derived rate of their defining
+// expression, and discrete variables at rate 0.
+func (e *env) VarRate(id expr.VarID) float64 {
+	d := &e.rt.net.Vars[id]
+	switch {
+	case d.Flow:
+		a, err := expr.EvalAffine(d.FlowExpr, e)
+		if err != nil {
+			// Non-numeric (e.g. Boolean) flows are constant during
+			// a delay; report rate 0.
+			return 0
+		}
+		return a.B
+	case d.Type.Clock:
+		if r, ok := e.rt.contRates[id]; ok {
+			return r.rateIn(e.st)
+		}
+		return 1
+	case d.Type.Continuous:
+		if r, ok := e.rt.contRates[id]; ok {
+			return r.rateIn(e.st)
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// contRate records which process locations set a variable's derivative.
+type contRate struct {
+	proc     int                   // owning process index
+	perLoc   map[sta.LocID]float64 // declared rates
+	fallback float64               // 1 for clocks, 0 for continuous
+}
+
+func (c *contRate) rateIn(st *State) float64 {
+	if r, ok := c.perLoc[st.Locs[c.proc]]; ok {
+		return r
+	}
+	return c.fallback
+}

@@ -1,0 +1,164 @@
+package parallel
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"slimsim/internal/rng"
+	"slimsim/internal/stats"
+)
+
+// bernoulliSampler returns a Sampler drawing from independent per-worker
+// streams derived from seed.
+func bernoulliSampler(seed uint64, p float64) Sampler {
+	var mu sync.Mutex
+	srcs := make(map[int]*rng.Source)
+	root := rng.New(seed)
+	return func(worker, _ int) (bool, error) {
+		mu.Lock()
+		src, ok := srcs[worker]
+		if !ok {
+			src = root.Split(uint64(worker))
+			srcs[worker] = src
+		}
+		v := src.Bernoulli(p)
+		mu.Unlock()
+		return v, nil
+	}
+}
+
+func TestSequentialRun(t *testing.T) {
+	gen, err := stats.NewChernoff(stats.Params{Delta: 0.1, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Run(gen, bernoulliSampler(5, 0.3), Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if est.Trials != gen.Planned() {
+		t.Errorf("trials = %d, want %d", est.Trials, gen.Planned())
+	}
+	if math.Abs(est.Mean()-0.3) > 0.1 {
+		t.Errorf("estimate %v too far from 0.3", est.Mean())
+	}
+}
+
+func TestParallelRunCompletes(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		gen, err := stats.NewChernoff(stats.Params{Delta: 0.1, Epsilon: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := Run(gen, bernoulliSampler(7, 0.4), Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("Run(%d workers): %v", workers, err)
+		}
+		if est.Trials < gen.Planned() {
+			t.Errorf("%d workers: trials = %d, want >= %d", workers, est.Trials, gen.Planned())
+		}
+		if math.Abs(est.Mean()-0.4) > 0.05+0.02 {
+			t.Errorf("%d workers: estimate %v too far from 0.4", workers, est.Mean())
+		}
+	}
+}
+
+// TestFairnessIndependentOfWorkerSpeed makes one worker much slower; the
+// round-based collection must still weight both workers' streams equally.
+func TestFairnessIndependentOfWorkerSpeed(t *testing.T) {
+	// Worker 0 always produces true, worker 1 always false, and worker 1
+	// is slow. Unbiased collection must converge to 0.5 regardless.
+	sampler := func(worker, _ int) (bool, error) {
+		if worker == 1 {
+			time.Sleep(50 * time.Microsecond)
+			return false, nil
+		}
+		return true, nil
+	}
+	gen, err := stats.NewChernoff(stats.Params{Delta: 0.1, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Run(gen, sampler, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(est.Mean()-0.5) > 0.01 {
+		t.Errorf("biased collection: mean = %v, want 0.5 (round-based fairness)", est.Mean())
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	var mu sync.Mutex
+	sampler := func(worker, iteration int) (bool, error) {
+		mu.Lock()
+		calls++
+		c := calls
+		mu.Unlock()
+		if c > 10 {
+			return false, boom
+		}
+		return true, nil
+	}
+	gen, err := stats.NewChernoff(stats.Params{Delta: 0.1, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(gen, sampler, Options{Workers: 3})
+	if !errors.Is(err, boom) {
+		t.Errorf("Run error = %v, want wrapped boom", err)
+	}
+}
+
+func TestErrorPropagationSequential(t *testing.T) {
+	boom := errors.New("boom")
+	sampler := func(worker, iteration int) (bool, error) {
+		if iteration == 3 {
+			return false, boom
+		}
+		return true, nil
+	}
+	gen, err := stats.NewChernoff(stats.Params{Delta: 0.1, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(gen, sampler, Options{Workers: 1})
+	if !errors.Is(err, boom) {
+		t.Errorf("Run error = %v, want wrapped boom", err)
+	}
+}
+
+func TestZeroWorkersDefaultsToOne(t *testing.T) {
+	gen, err := stats.NewChernoff(stats.Params{Delta: 0.2, Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Run(gen, bernoulliSampler(1, 0.5), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if est.Trials == 0 {
+		t.Error("no samples collected")
+	}
+}
+
+// TestSequentialGeneratorWithParallelWorkers exercises the data-dependent
+// stopping path (Chow–Robbins) under parallel collection.
+func TestSequentialGeneratorWithParallelWorkers(t *testing.T) {
+	gen, err := stats.NewChowRobbins(stats.Params{Delta: 0.05, Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Run(gen, bernoulliSampler(11, 0.25), Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(est.Mean()-0.25) > 0.08 {
+		t.Errorf("estimate %v too far from 0.25", est.Mean())
+	}
+}

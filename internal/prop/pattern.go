@@ -1,0 +1,119 @@
+package prop
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PatternSpec is a textual time-bounded property in the CSL-like notation
+// the paper uses for the case study (§V-d):
+//
+//	P(<> [0,3600] <goal>)          probabilistic existence
+//	P([] [0,3600] <goal>)          probabilistic absence/invariance
+//	P(<constraint> U [0,3600] <goal>)  bounded until
+//
+// The <goal>/<constraint> parts are left as raw expression strings; the
+// caller compiles them against a model scope (they may contain commas,
+// brackets and parentheses, so the pattern parser only splits at the
+// top level).
+type PatternSpec struct {
+	// Kind is the temporal pattern.
+	Kind Kind
+	// Bound is the inclusive upper time bound.
+	Bound float64
+	// Goal and Constraint are unparsed expression texts; Constraint is
+	// empty except for until.
+	Goal, Constraint string
+}
+
+// ParsePattern parses a textual property specification.
+func ParsePattern(src string) (PatternSpec, error) {
+	s := strings.TrimSpace(src)
+	if !strings.HasPrefix(s, "P(") || !strings.HasSuffix(s, ")") {
+		return PatternSpec{}, fmt.Errorf("prop: pattern must have the form P(...), got %q", src)
+	}
+	body := strings.TrimSpace(s[2 : len(s)-1])
+
+	switch {
+	case strings.HasPrefix(body, "<>"):
+		bound, rest, err := parseBound(strings.TrimSpace(body[2:]))
+		if err != nil {
+			return PatternSpec{}, err
+		}
+		if rest == "" {
+			return PatternSpec{}, fmt.Errorf("prop: missing goal in %q", src)
+		}
+		return PatternSpec{Kind: Reachability, Bound: bound, Goal: rest}, nil
+	case strings.HasPrefix(body, "[]"):
+		bound, rest, err := parseBound(strings.TrimSpace(body[2:]))
+		if err != nil {
+			return PatternSpec{}, err
+		}
+		if rest == "" {
+			return PatternSpec{}, fmt.Errorf("prop: missing goal in %q", src)
+		}
+		return PatternSpec{Kind: Invariance, Bound: bound, Goal: rest}, nil
+	default:
+		// Bounded until: <constraint> U [0,b] <goal>, splitting at the
+		// top-level " U [" occurrence.
+		idx := topLevelUntil(body)
+		if idx < 0 {
+			return PatternSpec{}, fmt.Errorf("prop: unrecognized pattern %q (want <>, [] or U)", src)
+		}
+		constraint := strings.TrimSpace(body[:idx])
+		bound, rest, err := parseBound(strings.TrimSpace(body[idx+1:]))
+		if err != nil {
+			return PatternSpec{}, err
+		}
+		if constraint == "" || rest == "" {
+			return PatternSpec{}, fmt.Errorf("prop: until needs both operands in %q", src)
+		}
+		return PatternSpec{Kind: Until, Bound: bound, Goal: rest, Constraint: constraint}, nil
+	}
+}
+
+// parseBound consumes "[0,b]" (or "[0 , b]") and returns b plus the rest.
+func parseBound(s string) (float64, string, error) {
+	if !strings.HasPrefix(s, "[") {
+		return 0, "", fmt.Errorf("prop: expected time bound [0,b], got %q", s)
+	}
+	end := strings.IndexByte(s, ']')
+	if end < 0 {
+		return 0, "", fmt.Errorf("prop: unterminated time bound in %q", s)
+	}
+	inner := s[1:end]
+	parts := strings.SplitN(inner, ",", 2)
+	if len(parts) != 2 {
+		return 0, "", fmt.Errorf("prop: time bound must be [0,b], got %q", inner)
+	}
+	lo := strings.TrimSpace(parts[0])
+	if lo != "0" && lo != "0.0" {
+		return 0, "", fmt.Errorf("prop: only bounds of the form [0,b] are supported, got lower bound %q", lo)
+	}
+	b, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil || b < 0 {
+		return 0, "", fmt.Errorf("prop: invalid upper bound %q", parts[1])
+	}
+	return b, strings.TrimSpace(s[end+1:]), nil
+}
+
+// topLevelUntil finds the index of a standalone 'U' (surrounded by spaces,
+// followed by a bound) outside any parentheses or brackets.
+func topLevelUntil(s string) int {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case 'U':
+			if depth == 0 && i > 0 && s[i-1] == ' ' &&
+				i+1 < len(s) && s[i+1] == ' ' {
+				return i
+			}
+		}
+	}
+	return -1
+}

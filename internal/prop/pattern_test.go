@@ -1,0 +1,65 @@
+package prop
+
+import (
+	"testing"
+)
+
+func TestParsePattern(t *testing.T) {
+	tests := []struct {
+		src  string
+		want PatternSpec
+	}{
+		{
+			"P(<> [0,3600] failure)",
+			PatternSpec{Kind: Reachability, Bound: 3600, Goal: "failure"},
+		},
+		{
+			"P( <> [0, 10.5] not a and b )",
+			PatternSpec{Kind: Reachability, Bound: 10.5, Goal: "not a and b"},
+		},
+		{
+			"P([] [0,60] gps.measurement)",
+			PatternSpec{Kind: Invariance, Bound: 60, Goal: "gps.measurement"},
+		},
+		{
+			"P(u.alive U [0,5] not u.alive)",
+			PatternSpec{Kind: Until, Bound: 5, Goal: "not u.alive", Constraint: "u.alive"},
+		},
+		{
+			// Brackets inside operands must not confuse the splitter.
+			"P(x in modes (a, b) U [0,2] y)",
+			PatternSpec{Kind: Until, Bound: 2, Goal: "y", Constraint: "x in modes (a, b)"},
+		},
+	}
+	for _, tt := range tests {
+		got, err := ParsePattern(tt.src)
+		if err != nil {
+			t.Errorf("ParsePattern(%q): %v", tt.src, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParsePattern(%q) = %+v, want %+v", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestParsePatternErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<> [0,1] x",
+		"P(<> [0,1])",
+		"P([] x)",
+		"P(<> [1,2] x)",
+		"P(<> [0,-1] x)",
+		"P(<> [0,zzz] x)",
+		"P(<> [0,1 x)",
+		"P(x)",
+		"P(x U y)",
+		"P( U [0,1] y)",
+	}
+	for _, src := range bad {
+		if _, err := ParsePattern(src); err == nil {
+			t.Errorf("ParsePattern(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package rng provides the deterministic, splittable random number streams
+// used by the simulator.
+//
+// Reproducibility is a first-class requirement for a statistical model
+// checker: a simulation run must be replayable from its seed, and parallel
+// workers must draw from independent streams so the estimate is invariant
+// under the degree of parallelism. We derive per-stream seeds with
+// SplitMix64 (a standard seed-spreading finalizer) and generate variates
+// with the stdlib PCG generator.
+package rng
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// splitMix64 advances the SplitMix64 state and returns the next output.
+// It is used only for seed derivation, where its equidistribution over
+// 64-bit outputs makes correlated worker streams very unlikely.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a deterministic stream of random variates. It is not safe for
+// concurrent use; give each goroutine its own Source via Split.
+type Source struct {
+	gen  *rand.Rand
+	seed uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	st := seed
+	lo := splitMix64(&st)
+	hi := splitMix64(&st)
+	return &Source{gen: rand.New(rand.NewPCG(hi, lo)), seed: seed}
+}
+
+// Seed returns the seed the Source was created with.
+func (s *Source) Seed() uint64 { return s.seed }
+
+// Split derives the i-th child stream. Children with distinct indices are
+// statistically independent of each other and of the parent.
+func (s *Source) Split(i uint64) *Source {
+	st := s.seed ^ (0xa0761d6478bd642f * (i + 1))
+	child := splitMix64(&st)
+	return New(child)
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (s *Source) Float64() float64 { return s.gen.Float64() }
+
+// Uint64 returns a uniform 64-bit variate.
+func (s *Source) Uint64() uint64 { return s.gen.Uint64() }
+
+// IntN returns a uniform variate in [0, n). It panics if n <= 0.
+func (s *Source) IntN(n int) int { return s.gen.IntN(n) }
+
+// Uniform returns a uniform variate in [lo, hi). If lo == hi it returns lo.
+func (s *Source) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo)*s.gen.Float64()
+}
+
+// Exp returns an exponentially distributed variate with rate lambda
+// (mean 1/lambda), computed by inverse-transform sampling. It panics if
+// lambda <= 0.
+func (s *Source) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: Exp requires a positive rate")
+	}
+	// 1 - Float64() is in (0, 1], so the log is finite.
+	return -math.Log(1-s.gen.Float64()) / lambda
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	return s.gen.Float64() < p
+}
+
+// Choose returns a uniformly random index in [0, n). It panics if n <= 0.
+func (s *Source) Choose(n int) int {
+	return s.gen.IntN(n)
+}
+
+// ChooseWeighted returns an index drawn with probability proportional to
+// weights[i]. All weights must be non-negative with a positive sum; it
+// panics otherwise.
+func (s *Source) ChooseWeighted(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rng: negative or NaN weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: weights sum to zero")
+	}
+	target := s.gen.Float64() * total
+	for i, w := range weights {
+		if target < w {
+			return i
+		}
+		target -= w
+	}
+	// Floating point slop: return the last positively weighted index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	panic("rng: unreachable")
+}

@@ -1,0 +1,155 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams with different seeds produced %d equal outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c0, c1 := parent.Split(0), parent.Split(1)
+	c0b := New(7).Split(0)
+	for i := 0; i < 50; i++ {
+		v0, v1, v0b := c0.Uint64(), c1.Uint64(), c0b.Uint64()
+		if v0 != v0b {
+			t.Fatal("Split is not deterministic")
+		}
+		if v0 == v1 {
+			t.Fatal("sibling streams coincide")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 1000; i++ {
+		x := s.Uniform(2, 5)
+		if x < 2 || x >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", x)
+		}
+	}
+	if got := s.Uniform(3, 3); got != 3 {
+		t.Errorf("Uniform on degenerate range = %v, want 3", got)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	s := New(11)
+	const lambda = 2.5
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := s.Exp(lambda)
+		if x < 0 {
+			t.Fatalf("negative exponential variate %v", x)
+		}
+		sum += x
+	}
+	mean := sum / n
+	want := 1 / lambda
+	if math.Abs(mean-want) > 0.01 {
+		t.Errorf("Exp mean = %v, want %v ± 0.01", mean, want)
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestChooseWeighted(t *testing.T) {
+	s := New(13)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.ChooseWeighted(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index selected %d times", counts[1])
+	}
+	got := float64(counts[2]) / float64(n)
+	if math.Abs(got-0.75) > 0.01 {
+		t.Errorf("index 2 frequency = %v, want 0.75 ± 0.01", got)
+	}
+}
+
+func TestChooseWeightedPanics(t *testing.T) {
+	tests := []struct {
+		name    string
+		weights []float64
+	}{
+		{"all zero", []float64{0, 0}},
+		{"negative", []float64{1, -1}},
+		{"nan", []float64{math.NaN()}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			New(1).ChooseWeighted(tt.weights)
+		})
+	}
+}
+
+func TestQuickFloat64InUnit(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 32; i++ {
+			x := s.Float64()
+			if x < 0 || x >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExpPositiveFinite(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 32; i++ {
+			x := s.Exp(0.5)
+			if x < 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

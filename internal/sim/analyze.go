@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"slimsim/internal/network"
+	"slimsim/internal/parallel"
+	"slimsim/internal/rng"
+	"slimsim/internal/stats"
+)
+
+// AnalysisConfig configures a complete statistical analysis run.
+type AnalysisConfig struct {
+	// Config is the per-path configuration.
+	Config
+	// Params are the accuracy knobs (δ, ε).
+	Params stats.Params
+	// Method selects the sample-count generator (default
+	// Chernoff–Hoeffding).
+	Method stats.Method
+	// Workers is the number of parallel samplers (default 1).
+	Workers int
+	// Seed makes the run reproducible; runs with equal seeds and worker
+	// counts produce identical results.
+	Seed uint64
+}
+
+// Report is the outcome of a statistical analysis.
+type Report struct {
+	// Estimate is the final Bernoulli estimator state; Estimate.Mean()
+	// is the reported probability.
+	Estimate stats.Estimate
+	// Probability is the estimated probability that the property holds.
+	Probability float64
+	// Paths is the number of simulated paths.
+	Paths int
+	// Deadlocks and Timelocks count paths that ended in a lock.
+	Deadlocks, Timelocks int
+	// TotalSteps is the number of simulation steps over all paths.
+	TotalSteps int64
+	// Elapsed is the wall-clock duration of the sampling phase.
+	Elapsed time.Duration
+	// Strategy and Method echo the configuration.
+	Strategy string
+	Method   stats.Method
+}
+
+// Analyze estimates the probability of the configured property using Monte
+// Carlo simulation.
+func Analyze(rt *network.Runtime, cfg AnalysisConfig) (Report, error) {
+	engine, err := NewEngine(rt, cfg.Config)
+	if err != nil {
+		return Report{}, err
+	}
+	method := cfg.Method
+	if method == 0 {
+		method = stats.MethodChernoff
+	}
+	gen, err := stats.NewGenerator(method, cfg.Params)
+	if err != nil {
+		return Report{}, err
+	}
+
+	var mu sync.Mutex
+	var deadlocks, timelocks int
+	var totalSteps int64
+	srcs := make(map[int]*rng.Source)
+	root := rng.New(cfg.Seed)
+
+	sampler := func(worker, _ int) (bool, error) {
+		mu.Lock()
+		src, ok := srcs[worker]
+		if !ok {
+			src = root.Split(uint64(worker))
+			srcs[worker] = src
+		}
+		mu.Unlock()
+		// Each worker owns its source; SamplePath uses it
+		// sequentially within the worker goroutine.
+		res, err := engine.SamplePath(src)
+		if err != nil {
+			return false, err
+		}
+		mu.Lock()
+		totalSteps += int64(res.Steps)
+		switch res.Termination {
+		case TermDeadlock:
+			deadlocks++
+		case TermTimelock:
+			timelocks++
+		}
+		mu.Unlock()
+		return res.Satisfied, nil
+	}
+
+	start := time.Now()
+	est, err := parallel.Run(gen, sampler, parallel.Options{Workers: cfg.Workers})
+	elapsed := time.Since(start)
+	if err != nil {
+		return Report{}, fmt.Errorf("sim: analysis failed: %w", err)
+	}
+	return Report{
+		Estimate:    est,
+		Probability: est.Mean(),
+		Paths:       est.Trials,
+		Deadlocks:   deadlocks,
+		Timelocks:   timelocks,
+		TotalSteps:  totalSteps,
+		Elapsed:     elapsed,
+		Strategy:    cfg.Strategy.Name(),
+		Method:      method,
+	}, nil
+}
+
+// String renders the report in the tool's CLI output format.
+func (r Report) String() string {
+	return fmt.Sprintf("P ≈ %.6f  (paths=%d, strategy=%s, method=%s, deadlocks=%d, timelocks=%d, steps=%d, elapsed=%s)",
+		r.Probability, r.Paths, r.Strategy, r.Method, r.Deadlocks, r.Timelocks, r.TotalSteps, r.Elapsed.Round(time.Millisecond))
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"slimsim/internal/bisim"
+	"slimsim/internal/ctmc"
+	"slimsim/internal/expr"
+	"slimsim/internal/network"
+	"slimsim/internal/prop"
+	"slimsim/internal/rng"
+	"slimsim/internal/sta"
+	"slimsim/internal/stats"
+	"slimsim/internal/strategy"
+)
+
+// randomMarkovNet builds a random network of Markovian processes plus one
+// guarded observer, of a shape both analysis flows accept: per process, a
+// small strongly-structured location graph with exponential transitions
+// that toggle Boolean flags; the observer raises "goal" via an immediate
+// transition when a random monotone condition over the flags holds.
+func randomMarkovNet(t testing.TB, src *rng.Source) (*network.Runtime, expr.Expr) {
+	t.Helper()
+	nProcs := 2 + src.IntN(3)
+	var processes []*sta.Process
+	var decls []sta.VarDecl
+	flagIDs := make([]expr.VarID, 0, nProcs)
+
+	for pi := 0; pi < nProcs; pi++ {
+		flag := expr.VarID(len(decls))
+		flagName := fmt.Sprintf("flag%d", pi)
+		decls = append(decls, sta.VarDecl{Name: flagName, Type: expr.BoolType(), Init: expr.BoolVal(false)})
+		flagIDs = append(flagIDs, flag)
+
+		nLocs := 2 + src.IntN(2)
+		p := &sta.Process{
+			Name:    fmt.Sprintf("p%d", pi),
+			Initial: 0,
+		}
+		for li := 0; li < nLocs; li++ {
+			p.Locations = append(p.Locations, sta.Location{Name: fmt.Sprintf("l%d", li)})
+		}
+		// A forward chain with random extra edges; the final location
+		// sets the flag, earlier ones may clear it.
+		for li := 0; li < nLocs-1; li++ {
+			rate := 0.2 + src.Float64()
+			p.Transitions = append(p.Transitions, sta.Transition{
+				From: sta.LocID(li), To: sta.LocID(li + 1), Action: sta.Tau, Rate: rate,
+				Effects: []sta.Assignment{{
+					Var: flag, Name: flagName,
+					Expr: expr.Literal(expr.BoolVal(li == nLocs-2)),
+				}},
+			})
+		}
+		if src.IntN(2) == 0 {
+			// A repair loop back to the start clears the flag.
+			p.Transitions = append(p.Transitions, sta.Transition{
+				From: sta.LocID(nLocs - 1), To: 0, Action: sta.Tau, Rate: 0.1 + src.Float64()/2,
+				Effects: []sta.Assignment{{
+					Var: flag, Name: flagName, Expr: expr.False(),
+				}},
+			})
+		}
+		processes = append(processes, p)
+	}
+
+	// Observer: goal latches when at least k flags are simultaneously
+	// set (a monotone immediate condition, so no immediate cycles).
+	goalID := expr.VarID(len(decls))
+	decls = append(decls, sta.VarDecl{Name: "goal", Type: expr.BoolType(), Init: expr.BoolVal(false)})
+	k := 1 + src.IntN(nProcs)
+	var terms []expr.Expr
+	switch k {
+	case 1:
+		for _, f := range flagIDs {
+			terms = append(terms, expr.Var("f", f))
+		}
+	default:
+		// Require flags 0..k-1 all set (a simple fixed conjunction).
+		var conj []expr.Expr
+		for _, f := range flagIDs[:k] {
+			conj = append(conj, expr.Var("f", f))
+		}
+		terms = append(terms, expr.And(conj...))
+	}
+	cond := expr.Or(terms...)
+	observer := &sta.Process{
+		Name:      "observer",
+		Locations: []sta.Location{{Name: "watch"}, {Name: "latched"}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau, Guard: cond,
+				Effects: []sta.Assignment{{Var: goalID, Name: "goal", Expr: expr.True()}}},
+		},
+	}
+	processes = append(processes, observer)
+
+	rt, err := network.New(&sta.Network{Processes: processes, Vars: decls})
+	if err != nil {
+		t.Fatalf("network.New: %v", err)
+	}
+	return rt, expr.Var("goal", goalID)
+}
+
+// TestCrossCheckSimulatorVsUniformization draws random Markovian networks
+// and requires the Monte Carlo estimate (ASAP strategy — maximal progress)
+// to agree with the numerical answer within the Chernoff–Hoeffding
+// guarantee, both on the raw chain and on its bisimulation quotient. This
+// is the end-to-end soundness property of the whole reproduction.
+func TestCrossCheckSimulatorVsUniformization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-check is expensive")
+	}
+	params := stats.Params{Delta: 0.02, Epsilon: 0.02}
+	misses := 0
+	const rounds = 12
+	for round := 0; round < rounds; round++ {
+		src := rng.New(uint64(1000 + round))
+		rt, goal := randomMarkovNet(t, src)
+		bound := 1 + 4*src.Float64()
+
+		res, err := ctmc.Build(rt, goal, 1<<16)
+		if err != nil {
+			t.Fatalf("round %d: ctmc.Build: %v", round, err)
+		}
+		exact, err := res.Chain.ReachWithin(bound, 1e-10)
+		if err != nil {
+			t.Fatalf("round %d: ReachWithin: %v", round, err)
+		}
+		lumped, err := bisim.Lump(res.Chain)
+		if err != nil {
+			t.Fatalf("round %d: Lump: %v", round, err)
+		}
+		lumpedP, err := lumped.Quotient.ReachWithin(bound, 1e-10)
+		if err != nil {
+			t.Fatalf("round %d: quotient ReachWithin: %v", round, err)
+		}
+		if math.Abs(exact-lumpedP) > 1e-7 {
+			t.Errorf("round %d: lumping changed the answer: %v vs %v", round, exact, lumpedP)
+		}
+
+		rep, err := Analyze(rt, AnalysisConfig{
+			Config:  Config{Strategy: strategy.ASAP{}, Property: prop.Reach(bound, goal)},
+			Params:  params,
+			Workers: 4,
+			Seed:    uint64(round + 1),
+		})
+		if err != nil {
+			t.Fatalf("round %d: Analyze: %v", round, err)
+		}
+		if math.Abs(rep.Probability-exact) > params.Epsilon {
+			misses++
+			t.Logf("round %d: sim %v vs exact %v (bound %v, %d states)",
+				round, rep.Probability, exact, bound, res.Chain.NumStates())
+		}
+	}
+	// Each round misses with probability at most δ = 0.02; even one miss
+	// in 12 rounds is unlikely, two are a red flag.
+	if misses > 1 {
+		t.Errorf("simulator disagreed with uniformization in %d/%d rounds", misses, rounds)
+	}
+}

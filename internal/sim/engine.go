@@ -1,0 +1,431 @@
+// Package sim implements the Monte Carlo path generator of slimsim: it
+// alternates timed and discrete steps through a network.Runtime, resolves
+// non-determinism via a strategy.Strategy, races exponential (Markovian)
+// transitions against scheduled delays, evaluates the property along the
+// way, and reports a Bernoulli outcome per path. The Analyze entry point
+// couples the generator to a stats.Generator through the bias-free
+// parallel collector.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"slimsim/internal/intervals"
+	"slimsim/internal/network"
+	"slimsim/internal/prop"
+	"slimsim/internal/rng"
+	"slimsim/internal/strategy"
+)
+
+// LockPolicy selects how deadlocks and timelocks end a path (paper §III-D):
+// either they falsify the property being checked, or they abort the
+// analysis with an error.
+type LockPolicy int
+
+// Policies.
+const (
+	// LockViolates treats a dead- or timelocked path as falsifying the
+	// property (except invariance, which consults the final state).
+	LockViolates LockPolicy = iota + 1
+	// LockErrors aborts the analysis when a lock is detected.
+	LockErrors
+)
+
+// String returns the policy's CLI name.
+func (p LockPolicy) String() string {
+	switch p {
+	case LockViolates:
+		return "violate"
+	case LockErrors:
+		return "error"
+	default:
+		return "invalid"
+	}
+}
+
+// Termination describes why a path ended.
+type Termination int
+
+// Termination reasons.
+const (
+	// TermDecided means the property evaluator reached a verdict.
+	TermDecided Termination = iota + 1
+	// TermDeadlock means no discrete move will ever be possible and
+	// time cannot diverge usefully (locked at a point).
+	TermDeadlock
+	// TermTimelock means invariants block the passage of time but no
+	// move is enabled before the bound.
+	TermTimelock
+	// TermMaxSteps means the step safety valve fired.
+	TermMaxSteps
+)
+
+// String returns the reason's name.
+func (t Termination) String() string {
+	switch t {
+	case TermDecided:
+		return "decided"
+	case TermDeadlock:
+		return "deadlock"
+	case TermTimelock:
+		return "timelock"
+	case TermMaxSteps:
+		return "max-steps"
+	default:
+		return "invalid"
+	}
+}
+
+// Observer receives the events of each generated path — used by the trace
+// recorder and the interactive mode. Hooks are called synchronously from
+// the sampling goroutine; implementations used with parallel workers must
+// be safe for concurrent use (or workers must be limited to one).
+type Observer interface {
+	// OnDelay fires after a timed step: now is the time after the
+	// delay.
+	OnDelay(now, delay float64)
+	// OnMove fires after a discrete transition.
+	OnMove(now float64, label string)
+	// OnVerdict fires once when the path ends.
+	OnVerdict(now float64, label string)
+}
+
+// Config configures path generation.
+type Config struct {
+	// Strategy resolves non-determinism. Required.
+	Strategy strategy.Strategy
+	// Property is the formula each path is checked against. Required.
+	Property prop.Property
+	// Locks selects the deadlock/timelock policy (default
+	// LockViolates).
+	Locks LockPolicy
+	// MaxSteps bounds the number of steps per path (default 1e6) as a
+	// safety valve against Zeno or divergent models.
+	MaxSteps int
+	// Observer, when non-nil, receives per-path events.
+	Observer Observer
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Locks == 0 {
+		out.Locks = LockViolates
+	}
+	if out.MaxSteps == 0 {
+		out.MaxSteps = 1_000_000
+	}
+	return out
+}
+
+// PathResult is the outcome of one simulated path.
+type PathResult struct {
+	// Satisfied reports the Bernoulli outcome.
+	Satisfied bool
+	// Termination records why the path ended.
+	Termination Termination
+	// Steps counts discrete and timed steps taken.
+	Steps int
+	// EndTime is the model time at which the path ended.
+	EndTime float64
+}
+
+// Engine generates paths for a fixed runtime and configuration. Engines
+// are immutable and safe for concurrent use; per-path randomness comes
+// from the caller-supplied source.
+type Engine struct {
+	rt  *network.Runtime
+	cfg Config
+	ev  prop.Property
+}
+
+// NewEngine validates the configuration against the runtime and returns an
+// engine.
+func NewEngine(rt *network.Runtime, cfg Config) (*Engine, error) {
+	if cfg.Strategy == nil {
+		return nil, fmt.Errorf("sim: no strategy configured")
+	}
+	c := cfg.withDefaults()
+	if err := c.Property.Validate(rt.Net().DeclMap()); err != nil {
+		return nil, err
+	}
+	return &Engine{rt: rt, cfg: c, ev: c.Property}, nil
+}
+
+// SamplePath generates one path and returns its outcome.
+func (e *Engine) SamplePath(src *rng.Source) (PathResult, error) {
+	st, err := e.rt.InitialState()
+	if err != nil {
+		return PathResult{}, err
+	}
+	ev := prop.NewEvaluator(e.ev)
+	res := PathResult{}
+
+	verdict, err := ev.AtState(e.rt.Env(&st), st.Time)
+	if err != nil {
+		return PathResult{}, err
+	}
+	for verdict == prop.Undecided {
+		if res.Steps >= e.cfg.MaxSteps {
+			res.Termination = TermMaxSteps
+			res.EndTime = st.Time
+			return res, fmt.Errorf("sim: path exceeded %d steps at time %g (Zeno or divergent model?)",
+				e.cfg.MaxSteps, st.Time)
+		}
+		res.Steps++
+
+		var next network.State
+		verdict, next, err = e.step(ev, &st, src, &res)
+		if err != nil {
+			return PathResult{}, err
+		}
+		st = next
+	}
+	res.Satisfied = verdict == prop.Satisfied
+	if res.Termination == 0 {
+		res.Termination = TermDecided
+	}
+	res.EndTime = st.Time
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.OnVerdict(st.Time, fmt.Sprintf("%s (%s)", verdict, res.Termination))
+	}
+	return res, nil
+}
+
+// advance wraps Runtime.Advance with the observer hook.
+func (e *Engine) advance(st *network.State, d float64) (network.State, error) {
+	next, err := e.rt.Advance(st, d)
+	if err != nil {
+		return network.State{}, err
+	}
+	if e.cfg.Observer != nil && d > 0 {
+		e.cfg.Observer.OnDelay(next.Time, d)
+	}
+	return next, nil
+}
+
+// apply wraps Runtime.Apply with the observer hook.
+func (e *Engine) apply(st *network.State, m *network.Move) (network.State, error) {
+	next, err := e.rt.Apply(st, m)
+	if err != nil {
+		return network.State{}, err
+	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.OnMove(next.Time, m.Label(e.rt))
+	}
+	return next, nil
+}
+
+// step performs one timed-plus-discrete step. It returns the property
+// verdict (possibly still undecided) and the successor state.
+func (e *Engine) step(ev *prop.Evaluator, st *network.State, src *rng.Source, res *PathResult) (prop.Verdict, network.State, error) {
+	maxD, attained, nowOK, err := e.rt.MaxDelay(st)
+	if err != nil {
+		return 0, network.State{}, err
+	}
+	if !nowOK {
+		return 0, network.State{}, fmt.Errorf("sim: invariant violated at time %g (ill-formed model)", st.Time)
+	}
+
+	moves := e.rt.Moves(st)
+	var guarded []network.Move
+	var markovian []network.Move
+	for i := range moves {
+		if moves[i].Markovian() {
+			markovian = append(markovian, moves[i])
+		} else {
+			guarded = append(guarded, moves[i])
+		}
+	}
+
+	// Enabling windows of guarded moves, clipped to the allowed delays.
+	horizonLeft := math.Max(0, e.cfg.Property.Bound-st.Time)
+	clip := delayClip(maxD, attained)
+	windows := make([]intervals.Set, len(guarded))
+	for i := range guarded {
+		w, werr := e.rt.Window(st, &guarded[i])
+		if werr != nil {
+			return 0, network.State{}, werr
+		}
+		windows[i] = w.Intersect(clip)
+	}
+
+	// Exponential race among Markovian moves.
+	expDelay := math.Inf(1)
+	expWinner := -1
+	for i := range markovian {
+		d := src.Exp(markovian[i].Rate)
+		if d < expDelay {
+			expDelay = d
+			expWinner = i
+		}
+	}
+
+	// Strategy decision for the guarded moves.
+	labels := make([]string, len(guarded))
+	for i := range guarded {
+		labels[i] = guarded[i].Label(e.rt)
+	}
+	choice, err := e.cfg.Strategy.Choose(&strategy.Context{
+		MaxDelay:    maxD,
+		MaxAttained: attained,
+		Horizon:     horizonLeft,
+		Windows:     windows,
+		Labels:      labels,
+		Rng:         src,
+	})
+	if err != nil {
+		return 0, network.State{}, err
+	}
+
+	// Detect dead/timelocks: nothing guarded will ever fire and no
+	// exponential competitor exists.
+	if choice.Timelocked && expWinner == -1 {
+		// Zero-delay locks in urgent locations are deadlocks (no
+		// action, time frozen by urgency); locks at an invariant
+		// boundary are timelocks.
+		lockKind := TermTimelock
+		if maxD == 0 && e.rt.UrgentNow(st) {
+			lockKind = TermDeadlock
+		}
+		if math.IsInf(maxD, 1) {
+			// Time diverges with no event: the bounded property
+			// decides at its bound.
+			v, _, derr := ev.DuringDelay(e.rt.Env(st), st.Time, horizonLeft+1)
+			if derr != nil {
+				return 0, network.State{}, derr
+			}
+			if v != prop.Undecided {
+				next, aerr := e.advance(st, horizonLeft+1)
+				if aerr != nil {
+					return 0, network.State{}, aerr
+				}
+				res.Termination = TermDecided
+				return v, next, nil
+			}
+		}
+		if e.cfg.Locks == LockErrors {
+			return 0, network.State{}, fmt.Errorf("sim: %s at time %g", lockKind, st.Time)
+		}
+		// Let the permitted time pass (the property may still decide
+		// during it), then close the path.
+		v, _, derr := ev.DuringDelay(e.rt.Env(st), st.Time, choice.Delay)
+		if derr != nil {
+			return 0, network.State{}, derr
+		}
+		next, aerr := e.advance(st, choice.Delay)
+		if aerr != nil {
+			return 0, network.State{}, aerr
+		}
+		if v != prop.Undecided {
+			res.Termination = TermDecided
+			return v, next, nil
+		}
+		v, perr := ev.AtPathEnd(e.rt.Env(&next), next.Time)
+		if perr != nil {
+			return 0, network.State{}, perr
+		}
+		res.Termination = lockKind
+		return v, next, nil
+	}
+
+	// The actual delay is the earlier of the exponential winner and the
+	// strategy's schedule.
+	delay := choice.Delay
+	fireExp := false
+	if expWinner >= 0 && (choice.Timelocked || expDelay < delay) {
+		if expDelay <= maxD || math.IsInf(maxD, 1) {
+			delay = expDelay
+			fireExp = true
+		} else {
+			// The exponential would fire after the invariant
+			// deadline; it loses the race.
+			if choice.Timelocked {
+				// ... but nothing else can fire either: wait
+				// to the deadline and lock.
+				if e.cfg.Locks == LockErrors {
+					return 0, network.State{}, fmt.Errorf("sim: timelock at time %g", st.Time)
+				}
+				v, _, derr := ev.DuringDelay(e.rt.Env(st), st.Time, maxD)
+				if derr != nil {
+					return 0, network.State{}, derr
+				}
+				next, aerr := e.advance(st, maxD)
+				if aerr != nil {
+					return 0, network.State{}, aerr
+				}
+				if v != prop.Undecided {
+					res.Termination = TermDecided
+					return v, next, nil
+				}
+				v, perr := ev.AtPathEnd(e.rt.Env(&next), next.Time)
+				if perr != nil {
+					return 0, network.State{}, perr
+				}
+				res.Termination = TermTimelock
+				return v, next, nil
+			}
+		}
+	}
+
+	// Check the property throughout the delay before committing to it.
+	if delay > 0 {
+		v, _, derr := ev.DuringDelay(e.rt.Env(st), st.Time, delay)
+		if derr != nil {
+			return 0, network.State{}, derr
+		}
+		if v != prop.Undecided {
+			next, aerr := e.advance(st, delay)
+			if aerr != nil {
+				return 0, network.State{}, aerr
+			}
+			res.Termination = TermDecided
+			return v, next, nil
+		}
+	}
+
+	next, err := e.advance(st, delay)
+	if err != nil {
+		return 0, network.State{}, err
+	}
+
+	// Fire the discrete move, if any.
+	var fired *network.Move
+	switch {
+	case fireExp:
+		fired = &markovian[expWinner]
+	case len(choice.Enabled) > 0:
+		// Equiprobability among the moves enabled at the chosen
+		// instant.
+		pick := choice.Enabled[src.Choose(len(choice.Enabled))]
+		fired = &guarded[pick]
+	}
+	if fired != nil {
+		next2, aerr := e.apply(&next, fired)
+		if aerr != nil {
+			return 0, network.State{}, aerr
+		}
+		next = next2
+	}
+
+	v, err := ev.AtState(e.rt.Env(&next), next.Time)
+	if err != nil {
+		return 0, network.State{}, err
+	}
+	if v != prop.Undecided {
+		res.Termination = TermDecided
+	}
+	return v, next, nil
+}
+
+// delayClip returns the delay set the invariants allow: [0, maxD] when the
+// bound is attainable, [0, maxD) otherwise.
+func delayClip(maxD float64, attained bool) intervals.Set {
+	if math.IsInf(maxD, 1) {
+		return intervals.FromInterval(intervals.AtLeast(0))
+	}
+	if attained {
+		return intervals.FromInterval(intervals.Closed(0, maxD))
+	}
+	return intervals.FromInterval(intervals.ClosedOpen(0, maxD))
+}

@@ -1,0 +1,381 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/network"
+	"slimsim/internal/prop"
+	"slimsim/internal/rng"
+	"slimsim/internal/sta"
+	"slimsim/internal/stats"
+	"slimsim/internal/strategy"
+)
+
+// markovNet builds ok --rate λ--> failed with a Boolean flag set on
+// failure.
+func markovNet(t *testing.T, lambda float64) *network.Runtime {
+	t.Helper()
+	failedID := expr.VarID(0)
+	p := &sta.Process{
+		Name:      "err",
+		Locations: []sta.Location{{Name: "ok"}, {Name: "failed"}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau, Rate: lambda,
+				Effects: []sta.Assignment{{Var: failedID, Name: "failed", Expr: expr.True()}}},
+		},
+		Vars: []expr.VarID{failedID},
+	}
+	net := &sta.Network{
+		Processes: []*sta.Process{p},
+		Vars:      []sta.VarDecl{{Name: "failed", Type: expr.BoolType(), Init: expr.BoolVal(false)}},
+	}
+	rt, err := network.New(net)
+	if err != nil {
+		t.Fatalf("network.New: %v", err)
+	}
+	return rt
+}
+
+func failedRef() expr.Expr { return expr.Var("failed", 0) }
+
+// windowNet builds a single process with clock x, invariant x <= inv, and a
+// transition to "done" enabled while x ∈ [lo, hi].
+func windowNet(t *testing.T, lo, hi, inv float64) *network.Runtime {
+	t.Helper()
+	xID, doneID := expr.VarID(0), expr.VarID(1)
+	x := func() expr.Expr { return expr.Var("x", xID) }
+	p := &sta.Process{
+		Name: "w",
+		Locations: []sta.Location{
+			{Name: "wait", Invariant: expr.Bin(expr.OpLe, x(), expr.Literal(expr.RealVal(inv)))},
+			{Name: "done"},
+		},
+		Initial: 0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau,
+				Guard: expr.And(
+					expr.Bin(expr.OpGe, x(), expr.Literal(expr.RealVal(lo))),
+					expr.Bin(expr.OpLe, x(), expr.Literal(expr.RealVal(hi))),
+				),
+				Effects: []sta.Assignment{{Var: doneID, Name: "done", Expr: expr.True()}}},
+		},
+		Vars: []expr.VarID{xID, doneID},
+	}
+	net := &sta.Network{
+		Processes: []*sta.Process{p},
+		Vars: []sta.VarDecl{
+			{Name: "x", Type: expr.ClockType(), Init: expr.RealVal(0)},
+			{Name: "done", Type: expr.BoolType(), Init: expr.BoolVal(false)},
+		},
+	}
+	rt, err := network.New(net)
+	if err != nil {
+		t.Fatalf("network.New: %v", err)
+	}
+	return rt
+}
+
+func doneRef() expr.Expr { return expr.Var("done", 1) }
+
+func analyze(t *testing.T, rt *network.Runtime, s strategy.Strategy, p prop.Property, eps float64) Report {
+	t.Helper()
+	rep, err := Analyze(rt, AnalysisConfig{
+		Config: Config{Strategy: s, Property: p},
+		Params: stats.Params{Delta: 0.05, Epsilon: eps},
+		Seed:   42,
+	})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return rep
+}
+
+func TestMarkovianReachabilityMatchesClosedForm(t *testing.T) {
+	const lambda, bound = 0.1, 10.0
+	rt := markovNet(t, lambda)
+	want := 1 - math.Exp(-lambda*bound) // ≈ 0.632
+	for _, s := range []strategy.Strategy{strategy.ASAP{}, strategy.Progressive{}, strategy.Local{}, strategy.MaxTime{}} {
+		rep := analyze(t, rt, s, prop.Reach(bound, failedRef()), 0.02)
+		if math.Abs(rep.Probability-want) > 0.03 {
+			t.Errorf("%s: P = %v, want %v ± 0.03 (strategies are irrelevant for purely stochastic models)",
+				s.Name(), rep.Probability, want)
+		}
+	}
+}
+
+func TestStrategiesDivergeOnNonDeterministicWindow(t *testing.T) {
+	// Transition enabled on x ∈ [2,10], invariant x ≤ 10, property bound
+	// 5: ASAP fires at 2 (always in time), MaxTime at 10 (never),
+	// Progressive uniform over [2,10] (P ≈ 3/8), Local uniform over
+	// [0,10] with retries.
+	rt := windowNet(t, 2, 10, 10)
+	goal := prop.Reach(5, doneRef())
+
+	asap := analyze(t, rt, strategy.ASAP{}, goal, 0.05)
+	if asap.Probability != 1 {
+		t.Errorf("ASAP: P = %v, want 1", asap.Probability)
+	}
+
+	maxt := analyze(t, rt, strategy.MaxTime{}, goal, 0.05)
+	if maxt.Probability != 0 {
+		t.Errorf("MaxTime: P = %v, want 0", maxt.Probability)
+	}
+
+	progressive := analyze(t, rt, strategy.Progressive{}, goal, 0.02)
+	if math.Abs(progressive.Probability-0.375) > 0.03 {
+		t.Errorf("Progressive: P = %v, want 0.375 ± 0.03", progressive.Probability)
+	}
+
+	// Local resamples sub-2 delays; solving the renewal equation
+	// f(x) = [3 + ∫₀^{2−x} f(x+u) du] / (10−x) gives f(0) ≈ 0.376,
+	// statistically indistinguishable from Progressive here but strictly
+	// between the MaxTime and ASAP extremes.
+	local := analyze(t, rt, strategy.Local{}, goal, 0.02)
+	if math.Abs(local.Probability-0.376) > 0.03 {
+		t.Errorf("Local: P = %v, want 0.376 ± 0.03", local.Probability)
+	}
+}
+
+func TestTimelockFalsifiesProperty(t *testing.T) {
+	// Guard never enabled within the invariant: x ∈ [20,30] but x ≤ 5.
+	rt := windowNet(t, 20, 30, 5)
+	rep := analyze(t, rt, strategy.ASAP{}, prop.Reach(100, doneRef()), 0.1)
+	if rep.Probability != 0 {
+		t.Errorf("P = %v, want 0 (timelocked paths falsify)", rep.Probability)
+	}
+	if rep.Timelocks != rep.Paths {
+		t.Errorf("timelocks = %d, want all %d paths", rep.Timelocks, rep.Paths)
+	}
+}
+
+func TestTimelockErrorsUnderStrictPolicy(t *testing.T) {
+	rt := windowNet(t, 20, 30, 5)
+	_, err := Analyze(rt, AnalysisConfig{
+		Config: Config{Strategy: strategy.ASAP{}, Property: prop.Reach(100, doneRef()), Locks: LockErrors},
+		Params: stats.Params{Delta: 0.1, Epsilon: 0.1},
+		Seed:   1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "timelock") {
+		t.Errorf("expected timelock error, got %v", err)
+	}
+}
+
+func TestDeadlockInUrgentLocation(t *testing.T) {
+	// Urgent location with an unsatisfiable guard: time cannot pass and
+	// nothing can fire.
+	p := &sta.Process{
+		Name:      "d",
+		Locations: []sta.Location{{Name: "stuck", Urgent: true}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 0, Action: sta.Tau, Guard: expr.False()},
+		},
+	}
+	net := &sta.Network{
+		Processes: []*sta.Process{p},
+		Vars:      []sta.VarDecl{{Name: "flag", Type: expr.BoolType(), Init: expr.BoolVal(false)}},
+	}
+	rt, err := network.New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(rt, Config{Strategy: strategy.ASAP{}, Property: prop.Reach(10, expr.Var("flag", 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.SamplePath(rng.New(1))
+	if err != nil {
+		t.Fatalf("SamplePath: %v", err)
+	}
+	if res.Termination != TermDeadlock || res.Satisfied {
+		t.Errorf("result = %+v, want unsatisfied deadlock", res)
+	}
+
+	// Strict policy errors instead.
+	engine, err = NewEngine(rt, Config{Strategy: strategy.ASAP{}, Property: prop.Reach(10, expr.Var("flag", 0)), Locks: LockErrors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.SamplePath(rng.New(1)); err == nil {
+		t.Error("expected deadlock error under strict policy")
+	}
+}
+
+func TestQuiescentModelDecidesAtBound(t *testing.T) {
+	// No transitions at all, unbounded invariant: time diverges and the
+	// bounded reachability property is violated at its bound.
+	p := &sta.Process{
+		Name:      "idle",
+		Locations: []sta.Location{{Name: "s"}},
+		Initial:   0,
+	}
+	net := &sta.Network{
+		Processes: []*sta.Process{p},
+		Vars:      []sta.VarDecl{{Name: "flag", Type: expr.BoolType(), Init: expr.BoolVal(false)}},
+	}
+	rt, err := network.New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(rt, Config{Strategy: strategy.ASAP{}, Property: prop.Reach(10, expr.Var("flag", 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.SamplePath(rng.New(1))
+	if err != nil {
+		t.Fatalf("SamplePath: %v", err)
+	}
+	if res.Satisfied || res.Termination != TermDecided {
+		t.Errorf("result = %+v, want violated/decided", res)
+	}
+}
+
+func TestZenoGuardTripsMaxSteps(t *testing.T) {
+	p := &sta.Process{
+		Name:      "zeno",
+		Locations: []sta.Location{{Name: "s", Urgent: true}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 0, Action: sta.Tau, Guard: expr.True()},
+		},
+	}
+	net := &sta.Network{
+		Processes: []*sta.Process{p},
+		Vars:      []sta.VarDecl{{Name: "flag", Type: expr.BoolType(), Init: expr.BoolVal(false)}},
+	}
+	rt, err := network.New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(rt, Config{
+		Strategy: strategy.ASAP{},
+		Property: prop.Reach(10, expr.Var("flag", 0)),
+		MaxSteps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.SamplePath(rng.New(1)); err == nil || !strings.Contains(err.Error(), "steps") {
+		t.Errorf("expected max-steps error, got %v", err)
+	}
+}
+
+func TestExponentialRacesGuardedTransition(t *testing.T) {
+	// Process 1: failure at rate λ sets failed. Process 2: repair window
+	// opens at x = 5 and deterministically fires then (ASAP), reaching
+	// "done". P(failed before done) = 1 − e^{−5λ}.
+	const lambda = 0.2
+	failID, xID, doneID := expr.VarID(0), expr.VarID(1), expr.VarID(2)
+	x := func() expr.Expr { return expr.Var("x", xID) }
+	fail := &sta.Process{
+		Name:      "fail",
+		Locations: []sta.Location{{Name: "ok"}, {Name: "failed"}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau, Rate: lambda,
+				Effects: []sta.Assignment{{Var: failID, Name: "failed", Expr: expr.True()}}},
+		},
+		Vars: []expr.VarID{failID},
+	}
+	repair := &sta.Process{
+		Name: "repair",
+		Locations: []sta.Location{
+			{Name: "wait", Invariant: expr.Bin(expr.OpLe, x(), expr.Literal(expr.RealVal(5)))},
+			{Name: "done"},
+		},
+		Initial: 0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau,
+				Guard:   expr.Bin(expr.OpGe, x(), expr.Literal(expr.RealVal(5))),
+				Effects: []sta.Assignment{{Var: doneID, Name: "done", Expr: expr.True()}}},
+		},
+		Vars: []expr.VarID{xID, doneID},
+	}
+	net := &sta.Network{
+		Processes: []*sta.Process{fail, repair},
+		Vars: []sta.VarDecl{
+			{Name: "failed", Type: expr.BoolType(), Init: expr.BoolVal(false)},
+			{Name: "x", Type: expr.ClockType(), Init: expr.RealVal(0)},
+			{Name: "done", Type: expr.BoolType(), Init: expr.BoolVal(false)},
+		},
+	}
+	rt, err := network.New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Goal: failure occurs before repair completes (and within bound).
+	goal := expr.And(failedRefID(failID), expr.Not(expr.Var("done", doneID)))
+	rep := analyze(t, rt, strategy.ASAP{}, prop.Reach(100, goal), 0.02)
+	want := 1 - math.Exp(-lambda*5)
+	if math.Abs(rep.Probability-want) > 0.03 {
+		t.Errorf("P = %v, want %v ± 0.03", rep.Probability, want)
+	}
+}
+
+func failedRefID(id expr.VarID) expr.Expr { return expr.Var("failed", id) }
+
+func TestAnalyzeReproducibleAcrossRuns(t *testing.T) {
+	rt := markovNet(t, 0.3)
+	p := prop.Reach(5, failedRef())
+	cfg := AnalysisConfig{
+		Config: Config{Strategy: strategy.Progressive{}, Property: p},
+		Params: stats.Params{Delta: 0.1, Epsilon: 0.05},
+		Seed:   7,
+	}
+	r1, err := Analyze(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Analyze(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Probability != r2.Probability || r1.Paths != r2.Paths {
+		t.Errorf("same seed produced different results: %v vs %v", r1, r2)
+	}
+}
+
+func TestAnalyzeParallelWorkersAgreeWithinTolerance(t *testing.T) {
+	rt := markovNet(t, 0.3)
+	p := prop.Reach(5, failedRef())
+	want := 1 - math.Exp(-0.3*5)
+	for _, workers := range []int{1, 4} {
+		rep, err := Analyze(rt, AnalysisConfig{
+			Config:  Config{Strategy: strategy.ASAP{}, Property: p},
+			Params:  stats.Params{Delta: 0.05, Epsilon: 0.02},
+			Workers: workers,
+			Seed:    13,
+		})
+		if err != nil {
+			t.Fatalf("Analyze(%d workers): %v", workers, err)
+		}
+		if math.Abs(rep.Probability-want) > 0.03 {
+			t.Errorf("%d workers: P = %v, want %v ± 0.03", workers, rep.Probability, want)
+		}
+	}
+}
+
+func TestInvarianceProperty(t *testing.T) {
+	// P(□[0,u] ¬failed) = e^{−λu}.
+	const lambda, bound = 0.2, 5.0
+	rt := markovNet(t, lambda)
+	rep := analyze(t, rt, strategy.ASAP{}, prop.Always(bound, expr.Not(failedRef())), 0.02)
+	want := math.Exp(-lambda * bound)
+	if math.Abs(rep.Probability-want) > 0.03 {
+		t.Errorf("P = %v, want %v ± 0.03", rep.Probability, want)
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	rt := markovNet(t, 1)
+	if _, err := NewEngine(rt, Config{Property: prop.Reach(1, failedRef())}); err == nil {
+		t.Error("missing strategy should be rejected")
+	}
+	if _, err := NewEngine(rt, Config{Strategy: strategy.ASAP{}, Property: prop.Reach(-1, failedRef())}); err == nil {
+		t.Error("invalid property should be rejected")
+	}
+}

@@ -1,0 +1,314 @@
+package slim
+
+// This file defines the abstract syntax tree produced by the parser. The
+// AST keeps source positions for diagnostics; semantic analysis happens in
+// the model package, which lowers the AST to an sta.Network.
+
+// Model is a parsed SLIM compilation unit.
+type Model struct {
+	// ComponentTypes maps type name to declaration.
+	ComponentTypes map[string]*ComponentType
+	// ComponentImpls maps "Type.Impl" to declaration.
+	ComponentImpls map[string]*ComponentImpl
+	// ErrorTypes maps error model type name to declaration.
+	ErrorTypes map[string]*ErrorType
+	// ErrorImpls maps "Type.Impl" to declaration.
+	ErrorImpls map[string]*ErrorImpl
+	// Root names the root component implementation ("Type.Impl").
+	Root string
+	// RootPos is the position of the root declaration.
+	RootPos Pos
+	// Extensions are the model-extension (fault injection) clauses in
+	// declaration order.
+	Extensions []*Extension
+}
+
+// ComponentType declares a component category and its features.
+type ComponentType struct {
+	Name     string
+	Category string
+	Features []*Feature
+	Pos      Pos
+}
+
+// Feature is an event or data port.
+type Feature struct {
+	Name string
+	// Out is true for "out" ports.
+	Out bool
+	// Event is true for event ports, false for data ports.
+	Event bool
+	// Type is the data port's type (data ports only).
+	Type *DataType
+	// Default is the data port's default value expression (optional).
+	Default Expr
+	// Compute defines a computed out port ("name: out data port T :=
+	// expr"): the port's value is continuously the expression over the
+	// component's scope. Computed ports cannot be assigned or connected
+	// as targets.
+	Compute Expr
+	Pos     Pos
+}
+
+// DataType is a data declaration type.
+type DataType struct {
+	// Name is one of bool, int, real, clock, continuous.
+	Name string
+	// HasRange marks int[lo..hi].
+	HasRange bool
+	Lo, Hi   int64
+	Pos      Pos
+}
+
+// ComponentImpl is a component implementation.
+type ComponentImpl struct {
+	// TypeName and ImplName split "Type.Impl".
+	TypeName, ImplName string
+	Subcomponents      []*Subcomponent
+	Connections        []*Connection
+	Modes              []*Mode
+	Transitions        []*Transition
+	Pos                Pos
+}
+
+// Name returns the qualified "Type.Impl" name.
+func (c *ComponentImpl) Name() string { return c.TypeName + "." + c.ImplName }
+
+// Subcomponent is a data or component subcomponent.
+type Subcomponent struct {
+	Name string
+	// Data is set for data subcomponents.
+	Data *DataType
+	// Default is the data subcomponent's initial value (optional).
+	Default Expr
+	// ImplRef is "Type.Impl" for component subcomponents.
+	ImplRef string
+	// InModes restricts activation to the listed parent modes (empty =
+	// always active).
+	InModes []string
+	Pos     Pos
+}
+
+// Connection connects two ports.
+type Connection struct {
+	// Event is true for event port connections.
+	Event bool
+	// From and To are port references: "port" or "sub.port".
+	From, To []string
+	// InModes restricts the connection to the listed parent modes.
+	InModes []string
+	Pos     Pos
+}
+
+// Mode is a nominal mode.
+type Mode struct {
+	Name    string
+	Initial bool
+	Urgent  bool
+	// Invariant is the "while" expression (nil = true).
+	Invariant Expr
+	// Derivs are trajectory equations var' = constant.
+	Derivs []Deriv
+	Pos    Pos
+}
+
+// Deriv is one trajectory equation.
+type Deriv struct {
+	Var  string
+	Rate Expr // must be a constant expression
+	Pos  Pos
+}
+
+// Transition is a nominal mode transition.
+type Transition struct {
+	From, To string
+	// Event is the triggering event port reference (nil = internal τ).
+	Event []string
+	// Guard is the "when" expression (nil = true).
+	Guard Expr
+	// Effects are the "then" assignments.
+	Effects []Assign
+	Pos     Pos
+}
+
+// Assign is one effect.
+type Assign struct {
+	// Target is a data reference: "x" or "sub.port".
+	Target []string
+	Value  Expr
+	Pos    Pos
+}
+
+// ErrorType declares an error model's states.
+type ErrorType struct {
+	Name   string
+	States []ErrorState
+	Pos    Pos
+}
+
+// ErrorState is one error state.
+type ErrorState struct {
+	Name    string
+	Initial bool
+	Pos     Pos
+}
+
+// ErrorImpl is an error model implementation.
+type ErrorImpl struct {
+	TypeName, ImplName string
+	Events             []*ErrorEvent
+	Transitions        []*ErrorTransition
+	Pos                Pos
+}
+
+// Name returns the qualified "Type.Impl" name.
+func (e *ErrorImpl) Name() string { return e.TypeName + "." + e.ImplName }
+
+// ErrorEventKind classifies error events.
+type ErrorEventKind int
+
+// Error event kinds.
+const (
+	// ErrEventInternal is a plain or Poisson-rated error event.
+	ErrEventInternal ErrorEventKind = iota + 1
+	// ErrEventPropagation synchronizes with equally named propagations
+	// of related components.
+	ErrEventPropagation
+	// ErrEventReset synchronizes with the nominal event bound via
+	// "reset on" in the extension clause (the paper's @activation).
+	ErrEventReset
+)
+
+// ErrorEvent declares an error event.
+type ErrorEvent struct {
+	Name string
+	Kind ErrorEventKind
+	// HasRate marks "occurrence poisson <rate>".
+	HasRate bool
+	Rate    float64
+	Pos     Pos
+}
+
+// ErrorTransition is an error state transition.
+type ErrorTransition struct {
+	From, To string
+	Event    string
+	// HasAfter marks a timed window "after lo .. hi": the transition is
+	// enabled between lo and hi time units after entering From, and the
+	// state must be left by hi.
+	HasAfter bool
+	Lo, Hi   float64
+	Pos      Pos
+}
+
+// Extension attaches an error model implementation to a component instance
+// and declares fault injections.
+type Extension struct {
+	// Target is the instance path relative to the root (e.g.
+	// ["plat", "gps1"]); empty targets the root itself.
+	Target []string
+	// ErrorImplRef is "Type.Impl".
+	ErrorImplRef string
+	// ResetOn optionally names a nominal event port (relative to the
+	// target instance) that reset events synchronize with.
+	ResetOn []string
+	// Injections are the per-state data overrides.
+	Injections []*Injection
+	Pos        Pos
+}
+
+// Injection overrides a data element while an error state is active.
+type Injection struct {
+	// State is the error state name.
+	State string
+	// Target is the data reference relative to the extended instance.
+	Target []string
+	// Value is the override expression (evaluated in the instance's
+	// scope).
+	Value Expr
+	Pos   Pos
+}
+
+// Expr is a parsed (unresolved) expression.
+type Expr interface {
+	exprNode()
+	// Position returns the source position.
+	Position() Pos
+}
+
+// NumLit is a numeric literal (after unit scaling).
+type NumLit struct {
+	Value float64
+	// IsInt marks literals written without a decimal point or unit.
+	IsInt bool
+	Pos   Pos
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Value bool
+	Pos   Pos
+}
+
+// RefExpr is a (possibly dotted) name reference.
+type RefExpr struct {
+	Path []string
+	Pos  Pos
+}
+
+// UnaryExpr is "not x" or "-x".
+type UnaryExpr struct {
+	Op  string // "not" or "-"
+	X   Expr
+	Pos Pos
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   string // + - * / mod and or = != < <= > >=
+	L, R Expr
+	Pos  Pos
+}
+
+// CondExpr is "if c then a else b".
+type CondExpr struct {
+	If, Then, Else Expr
+	Pos            Pos
+}
+
+// InModesExpr is the mode predicate "path in modes (m1, m2)"; an empty
+// path refers to the enclosing component.
+type InModesExpr struct {
+	Path  []string
+	Modes []string
+	Pos   Pos
+}
+
+func (*NumLit) exprNode()      {}
+func (*BoolLit) exprNode()     {}
+func (*RefExpr) exprNode()     {}
+func (*UnaryExpr) exprNode()   {}
+func (*BinExpr) exprNode()     {}
+func (*CondExpr) exprNode()    {}
+func (*InModesExpr) exprNode() {}
+
+// Position implements Expr.
+func (e *NumLit) Position() Pos { return e.Pos }
+
+// Position implements Expr.
+func (e *BoolLit) Position() Pos { return e.Pos }
+
+// Position implements Expr.
+func (e *RefExpr) Position() Pos { return e.Pos }
+
+// Position implements Expr.
+func (e *UnaryExpr) Position() Pos { return e.Pos }
+
+// Position implements Expr.
+func (e *BinExpr) Position() Pos { return e.Pos }
+
+// Position implements Expr.
+func (e *CondExpr) Position() Pos { return e.Pos }
+
+// Position implements Expr.
+func (e *InModesExpr) Position() Pos { return e.Pos }

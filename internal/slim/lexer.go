@@ -1,0 +1,223 @@
+package slim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// lexer tokenizes SLIM source text. Comments run from "--" to end of line
+// (AADL style).
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '-' && l.peek2() == '-':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) here() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) errorf(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("slim: %s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	pos := l.here()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_' || r == '@':
+		return l.lexIdent(pos), nil
+	case unicode.IsDigit(r):
+		return l.lexNumber(pos)
+	}
+	l.advance()
+	switch r {
+	case ':':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokAssign, Text: ":=", Pos: pos}, nil
+		}
+		return Token{Kind: TokColon, Text: ":", Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemicolon, Text: ";", Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Text: ",", Pos: pos}, nil
+	case '.':
+		if l.peek() == '.' {
+			l.advance()
+			return Token{Kind: TokDotDot, Text: "..", Pos: pos}, nil
+		}
+		return Token{Kind: TokDot, Text: ".", Pos: pos}, nil
+	case '(':
+		return Token{Kind: TokLParen, Text: "(", Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Text: ")", Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Text: "{", Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Text: "}", Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Text: "[", Pos: pos}, nil
+	case ']':
+		if l.peek() == '-' && l.peek2() == '>' {
+			l.advance()
+			l.advance()
+			return Token{Kind: TokTransR, Text: "]->", Pos: pos}, nil
+		}
+		return Token{Kind: TokRBracket, Text: "]", Pos: pos}, nil
+	case '\'':
+		return Token{Kind: TokPrime, Text: "'", Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokPlus, Text: "+", Pos: pos}, nil
+	case '-':
+		switch l.peek() {
+		case '>':
+			l.advance()
+			return Token{Kind: TokArrow, Text: "->", Pos: pos}, nil
+		case '[':
+			l.advance()
+			return Token{Kind: TokTransL, Text: "-[", Pos: pos}, nil
+		}
+		return Token{Kind: TokMinus, Text: "-", Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Text: "*", Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Text: "/", Pos: pos}, nil
+	case '=':
+		return Token{Kind: TokEq, Text: "=", Pos: pos}, nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokNe, Text: "!=", Pos: pos}, nil
+		}
+		return Token{}, l.errorf(pos, "unexpected character %q (did you mean \"!=\"?)", r)
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokLe, Text: "<=", Pos: pos}, nil
+		}
+		return Token{Kind: TokLt, Text: "<", Pos: pos}, nil
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokGe, Text: ">=", Pos: pos}, nil
+		}
+		return Token{Kind: TokGt, Text: ">", Pos: pos}, nil
+	default:
+		return Token{}, l.errorf(pos, "unexpected character %q", r)
+	}
+}
+
+func (l *lexer) lexIdent(pos Pos) Token {
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		r := l.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '@' {
+			b.WriteRune(l.advance())
+			continue
+		}
+		break
+	}
+	return Token{Kind: TokIdent, Text: b.String(), Pos: pos}
+}
+
+func (l *lexer) lexNumber(pos Pos) (Token, error) {
+	var b strings.Builder
+	seenDot := false
+	seenExp := false
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsDigit(r):
+			b.WriteRune(l.advance())
+		case r == '.' && !seenDot && !seenExp && unicode.IsDigit(l.peek2()):
+			// Only consume '.' when a digit follows, so "1..5"
+			// lexes as 1, '..', 5.
+			seenDot = true
+			b.WriteRune(l.advance())
+		case (r == 'e' || r == 'E') && !seenExp &&
+			(unicode.IsDigit(l.peek2()) || l.peek2() == '-' || l.peek2() == '+'):
+			seenExp = true
+			b.WriteRune(l.advance())
+			if l.peek() == '-' || l.peek() == '+' {
+				b.WriteRune(l.advance())
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := b.String()
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return Token{}, l.errorf(pos, "invalid number %q", text)
+	}
+	return Token{Kind: TokNumber, Text: text, Num: v, Pos: pos}, nil
+}

@@ -1,0 +1,1167 @@
+package slim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// categories lists the accepted AADL component categories. The simulator
+// treats them uniformly; they are kept for model readability.
+var categories = map[string]bool{
+	"system": true, "device": true, "process": true, "processor": true,
+	"bus": true, "memory": true, "thread": true, "sensor": true, "actuator": true,
+}
+
+// timeUnits maps duration suffixes to seconds (the model's base unit).
+var timeUnits = map[string]float64{
+	"msec": 1e-3, "sec": 1, "min": 60, "hour": 3600,
+}
+
+// Parse parses a complete SLIM model.
+func Parse(src string) (*Model, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseModel()
+}
+
+// ParseExpr parses a standalone expression (used for property goals).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errf(p.peek().Pos, "unexpected %s after expression", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token       { return p.toks[p.pos] }
+func (p *parser) next() Token       { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k TokKind) bool { return p.peek().Kind == k }
+
+// atIdent reports whether the next token is the given identifier/keyword.
+func (p *parser) atIdent(text string) bool {
+	t := p.peek()
+	return t.Kind == TokIdent && t.Text == text
+}
+
+func (p *parser) accept(k TokKind) (Token, bool) {
+	if p.at(k) {
+		return p.next(), true
+	}
+	return Token{}, false
+}
+
+func (p *parser) acceptIdent(text string) bool {
+	if p.atIdent(text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if t, ok := p.accept(k); ok {
+		return t, nil
+	}
+	return Token{}, p.errf(p.peek().Pos, "expected %s, found %s", k, p.peek())
+}
+
+func (p *parser) expectIdent(text string) error {
+	if p.acceptIdent(text) {
+		return nil
+	}
+	return p.errf(p.peek().Pos, "expected %q, found %s", text, p.peek())
+}
+
+func (p *parser) errf(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("slim: %s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseModel() (*Model, error) {
+	m := &Model{
+		ComponentTypes: make(map[string]*ComponentType),
+		ComponentImpls: make(map[string]*ComponentImpl),
+		ErrorTypes:     make(map[string]*ErrorType),
+		ErrorImpls:     make(map[string]*ErrorImpl),
+	}
+	for !p.at(TokEOF) {
+		t := p.peek()
+		switch {
+		case t.Kind == TokIdent && t.Text == "error":
+			if err := p.parseErrorDecl(m); err != nil {
+				return nil, err
+			}
+		case t.Kind == TokIdent && t.Text == "root":
+			p.next()
+			name, err := p.parseDottedName()
+			if err != nil {
+				return nil, err
+			}
+			if m.Root != "" {
+				return nil, p.errf(t.Pos, "duplicate root declaration")
+			}
+			m.Root = name
+			m.RootPos = t.Pos
+			if _, err := p.expect(TokSemicolon); err != nil {
+				return nil, err
+			}
+		case t.Kind == TokIdent && t.Text == "extend":
+			ext, err := p.parseExtension()
+			if err != nil {
+				return nil, err
+			}
+			m.Extensions = append(m.Extensions, ext)
+		case t.Kind == TokIdent && categories[t.Text]:
+			if err := p.parseComponentDecl(m); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf(t.Pos, "expected declaration, found %s", t)
+		}
+	}
+	if m.Root == "" {
+		return nil, fmt.Errorf("slim: model has no root declaration")
+	}
+	return m, nil
+}
+
+// parseDottedName parses Ident '.' Ident and returns "A.B".
+func (p *parser) parseDottedName() (string, error) {
+	a, err := p.expect(TokIdent)
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect(TokDot); err != nil {
+		return "", err
+	}
+	b, err := p.expect(TokIdent)
+	if err != nil {
+		return "", err
+	}
+	return a.Text + "." + b.Text, nil
+}
+
+func (p *parser) parseComponentDecl(m *Model) error {
+	cat := p.next() // category keyword
+	if p.atIdent("implementation") {
+		p.next()
+		return p.parseComponentImpl(m, cat)
+	}
+	return p.parseComponentType(m, cat)
+}
+
+func (p *parser) parseComponentType(m *Model, cat Token) error {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	ct := &ComponentType{Name: name.Text, Category: cat.Text, Pos: cat.Pos}
+	if p.acceptIdent("features") {
+		for !p.atIdent("end") {
+			f, err := p.parseFeature()
+			if err != nil {
+				return err
+			}
+			ct.Features = append(ct.Features, f)
+		}
+	}
+	if err := p.expectIdent("end"); err != nil {
+		return err
+	}
+	endName, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if endName.Text != ct.Name {
+		return p.errf(endName.Pos, "end %s does not match component type %s", endName.Text, ct.Name)
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return err
+	}
+	if _, dup := m.ComponentTypes[ct.Name]; dup {
+		return p.errf(cat.Pos, "duplicate component type %s", ct.Name)
+	}
+	m.ComponentTypes[ct.Name] = ct
+	return nil
+}
+
+func (p *parser) parseFeature() (*Feature, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	f := &Feature{Name: name.Text, Pos: name.Pos}
+	switch {
+	case p.acceptIdent("in"):
+	case p.acceptIdent("out"):
+		f.Out = true
+	default:
+		return nil, p.errf(p.peek().Pos, "expected \"in\" or \"out\", found %s", p.peek())
+	}
+	switch {
+	case p.acceptIdent("event"):
+		f.Event = true
+		if err := p.expectIdent("port"); err != nil {
+			return nil, err
+		}
+	case p.acceptIdent("data"):
+		if err := p.expectIdent("port"); err != nil {
+			return nil, err
+		}
+		dt, err := p.parseDataType()
+		if err != nil {
+			return nil, err
+		}
+		f.Type = dt
+		if p.acceptIdent("default") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Default = e
+		}
+		if _, ok := p.accept(TokAssign); ok {
+			if !f.Out {
+				return nil, p.errf(p.peek().Pos, "only out ports can be computed")
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Compute = e
+		}
+	default:
+		return nil, p.errf(p.peek().Pos, "expected \"event\" or \"data\", found %s", p.peek())
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *parser) parseDataType() (*DataType, error) {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	dt := &DataType{Name: t.Text, Pos: t.Pos}
+	switch t.Text {
+	case "bool", "real", "clock", "continuous":
+		return dt, nil
+	case "int":
+		if _, ok := p.accept(TokLBracket); ok {
+			lo, err := p.parseSignedInt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokDotDot); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseSignedInt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			if lo > hi {
+				return nil, p.errf(t.Pos, "empty integer range [%d..%d]", lo, hi)
+			}
+			dt.HasRange, dt.Lo, dt.Hi = true, lo, hi
+		}
+		return dt, nil
+	default:
+		return nil, p.errf(t.Pos, "unknown data type %q (want bool, int, real, clock or continuous)", t.Text)
+	}
+}
+
+func (p *parser) parseSignedInt() (int64, error) {
+	neg := false
+	if _, ok := p.accept(TokMinus); ok {
+		neg = true
+	}
+	n, err := p.expect(TokNumber)
+	if err != nil {
+		return 0, err
+	}
+	v := int64(n.Num)
+	if float64(v) != n.Num {
+		return 0, p.errf(n.Pos, "expected integer, found %s", n.Text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) parseComponentImpl(m *Model, cat Token) error {
+	name, err := p.parseDottedName()
+	if err != nil {
+		return err
+	}
+	parts := strings.SplitN(name, ".", 2)
+	ci := &ComponentImpl{TypeName: parts[0], ImplName: parts[1], Pos: cat.Pos}
+
+	for {
+		switch {
+		case p.acceptIdent("subcomponents"):
+			for p.peek().Kind == TokIdent && !p.sectionKeyword() {
+				s, err := p.parseSubcomponent()
+				if err != nil {
+					return err
+				}
+				ci.Subcomponents = append(ci.Subcomponents, s)
+			}
+		case p.acceptIdent("connections"):
+			for p.atIdent("event") || p.atIdent("data") {
+				c, err := p.parseConnection()
+				if err != nil {
+					return err
+				}
+				ci.Connections = append(ci.Connections, c)
+			}
+		case p.acceptIdent("modes"):
+			for p.peek().Kind == TokIdent && !p.sectionKeyword() {
+				md, err := p.parseMode()
+				if err != nil {
+					return err
+				}
+				ci.Modes = append(ci.Modes, md)
+			}
+		case p.acceptIdent("transitions"):
+			for p.peek().Kind == TokIdent && !p.sectionKeyword() {
+				tr, err := p.parseTransition()
+				if err != nil {
+					return err
+				}
+				ci.Transitions = append(ci.Transitions, tr)
+			}
+		case p.acceptIdent("end"):
+			endName, err := p.parseDottedName()
+			if err != nil {
+				return err
+			}
+			if endName != ci.Name() {
+				return p.errf(p.peek().Pos, "end %s does not match implementation %s", endName, ci.Name())
+			}
+			if _, err := p.expect(TokSemicolon); err != nil {
+				return err
+			}
+			if _, dup := m.ComponentImpls[ci.Name()]; dup {
+				return p.errf(cat.Pos, "duplicate component implementation %s", ci.Name())
+			}
+			m.ComponentImpls[ci.Name()] = ci
+			return nil
+		default:
+			return p.errf(p.peek().Pos, "expected section or \"end\", found %s", p.peek())
+		}
+	}
+}
+
+// sectionKeyword reports whether the upcoming identifier starts a new
+// section or the end of the implementation.
+func (p *parser) sectionKeyword() bool {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return false
+	}
+	switch t.Text {
+	case "subcomponents", "connections", "modes", "transitions", "end":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseSubcomponent() (*Subcomponent, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	s := &Subcomponent{Name: name.Text, Pos: name.Pos}
+	if p.acceptIdent("data") {
+		dt, err := p.parseDataType()
+		if err != nil {
+			return nil, err
+		}
+		s.Data = dt
+		if p.acceptIdent("default") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Default = e
+		}
+	} else {
+		cat, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if !categories[cat.Text] {
+			return nil, p.errf(cat.Pos, "unknown category %q in subcomponent", cat.Text)
+		}
+		ref, err := p.parseDottedName()
+		if err != nil {
+			return nil, err
+		}
+		s.ImplRef = ref
+	}
+	if p.atIdent("in") {
+		modes, err := p.parseInModes()
+		if err != nil {
+			return nil, err
+		}
+		s.InModes = modes
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) parseInModes() ([]string, error) {
+	if err := p.expectIdent("in"); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("modes"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var modes []string
+	for {
+		id, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		modes = append(modes, id.Text)
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return modes, nil
+}
+
+func (p *parser) parseConnection() (*Connection, error) {
+	c := &Connection{Pos: p.peek().Pos}
+	switch {
+	case p.acceptIdent("event"):
+		c.Event = true
+	case p.acceptIdent("data"):
+	default:
+		return nil, p.errf(p.peek().Pos, "expected \"event\" or \"data\", found %s", p.peek())
+	}
+	if err := p.expectIdent("port"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseRefPath()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokArrow); err != nil {
+		return nil, err
+	}
+	to, err := p.parseRefPath()
+	if err != nil {
+		return nil, err
+	}
+	c.From, c.To = from, to
+	if p.atIdent("in") {
+		modes, err := p.parseInModes()
+		if err != nil {
+			return nil, err
+		}
+		if c.Event {
+			return nil, p.errf(c.Pos, "event connections cannot be mode-dependent in this subset")
+		}
+		c.InModes = modes
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseRefPath parses a dotted reference: a.b.c.
+func (p *parser) parseRefPath() ([]string, error) {
+	id, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	path := []string{id.Text}
+	for p.at(TokDot) {
+		p.next()
+		id, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, id.Text)
+	}
+	return path, nil
+}
+
+func (p *parser) parseMode() (*Mode, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	md := &Mode{Name: name.Text, Pos: name.Pos}
+	for {
+		switch {
+		case p.acceptIdent("initial"):
+			md.Initial = true
+			continue
+		case p.acceptIdent("urgent"):
+			md.Urgent = true
+			continue
+		}
+		break
+	}
+	if err := p.expectIdent("mode"); err != nil {
+		return nil, err
+	}
+	if p.acceptIdent("while") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		md.Invariant = e
+	}
+	if p.acceptIdent("derive") {
+		for {
+			v, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPrime); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokEq); err != nil {
+				return nil, err
+			}
+			rate, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			md.Derivs = append(md.Derivs, Deriv{Var: v.Text, Rate: rate, Pos: v.Pos})
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return md, nil
+}
+
+func (p *parser) parseTransition() (*Transition, error) {
+	from, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokTransL); err != nil {
+		return nil, err
+	}
+	tr := &Transition{From: from.Text, Pos: from.Pos}
+	// Optional event reference (an identifier that is not a clause
+	// keyword).
+	if p.peek().Kind == TokIdent && !p.atIdent("when") && !p.atIdent("then") {
+		ev, err := p.parseRefPath()
+		if err != nil {
+			return nil, err
+		}
+		tr.Event = ev
+	}
+	if p.acceptIdent("when") {
+		g, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		tr.Guard = g
+	}
+	if p.acceptIdent("then") {
+		for {
+			a, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			tr.Effects = append(tr.Effects, *a)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokTransR); err != nil {
+		return nil, err
+	}
+	to, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	tr.To = to.Text
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func (p *parser) parseAssign() (*Assign, error) {
+	target, err := p.parseRefPath()
+	if err != nil {
+		return nil, err
+	}
+	pos := p.peek().Pos
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	v, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Assign{Target: target, Value: v, Pos: pos}, nil
+}
+
+func (p *parser) parseErrorDecl(m *Model) error {
+	start := p.next() // "error"
+	if err := p.expectIdent("model"); err != nil {
+		return err
+	}
+	if p.acceptIdent("implementation") {
+		return p.parseErrorImpl(m, start)
+	}
+	return p.parseErrorType(m, start)
+}
+
+func (p *parser) parseErrorType(m *Model, start Token) error {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	et := &ErrorType{Name: name.Text, Pos: start.Pos}
+	if err := p.expectIdent("states"); err != nil {
+		return err
+	}
+	for p.peek().Kind == TokIdent && !p.atIdent("end") {
+		sName, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return err
+		}
+		st := ErrorState{Name: sName.Text, Pos: sName.Pos}
+		if p.acceptIdent("initial") {
+			st.Initial = true
+		}
+		if err := p.expectIdent("state"); err != nil {
+			return err
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return err
+		}
+		et.States = append(et.States, st)
+	}
+	if err := p.expectIdent("end"); err != nil {
+		return err
+	}
+	endName, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if endName.Text != et.Name {
+		return p.errf(endName.Pos, "end %s does not match error model %s", endName.Text, et.Name)
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return err
+	}
+	if _, dup := m.ErrorTypes[et.Name]; dup {
+		return p.errf(start.Pos, "duplicate error model %s", et.Name)
+	}
+	m.ErrorTypes[et.Name] = et
+	return nil
+}
+
+func (p *parser) parseErrorImpl(m *Model, start Token) error {
+	name, err := p.parseDottedName()
+	if err != nil {
+		return err
+	}
+	parts := strings.SplitN(name, ".", 2)
+	ei := &ErrorImpl{TypeName: parts[0], ImplName: parts[1], Pos: start.Pos}
+	for {
+		switch {
+		case p.acceptIdent("events"):
+			for p.peek().Kind == TokIdent && !p.atIdent("transitions") && !p.atIdent("end") {
+				ev, err := p.parseErrorEvent()
+				if err != nil {
+					return err
+				}
+				ei.Events = append(ei.Events, ev)
+			}
+		case p.acceptIdent("transitions"):
+			for p.peek().Kind == TokIdent && !p.atIdent("end") {
+				tr, err := p.parseErrorTransition()
+				if err != nil {
+					return err
+				}
+				ei.Transitions = append(ei.Transitions, tr)
+			}
+		case p.acceptIdent("end"):
+			endName, err := p.parseDottedName()
+			if err != nil {
+				return err
+			}
+			if endName != ei.Name() {
+				return p.errf(p.peek().Pos, "end %s does not match implementation %s", endName, ei.Name())
+			}
+			if _, err := p.expect(TokSemicolon); err != nil {
+				return err
+			}
+			if _, dup := m.ErrorImpls[ei.Name()]; dup {
+				return p.errf(start.Pos, "duplicate error model implementation %s", ei.Name())
+			}
+			m.ErrorImpls[ei.Name()] = ei
+			return nil
+		default:
+			return p.errf(p.peek().Pos, "expected \"events\", \"transitions\" or \"end\", found %s", p.peek())
+		}
+	}
+}
+
+func (p *parser) parseErrorEvent() (*ErrorEvent, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	ev := &ErrorEvent{Name: name.Text, Pos: name.Pos}
+	switch {
+	case p.acceptIdent("error"):
+		switch {
+		case p.acceptIdent("event"):
+			ev.Kind = ErrEventInternal
+			if p.acceptIdent("occurrence") {
+				if err := p.expectIdent("poisson"); err != nil {
+					return nil, err
+				}
+				rate, err := p.parseRate()
+				if err != nil {
+					return nil, err
+				}
+				ev.HasRate, ev.Rate = true, rate
+			}
+		case p.acceptIdent("propagation"):
+			ev.Kind = ErrEventPropagation
+		default:
+			return nil, p.errf(p.peek().Pos, "expected \"event\" or \"propagation\", found %s", p.peek())
+		}
+	case p.acceptIdent("reset"):
+		if err := p.expectIdent("event"); err != nil {
+			return nil, err
+		}
+		ev.Kind = ErrEventReset
+	default:
+		return nil, p.errf(p.peek().Pos, "expected \"error\" or \"reset\", found %s", p.peek())
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// parseRate parses a rate with an optional "per <unit>" scaling.
+func (p *parser) parseRate() (float64, error) {
+	n, err := p.expect(TokNumber)
+	if err != nil {
+		return 0, err
+	}
+	rate := n.Num
+	if p.acceptIdent("per") {
+		u, err := p.expect(TokIdent)
+		if err != nil {
+			return 0, err
+		}
+		scale, ok := timeUnits[u.Text]
+		if !ok {
+			return 0, p.errf(u.Pos, "unknown time unit %q", u.Text)
+		}
+		rate /= scale
+	}
+	if rate <= 0 {
+		return 0, p.errf(n.Pos, "rate must be positive, got %g", rate)
+	}
+	return rate, nil
+}
+
+// parseDuration parses a number with an optional time-unit suffix.
+func (p *parser) parseDuration() (float64, error) {
+	n, err := p.expect(TokNumber)
+	if err != nil {
+		return 0, err
+	}
+	v := n.Num
+	if p.peek().Kind == TokIdent {
+		if scale, ok := timeUnits[p.peek().Text]; ok {
+			p.next()
+			v *= scale
+		}
+	}
+	return v, nil
+}
+
+func (p *parser) parseErrorTransition() (*ErrorTransition, error) {
+	from, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokTransL); err != nil {
+		return nil, err
+	}
+	ev, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	tr := &ErrorTransition{From: from.Text, Event: ev.Text, Pos: from.Pos}
+	if p.acceptIdent("after") {
+		lo, err := p.parseDuration()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokDotDot); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseDuration()
+		if err != nil {
+			return nil, err
+		}
+		if lo < 0 || hi < lo {
+			return nil, p.errf(tr.Pos, "invalid timing window [%g .. %g]", lo, hi)
+		}
+		tr.HasAfter, tr.Lo, tr.Hi = true, lo, hi
+	}
+	if _, err := p.expect(TokTransR); err != nil {
+		return nil, err
+	}
+	to, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	tr.To = to.Text
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func (p *parser) parseExtension() (*Extension, error) {
+	start := p.next() // "extend"
+	ext := &Extension{Pos: start.Pos}
+	if p.acceptIdent("root") {
+		// "extend root with ..." targets the root instance.
+	} else {
+		path, err := p.parseRefPath()
+		if err != nil {
+			return nil, err
+		}
+		ext.Target = path
+	}
+	if err := p.expectIdent("with"); err != nil {
+		return nil, err
+	}
+	ref, err := p.parseDottedName()
+	if err != nil {
+		return nil, err
+	}
+	ext.ErrorImplRef = ref
+	if p.acceptIdent("reset") {
+		if err := p.expectIdent("on"); err != nil {
+			return nil, err
+		}
+		r, err := p.parseRefPath()
+		if err != nil {
+			return nil, err
+		}
+		ext.ResetOn = r
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(TokRBrace) {
+		if err := p.expectIdent("inject"); err != nil {
+			return nil, err
+		}
+		state, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		target, err := p.parseRefPath()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		ext.Injections = append(ext.Injections, &Injection{
+			State: state.Text, Target: target, Value: v, Pos: state.Pos,
+		})
+	}
+	p.next() // consume '}'
+	return ext, nil
+}
+
+// --- Expression parsing (precedence climbing) ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atIdent("or") {
+		pos := p.next().Pos
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "or", L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atIdent("and") {
+		pos := p.next().Pos
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "and", L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atIdent("not") {
+		pos := p.next().Pos
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "not", X: x, Pos: pos}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	switch p.peek().Kind {
+	case TokEq:
+		op = "="
+	case TokNe:
+		op = "!="
+	case TokLt:
+		op = "<"
+	case TokLe:
+		op = "<="
+	case TokGt:
+		op = ">"
+	case TokGe:
+		op = ">="
+	default:
+		// "path in modes (...)" predicate.
+		if p.atIdent("in") {
+			ref, ok := l.(*RefExpr)
+			if !ok {
+				return nil, p.errf(p.peek().Pos, "\"in modes\" requires a component reference on the left")
+			}
+			pos := p.peek().Pos
+			modes, err := p.parseInModes()
+			if err != nil {
+				return nil, err
+			}
+			return &InModesExpr{Path: ref.Path, Modes: modes, Pos: pos}, nil
+		}
+		return l, nil
+	}
+	pos := p.next().Pos
+	r, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BinExpr{Op: op, L: l, R: r, Pos: pos}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().Kind {
+		case TokPlus:
+			op = "+"
+		case TokMinus:
+			op = "-"
+		default:
+			return l, nil
+		}
+		pos := p.next().Pos
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r, Pos: pos}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.at(TokStar):
+			op = "*"
+		case p.at(TokSlash):
+			op = "/"
+		case p.atIdent("mod"):
+			op = "mod"
+		default:
+			return l, nil
+		}
+		pos := p.next().Pos
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r, Pos: pos}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.at(TokMinus) {
+		pos := p.next().Pos
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x, Pos: pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		isInt := !strings.ContainsAny(t.Text, ".eE")
+		v := t.Num
+		// Optional time-unit suffix turns the literal real.
+		if p.peek().Kind == TokIdent {
+			if scale, ok := timeUnits[p.peek().Text]; ok {
+				p.next()
+				v *= scale
+				isInt = false
+			}
+		}
+		return &NumLit{Value: v, IsInt: isInt, Pos: t.Pos}, nil
+	case t.Kind == TokIdent && t.Text == "true":
+		p.next()
+		return &BoolLit{Value: true, Pos: t.Pos}, nil
+	case t.Kind == TokIdent && t.Text == "false":
+		p.next()
+		return &BoolLit{Value: false, Pos: t.Pos}, nil
+	case t.Kind == TokIdent && t.Text == "if":
+		p.next()
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectIdent("then"); err != nil {
+			return nil, err
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectIdent("else"); err != nil {
+			return nil, err
+		}
+		b, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &CondExpr{If: c, Then: a, Else: b, Pos: t.Pos}, nil
+	case t.Kind == TokIdent:
+		path, err := p.parseRefPath()
+		if err != nil {
+			return nil, err
+		}
+		return &RefExpr{Path: path, Pos: t.Pos}, nil
+	case t.Kind == TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf(t.Pos, "expected expression, found %s", t)
+	}
+}

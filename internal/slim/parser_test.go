@@ -1,0 +1,440 @@
+package slim
+
+import (
+	"strings"
+	"testing"
+)
+
+// gpsSource is the paper's Listing 1 rendered in this subset's grammar.
+const gpsSource = `
+-- Simplified GPS unit (paper Listing 1).
+system GPS
+features
+  activate: in event port;
+  measurement: out data port bool default false;
+end GPS;
+
+system implementation GPS.Imp
+subcomponents
+  x: data clock;
+modes
+  acquisition: initial mode while x <= 2 min;
+  active: mode;
+transitions
+  acquisition -[activate when x >= 10 sec then measurement := true]-> active;
+end GPS.Imp;
+
+root GPS.Imp;
+`
+
+func TestParseGPSListing1(t *testing.T) {
+	m, err := Parse(gpsSource)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Root != "GPS.Imp" {
+		t.Errorf("root = %q, want GPS.Imp", m.Root)
+	}
+	ct := m.ComponentTypes["GPS"]
+	if ct == nil {
+		t.Fatal("GPS type missing")
+	}
+	if len(ct.Features) != 2 {
+		t.Fatalf("features = %d, want 2", len(ct.Features))
+	}
+	if ct.Features[0].Name != "activate" || !ct.Features[0].Event || ct.Features[0].Out {
+		t.Errorf("feature 0 = %+v, want in event port activate", ct.Features[0])
+	}
+	f1 := ct.Features[1]
+	if f1.Name != "measurement" || f1.Event || !f1.Out || f1.Type.Name != "bool" {
+		t.Errorf("feature 1 = %+v, want out data port bool", f1)
+	}
+	if f1.Default == nil {
+		t.Error("measurement should have a default")
+	}
+
+	ci := m.ComponentImpls["GPS.Imp"]
+	if ci == nil {
+		t.Fatal("GPS.Imp missing")
+	}
+	if len(ci.Subcomponents) != 1 || ci.Subcomponents[0].Data == nil || ci.Subcomponents[0].Data.Name != "clock" {
+		t.Fatalf("subcomponents = %+v, want one clock", ci.Subcomponents)
+	}
+	if len(ci.Modes) != 2 || !ci.Modes[0].Initial || ci.Modes[0].Invariant == nil {
+		t.Fatalf("modes = %+v", ci.Modes)
+	}
+	// "2 min" scales to 120 seconds inside the invariant.
+	inv := ci.Modes[0].Invariant.(*BinExpr)
+	if lit, ok := inv.R.(*NumLit); !ok || lit.Value != 120 {
+		t.Errorf("invariant bound = %+v, want 120", inv.R)
+	}
+	if len(ci.Transitions) != 1 {
+		t.Fatalf("transitions = %d, want 1", len(ci.Transitions))
+	}
+	tr := ci.Transitions[0]
+	if tr.From != "acquisition" || tr.To != "active" || len(tr.Event) != 1 || tr.Event[0] != "activate" {
+		t.Errorf("transition = %+v", tr)
+	}
+	if tr.Guard == nil || len(tr.Effects) != 1 {
+		t.Errorf("transition guard/effects = %+v", tr)
+	}
+	// "10 sec" stays 10.
+	g := tr.Guard.(*BinExpr)
+	if lit, ok := g.R.(*NumLit); !ok || lit.Value != 10 {
+		t.Errorf("guard bound = %+v, want 10", g.R)
+	}
+}
+
+// errorSource is the paper's Listing 2 rendered in this subset's grammar.
+const errorSource = `
+error model GPSErrors
+states
+  ok: initial state;
+  transient: state;
+  hot: state;
+  permanent: state;
+end GPSErrors;
+
+error model implementation GPSErrors.Imp
+events
+  e_trans: error event occurrence poisson 0.1 per hour;
+  e_hot: error event occurrence poisson 0.05 per hour;
+  e_perm: error event occurrence poisson 0.01 per hour;
+  repair: error event;
+  restart: reset event;
+transitions
+  ok -[e_trans]-> transient;
+  ok -[e_hot]-> hot;
+  ok -[e_perm]-> permanent;
+  transient -[repair after 200 msec .. 300 msec]-> ok;
+  hot -[restart]-> ok;
+end GPSErrors.Imp;
+
+system Dummy
+end Dummy;
+system implementation Dummy.Imp
+end Dummy.Imp;
+root Dummy.Imp;
+
+extend root with GPSErrors.Imp {
+}
+`
+
+func TestParseErrorListing2(t *testing.T) {
+	m, err := Parse(errorSource)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	et := m.ErrorTypes["GPSErrors"]
+	if et == nil || len(et.States) != 4 {
+		t.Fatalf("error states = %+v", et)
+	}
+	if !et.States[0].Initial || et.States[1].Initial {
+		t.Error("initial marking wrong")
+	}
+	ei := m.ErrorImpls["GPSErrors.Imp"]
+	if ei == nil || len(ei.Events) != 5 || len(ei.Transitions) != 5 {
+		t.Fatalf("error impl = %+v", ei)
+	}
+	// 0.1 per hour = 0.1/3600 per second.
+	if ev := ei.Events[0]; !ev.HasRate || ev.Rate != 0.1/3600 {
+		t.Errorf("e_trans rate = %+v, want 0.1/3600", ev)
+	}
+	if ev := ei.Events[3]; ev.HasRate || ev.Kind != ErrEventInternal {
+		t.Errorf("repair = %+v, want plain error event", ev)
+	}
+	if ev := ei.Events[4]; ev.Kind != ErrEventReset {
+		t.Errorf("restart = %+v, want reset event", ev)
+	}
+	// after 200 msec .. 300 msec = [0.2, 0.3] seconds.
+	tr := ei.Transitions[3]
+	if !tr.HasAfter || tr.Lo != 0.2 || tr.Hi != 0.3 {
+		t.Errorf("repair window = %+v, want [0.2,0.3]", tr)
+	}
+	if len(m.Extensions) != 1 || m.Extensions[0].ErrorImplRef != "GPSErrors.Imp" {
+		t.Fatalf("extensions = %+v", m.Extensions)
+	}
+	if len(m.Extensions[0].Target) != 0 {
+		t.Errorf("extend root should have empty target, got %v", m.Extensions[0].Target)
+	}
+}
+
+func TestParseConnectionsAndInjections(t *testing.T) {
+	src := `
+device Sensor
+features
+  reading: out data port int[1..5] default 1;
+  fail: in event port;
+end Sensor;
+
+device Filter
+features
+  input: in data port int default 0;
+  output: out data port int default 0;
+end Filter;
+
+system Platform
+end Platform;
+
+device implementation Sensor.Imp
+end Sensor.Imp;
+
+device implementation Filter.Imp
+end Filter.Imp;
+
+system implementation Platform.Imp
+subcomponents
+  s: device Sensor.Imp;
+  f: device Filter.Imp;
+  gain: data int default 3;
+connections
+  data port s.reading -> f.input;
+modes
+  primary: initial mode;
+  backup: mode;
+transitions
+  primary -[when f.output = 0 then gain := gain + 1]-> backup;
+end Platform.Imp;
+
+error model Fail
+states
+  ok: initial state;
+  dead: state;
+end Fail;
+
+error model implementation Fail.Imp
+events
+  boom: error event occurrence poisson 0.5;
+transitions
+  ok -[boom]-> dead;
+end Fail.Imp;
+
+root Platform.Imp;
+
+extend s with Fail.Imp {
+  inject dead: reading := 0;
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	pi := m.ComponentImpls["Platform.Imp"]
+	if len(pi.Connections) != 1 {
+		t.Fatalf("connections = %+v", pi.Connections)
+	}
+	c := pi.Connections[0]
+	if c.Event || strings.Join(c.From, ".") != "s.reading" || strings.Join(c.To, ".") != "f.input" {
+		t.Errorf("connection = %+v", c)
+	}
+	if len(pi.Transitions) != 1 || len(pi.Transitions[0].Effects) != 1 {
+		t.Fatalf("transitions = %+v", pi.Transitions)
+	}
+	ext := m.Extensions[0]
+	if len(ext.Injections) != 1 {
+		t.Fatalf("injections = %+v", ext.Injections)
+	}
+	inj := ext.Injections[0]
+	if inj.State != "dead" || strings.Join(inj.Target, ".") != "reading" {
+		t.Errorf("injection = %+v", inj)
+	}
+	// int[1..5] range parsed.
+	st := m.ComponentTypes["Sensor"].Features[0].Type
+	if !st.HasRange || st.Lo != 1 || st.Hi != 5 {
+		t.Errorf("sensor range = %+v", st)
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string // type name of root node
+	}{
+		{"1 + 2 * 3", "*slim.BinExpr"},
+		{"not a and b", "*slim.BinExpr"},
+		{"a.b.c >= 4.5", "*slim.BinExpr"},
+		{"if a then 1 else 2", "*slim.CondExpr"},
+		{"gps in modes (active, acquisition)", "*slim.InModesExpr"},
+		{"-x + 3", "*slim.BinExpr"},
+		{"(a or b) and c", "*slim.BinExpr"},
+		{"x mod 2 = 0", "*slim.BinExpr"},
+	}
+	for _, tt := range tests {
+		e, err := ParseExpr(tt.src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", tt.src, err)
+			continue
+		}
+		if got := typeName(e); got != tt.want {
+			t.Errorf("ParseExpr(%q) root = %s, want %s", tt.src, got, tt.want)
+		}
+	}
+}
+
+func typeName(e Expr) string {
+	switch e.(type) {
+	case *NumLit:
+		return "*slim.NumLit"
+	case *BoolLit:
+		return "*slim.BoolLit"
+	case *RefExpr:
+		return "*slim.RefExpr"
+	case *UnaryExpr:
+		return "*slim.UnaryExpr"
+	case *BinExpr:
+		return "*slim.BinExpr"
+	case *CondExpr:
+		return "*slim.CondExpr"
+	case *InModesExpr:
+		return "*slim.InModesExpr"
+	default:
+		return "unknown"
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// 1 + 2 * 3 parses as 1 + (2 * 3).
+	e, err := ParseExpr("1 + 2 * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := e.(*BinExpr)
+	if b.Op != "+" {
+		t.Fatalf("root op = %s, want +", b.Op)
+	}
+	if r := b.R.(*BinExpr); r.Op != "*" {
+		t.Errorf("right child op = %s, want *", r.Op)
+	}
+
+	// a or b and c parses as a or (b and c).
+	e, err = ParseExpr("a or b and c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = e.(*BinExpr)
+	if b.Op != "or" {
+		t.Fatalf("root op = %s, want or", b.Op)
+	}
+
+	// not binds tighter than and.
+	e, err = ParseExpr("not a and b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = e.(*BinExpr)
+	if b.Op != "and" {
+		t.Fatalf("root op = %s, want and", b.Op)
+	}
+	if _, ok := b.L.(*UnaryExpr); !ok {
+		t.Error("left child should be the negation")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, src, substr string
+	}{
+		{"no root", "system A\nend A;", "no root"},
+		{"mismatched end", "system A\nend B;\nroot A.I;", "does not match"},
+		{"bad char", "system A $\nend A;", "unexpected character"},
+		{"dup type", "system A\nend A;\nsystem A\nend A;\nroot A.I;", "duplicate"},
+		{"empty range", "system A\nfeatures\n x: in data port int[5..1];\nend A;\nroot A.I;", "empty integer range"},
+		{"bad unit", `
+error model E
+states
+ s: initial state;
+end E;
+error model implementation E.I
+events
+ e: error event occurrence poisson 1 per fortnight;
+end E.I;
+root A.I;`, "unknown time unit"},
+		{"negative window", `
+error model E
+states
+ s: initial state;
+end E;
+error model implementation E.I
+events
+ e: error event;
+transitions
+ s -[e after 5 .. 2]-> s;
+end E.I;
+root A.I;`, "invalid timing window"},
+		{"event in modes", `
+system A
+end A;
+system implementation A.I
+connections
+ event port x -> y in modes (m);
+end A.I;
+root A.I;`, "mode-dependent"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatal("expected parse error")
+			}
+			if !strings.Contains(err.Error(), tt.substr) {
+				t.Errorf("error %q does not mention %q", err, tt.substr)
+			}
+		})
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  bc := 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("token a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("token bc at %v, want 2:3", toks[1].Pos)
+	}
+	if toks[2].Kind != TokAssign {
+		t.Errorf("token 2 = %v, want :=", toks[2])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("a -- comment with := symbols\nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("tokens = %v, want a b EOF", toks)
+	}
+}
+
+func TestLexNumberForms(t *testing.T) {
+	tests := []struct {
+		src  string
+		want float64
+	}{
+		{"42", 42},
+		{"3.25", 3.25},
+		{"1e3", 1000},
+		{"2.5e-2", 0.025},
+	}
+	for _, tt := range tests {
+		toks, err := Lex(tt.src)
+		if err != nil {
+			t.Errorf("Lex(%q): %v", tt.src, err)
+			continue
+		}
+		if toks[0].Num != tt.want {
+			t.Errorf("Lex(%q) = %v, want %v", tt.src, toks[0].Num, tt.want)
+		}
+	}
+	// 1..5 must lex as number, dotdot, number.
+	toks, err := Lex("1..5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 || toks[1].Kind != TokDotDot {
+		t.Errorf("1..5 lexed as %v", toks)
+	}
+}

@@ -1,0 +1,282 @@
+package slim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Print renders a parsed model back to SLIM source. The output parses to
+// an equivalent model (round-trip stable up to formatting), which makes it
+// usable as a model-export backend and for golden tests.
+func Print(m *Model) string {
+	var b strings.Builder
+	typeNames := sortedKeys(m.ComponentTypes)
+	for _, name := range typeNames {
+		printComponentType(&b, m.ComponentTypes[name])
+		b.WriteByte('\n')
+	}
+	for _, name := range sortedKeys(m.ComponentImpls) {
+		printComponentImpl(&b, m.ComponentImpls[name])
+		b.WriteByte('\n')
+	}
+	for _, name := range sortedKeys(m.ErrorTypes) {
+		printErrorType(&b, m.ErrorTypes[name])
+		b.WriteByte('\n')
+	}
+	for _, name := range sortedKeys(m.ErrorImpls) {
+		printErrorImpl(&b, m.ErrorImpls[name])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "root %s;\n", m.Root)
+	for _, ext := range m.Extensions {
+		b.WriteByte('\n')
+		printExtension(&b, ext)
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printComponentType(b *strings.Builder, ct *ComponentType) {
+	fmt.Fprintf(b, "%s %s\n", ct.Category, ct.Name)
+	if len(ct.Features) > 0 {
+		b.WriteString("features\n")
+		for _, f := range ct.Features {
+			dir := "in"
+			if f.Out {
+				dir = "out"
+			}
+			if f.Event {
+				fmt.Fprintf(b, "  %s: %s event port;\n", f.Name, dir)
+				continue
+			}
+			fmt.Fprintf(b, "  %s: %s data port %s", f.Name, dir, dataTypeString(f.Type))
+			if f.Default != nil {
+				fmt.Fprintf(b, " default %s", ExprString(f.Default))
+			}
+			if f.Compute != nil {
+				fmt.Fprintf(b, " := %s", ExprString(f.Compute))
+			}
+			b.WriteString(";\n")
+		}
+	}
+	fmt.Fprintf(b, "end %s;\n", ct.Name)
+}
+
+func dataTypeString(dt *DataType) string {
+	if dt.Name == "int" && dt.HasRange {
+		return fmt.Sprintf("int[%d..%d]", dt.Lo, dt.Hi)
+	}
+	return dt.Name
+}
+
+func printComponentImpl(b *strings.Builder, ci *ComponentImpl) {
+	// The category is not stored on the implementation; recover it from
+	// nothing — implementations print as "system implementation", which
+	// parses for any category.
+	fmt.Fprintf(b, "system implementation %s\n", ci.Name())
+	if len(ci.Subcomponents) > 0 {
+		b.WriteString("subcomponents\n")
+		for _, s := range ci.Subcomponents {
+			if s.Data != nil {
+				fmt.Fprintf(b, "  %s: data %s", s.Name, dataTypeString(s.Data))
+				if s.Default != nil {
+					fmt.Fprintf(b, " default %s", ExprString(s.Default))
+				}
+			} else {
+				fmt.Fprintf(b, "  %s: system %s", s.Name, s.ImplRef)
+			}
+			printInModes(b, s.InModes)
+			b.WriteString(";\n")
+		}
+	}
+	if len(ci.Connections) > 0 {
+		b.WriteString("connections\n")
+		for _, c := range ci.Connections {
+			kind := "data"
+			if c.Event {
+				kind = "event"
+			}
+			fmt.Fprintf(b, "  %s port %s -> %s", kind,
+				strings.Join(c.From, "."), strings.Join(c.To, "."))
+			printInModes(b, c.InModes)
+			b.WriteString(";\n")
+		}
+	}
+	if len(ci.Modes) > 0 {
+		b.WriteString("modes\n")
+		for _, md := range ci.Modes {
+			fmt.Fprintf(b, "  %s:", md.Name)
+			if md.Initial {
+				b.WriteString(" initial")
+			}
+			if md.Urgent {
+				b.WriteString(" urgent")
+			}
+			b.WriteString(" mode")
+			if md.Invariant != nil {
+				fmt.Fprintf(b, " while %s", ExprString(md.Invariant))
+			}
+			if len(md.Derivs) > 0 {
+				b.WriteString(" derive ")
+				for i, d := range md.Derivs {
+					if i > 0 {
+						b.WriteString(", ")
+					}
+					fmt.Fprintf(b, "%s' = %s", d.Var, ExprString(d.Rate))
+				}
+			}
+			b.WriteString(";\n")
+		}
+	}
+	if len(ci.Transitions) > 0 {
+		b.WriteString("transitions\n")
+		for _, tr := range ci.Transitions {
+			fmt.Fprintf(b, "  %s -[", tr.From)
+			var parts []string
+			if tr.Event != nil {
+				parts = append(parts, strings.Join(tr.Event, "."))
+			}
+			if tr.Guard != nil {
+				parts = append(parts, "when "+ExprString(tr.Guard))
+			}
+			if len(tr.Effects) > 0 {
+				effects := make([]string, len(tr.Effects))
+				for i, a := range tr.Effects {
+					effects[i] = fmt.Sprintf("%s := %s",
+						strings.Join(a.Target, "."), ExprString(a.Value))
+				}
+				parts = append(parts, "then "+strings.Join(effects, ", "))
+			}
+			b.WriteString(strings.Join(parts, " "))
+			fmt.Fprintf(b, "]-> %s;\n", tr.To)
+		}
+	}
+	fmt.Fprintf(b, "end %s;\n", ci.Name())
+}
+
+func printInModes(b *strings.Builder, modes []string) {
+	if len(modes) == 0 {
+		return
+	}
+	fmt.Fprintf(b, " in modes (%s)", strings.Join(modes, ", "))
+}
+
+func printErrorType(b *strings.Builder, et *ErrorType) {
+	fmt.Fprintf(b, "error model %s\nstates\n", et.Name)
+	for _, s := range et.States {
+		if s.Initial {
+			fmt.Fprintf(b, "  %s: initial state;\n", s.Name)
+		} else {
+			fmt.Fprintf(b, "  %s: state;\n", s.Name)
+		}
+	}
+	fmt.Fprintf(b, "end %s;\n", et.Name)
+}
+
+func printErrorImpl(b *strings.Builder, ei *ErrorImpl) {
+	fmt.Fprintf(b, "error model implementation %s\n", ei.Name())
+	if len(ei.Events) > 0 {
+		b.WriteString("events\n")
+		for _, ev := range ei.Events {
+			switch ev.Kind {
+			case ErrEventInternal:
+				if ev.HasRate {
+					fmt.Fprintf(b, "  %s: error event occurrence poisson %s;\n",
+						ev.Name, formatFloat(ev.Rate))
+				} else {
+					fmt.Fprintf(b, "  %s: error event;\n", ev.Name)
+				}
+			case ErrEventPropagation:
+				fmt.Fprintf(b, "  %s: error propagation;\n", ev.Name)
+			case ErrEventReset:
+				fmt.Fprintf(b, "  %s: reset event;\n", ev.Name)
+			}
+		}
+	}
+	if len(ei.Transitions) > 0 {
+		b.WriteString("transitions\n")
+		for _, tr := range ei.Transitions {
+			fmt.Fprintf(b, "  %s -[%s", tr.From, tr.Event)
+			if tr.HasAfter {
+				fmt.Fprintf(b, " after %s .. %s", formatFloat(tr.Lo), formatFloat(tr.Hi))
+			}
+			fmt.Fprintf(b, "]-> %s;\n", tr.To)
+		}
+	}
+	fmt.Fprintf(b, "end %s;\n", ei.Name())
+}
+
+func printExtension(b *strings.Builder, ext *Extension) {
+	target := "root"
+	if len(ext.Target) > 0 {
+		target = strings.Join(ext.Target, ".")
+	}
+	fmt.Fprintf(b, "extend %s with %s", target, ext.ErrorImplRef)
+	if len(ext.ResetOn) > 0 {
+		fmt.Fprintf(b, " reset on %s", strings.Join(ext.ResetOn, "."))
+	}
+	b.WriteString(" {\n")
+	for _, inj := range ext.Injections {
+		fmt.Fprintf(b, "  inject %s: %s := %s;\n",
+			inj.State, strings.Join(inj.Target, "."), ExprString(inj.Value))
+	}
+	b.WriteString("}\n")
+}
+
+// ExprString renders a surface expression (fully parenthesized, so
+// precedence survives the round trip).
+func ExprString(e Expr) string {
+	switch n := e.(type) {
+	case *NumLit:
+		if n.IsInt {
+			return strconv.FormatInt(int64(n.Value), 10)
+		}
+		s := strconv.FormatFloat(n.Value, 'g', -1, 64)
+		// Reals must re-parse as reals: force a decimal point or
+		// exponent.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *BoolLit:
+		if n.Value {
+			return "true"
+		}
+		return "false"
+	case *RefExpr:
+		return strings.Join(n.Path, ".")
+	case *UnaryExpr:
+		if n.Op == "not" {
+			return fmt.Sprintf("(not %s)", ExprString(n.X))
+		}
+		return fmt.Sprintf("(-%s)", ExprString(n.X))
+	case *BinExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(n.L), n.Op, ExprString(n.R))
+	case *CondExpr:
+		return fmt.Sprintf("(if %s then %s else %s)",
+			ExprString(n.If), ExprString(n.Then), ExprString(n.Else))
+	case *InModesExpr:
+		return fmt.Sprintf("%s in modes (%s)",
+			strings.Join(n.Path, "."), strings.Join(n.Modes, ", "))
+	default:
+		return "<unknown expr>"
+	}
+}
+
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}

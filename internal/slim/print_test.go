@@ -1,0 +1,236 @@
+package slim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// normalize strips positions so that re-parsed models compare equal.
+func normalize(m *Model) *Model {
+	var zero Pos
+	m.RootPos = zero
+	for _, ct := range m.ComponentTypes {
+		ct.Pos = zero
+		for _, f := range ct.Features {
+			f.Pos = zero
+			if f.Type != nil {
+				f.Type.Pos = zero
+			}
+			stripExpr(f.Default)
+			stripExpr(f.Compute)
+		}
+	}
+	for _, ci := range m.ComponentImpls {
+		ci.Pos = zero
+		for _, s := range ci.Subcomponents {
+			s.Pos = zero
+			if s.Data != nil {
+				s.Data.Pos = zero
+			}
+			stripExpr(s.Default)
+		}
+		for _, c := range ci.Connections {
+			c.Pos = zero
+		}
+		for _, md := range ci.Modes {
+			md.Pos = zero
+			stripExpr(md.Invariant)
+			for i := range md.Derivs {
+				md.Derivs[i].Pos = zero
+				stripExpr(md.Derivs[i].Rate)
+			}
+		}
+		for _, tr := range ci.Transitions {
+			tr.Pos = zero
+			stripExpr(tr.Guard)
+			for i := range tr.Effects {
+				tr.Effects[i].Pos = zero
+				stripExpr(tr.Effects[i].Value)
+			}
+		}
+	}
+	for _, et := range m.ErrorTypes {
+		et.Pos = zero
+		for i := range et.States {
+			et.States[i].Pos = zero
+		}
+	}
+	for _, ei := range m.ErrorImpls {
+		ei.Pos = zero
+		for _, ev := range ei.Events {
+			ev.Pos = zero
+		}
+		for _, tr := range ei.Transitions {
+			tr.Pos = zero
+		}
+	}
+	for _, ext := range m.Extensions {
+		ext.Pos = zero
+		for _, inj := range ext.Injections {
+			inj.Pos = zero
+			stripExpr(inj.Value)
+		}
+	}
+	return m
+}
+
+func stripExpr(e Expr) {
+	var zero Pos
+	switch n := e.(type) {
+	case nil:
+	case *NumLit:
+		n.Pos = zero
+	case *BoolLit:
+		n.Pos = zero
+	case *RefExpr:
+		n.Pos = zero
+	case *UnaryExpr:
+		n.Pos = zero
+		stripExpr(n.X)
+	case *BinExpr:
+		n.Pos = zero
+		stripExpr(n.L)
+		stripExpr(n.R)
+	case *CondExpr:
+		n.Pos = zero
+		stripExpr(n.If)
+		stripExpr(n.Then)
+		stripExpr(n.Else)
+	case *InModesExpr:
+		n.Pos = zero
+	}
+}
+
+// roundTripSrc exercises every construct the printer handles. Categories
+// are normalized to "system" because Print does not preserve them.
+const roundTripSrc = `
+system Unit
+features
+  go: in event port;
+  lvl: out data port int[0..5] default 2;
+  sig: out data port bool := lvl > 1;
+end Unit;
+
+system implementation Unit.Imp
+subcomponents
+  x: data clock;
+  e: data continuous default 10.0;
+modes
+  a: initial mode while x <= 5.0 derive e' = -1.0;
+  b: urgent mode;
+transitions
+  a -[go when x >= 1.0 and (lvl = 2 or not sig) then lvl := lvl + 1, x := 0.0]-> b;
+  b -[when if sig then true else false]-> a;
+end Unit.Imp;
+
+system Top
+end Top;
+
+system implementation Top.Imp
+subcomponents
+  u1: system Unit.Imp;
+  u2: system Unit.Imp in modes (m1);
+connections
+  event port u1.go -> u2.go;
+  data port u1.lvl -> u2.lvl in modes (m1);
+modes
+  m1: initial mode;
+end Top.Imp;
+
+error model F
+states
+  ok: initial state;
+  bad: state;
+end F;
+
+error model implementation F.Imp
+events
+  die: error event occurrence poisson 0.25;
+  fix: error event;
+  spread: error propagation;
+  back: reset event;
+transitions
+  ok -[die]-> bad;
+  bad -[fix after 1.0 .. 2.5]-> ok;
+  bad -[back]-> ok;
+end F.Imp;
+
+root Top.Imp;
+
+extend u1 with F.Imp reset on go {
+  inject bad: lvl := 0;
+}
+`
+
+func TestPrintRoundTrip(t *testing.T) {
+	m1, err := Parse(roundTripSrc)
+	if err != nil {
+		t.Fatalf("first parse: %v", err)
+	}
+	printed := Print(m1)
+	m2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse of printed model: %v\n--- printed ---\n%s", err, printed)
+	}
+	// Connections "data port u1.lvl -> u2.lvl" target an out port of
+	// another component; the parser accepts it — semantic checks happen
+	// at instantiation, so the round trip only needs AST equality.
+	n1, n2 := normalize(m1), normalize(m2)
+	if !reflect.DeepEqual(n1, n2) {
+		t.Errorf("round trip changed the model\n--- printed ---\n%s", printed)
+	}
+	// Printing is deterministic.
+	if Print(m2) != printed {
+		t.Error("printing is not deterministic")
+	}
+}
+
+func TestPrintContainsAllSections(t *testing.T) {
+	m, err := Parse(roundTripSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(m)
+	for _, want := range []string{
+		"features", "subcomponents", "connections", "modes", "transitions",
+		"derive e' = (-1.0)", "occurrence poisson 0.25", "after 1.0 .. 2.5",
+		"reset on go", "inject bad", "in modes (m1)", "urgent mode",
+		"root Top.Imp;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed model missing %q", want)
+		}
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	tests := []struct {
+		src string
+	}{
+		{"1 + 2 * 3"},
+		{"not (a and b)"},
+		{"x.y >= 4.5"},
+		{"if a then 1 else 2"},
+		{"p in modes (m1, m2)"},
+		{"-x"},
+		{"x mod 2 = 0"},
+	}
+	for _, tt := range tests {
+		e1, err := ParseExpr(tt.src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", tt.src, err)
+		}
+		rendered := ExprString(e1)
+		e2, err := ParseExpr(rendered)
+		if err != nil {
+			t.Errorf("re-parse of %q (from %q): %v", rendered, tt.src, err)
+			continue
+		}
+		stripExpr(e1)
+		stripExpr(e2)
+		if !reflect.DeepEqual(e1, e2) {
+			t.Errorf("expression round trip: %q -> %q changed the AST", tt.src, rendered)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package slim implements the frontend for the SLIM subset accepted by
+// this reproduction: a lexer, a recursive-descent parser producing an AST,
+// and the name-resolution hooks the model instantiator uses.
+//
+// The grammar follows the paper's SLIM dialect of AADL (Listings 1 and 2):
+// component types with event/data port features, component implementations
+// with data/component subcomponents, port connections (optionally
+// mode-dependent), modes with invariants ("while") and trajectory
+// equations ("derive"), guarded transitions with effects, error models with
+// exponential ("occurrence poisson") and timed ("after lo .. hi") events,
+// and model extension ("extend ... with ... { inject ... }") for fault
+// injection. Durations and rates accept the time units used in the paper
+// (msec, sec, min, hour; "per <unit>" for rates).
+package slim
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota + 1
+	TokIdent
+	TokNumber
+	TokString
+
+	// Punctuation.
+	TokColon     // :
+	TokSemicolon // ;
+	TokComma     // ,
+	TokDot       // .
+	TokDotDot    // ..
+	TokLParen    // (
+	TokRParen    // )
+	TokLBrace    // {
+	TokRBrace    // }
+	TokLBracket  // [
+	TokRBracket  // ]
+	TokArrow     // ->
+	TokTransL    // -[
+	TokTransR    // ]->
+	TokAssign    // :=
+	TokPrime     // '
+
+	// Operators.
+	TokPlus  // +
+	TokMinus // -
+	TokStar  // *
+	TokSlash // /
+	TokEq    // =
+	TokNe    // !=
+	TokLt    // <
+	TokLe    // <=
+	TokGt    // >
+	TokGe    // >=
+)
+
+// String renders the kind for diagnostics.
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokColon:
+		return "':'"
+	case TokSemicolon:
+		return "';'"
+	case TokComma:
+		return "','"
+	case TokDot:
+		return "'.'"
+	case TokDotDot:
+		return "'..'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	case TokArrow:
+		return "'->'"
+	case TokTransL:
+		return "'-['"
+	case TokTransR:
+		return "']->'"
+	case TokAssign:
+		return "':='"
+	case TokPrime:
+		return "\"'\""
+	case TokPlus:
+		return "'+'"
+	case TokMinus:
+		return "'-'"
+	case TokStar:
+		return "'*'"
+	case TokSlash:
+		return "'/'"
+	case TokEq:
+		return "'='"
+	case TokNe:
+		return "'!='"
+	case TokLt:
+		return "'<'"
+	case TokLe:
+		return "'<='"
+	case TokGt:
+		return "'>'"
+	case TokGe:
+		return "'>='"
+	default:
+		return "invalid token"
+	}
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	// Text is the raw text (identifier name or number literal).
+	Text string
+	// Num is the numeric value for TokNumber.
+	Num float64
+	// Pos is the token's source position.
+	Pos Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokNumber:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

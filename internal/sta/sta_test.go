@@ -1,0 +1,227 @@
+package sta
+
+import (
+	"strings"
+	"testing"
+
+	"slimsim/internal/expr"
+)
+
+// twoLoc builds a minimal valid process with two locations and one guarded
+// transition, for mutation in tests.
+func twoLoc() *Process {
+	return &Process{
+		Name: "p",
+		Locations: []Location{
+			{Name: "a"},
+			{Name: "b"},
+		},
+		Initial: 0,
+		Transitions: []Transition{
+			{From: 0, To: 1, Action: Tau, Guard: expr.True()},
+		},
+		Alphabet: map[string]struct{}{},
+	}
+}
+
+func TestValidateAcceptsMinimal(t *testing.T) {
+	if err := twoLoc().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Process)
+		substr string
+	}{
+		{
+			"no locations",
+			func(p *Process) { p.Locations = nil },
+			"no locations",
+		},
+		{
+			"initial out of range",
+			func(p *Process) { p.Initial = 5 },
+			"out of range",
+		},
+		{
+			"transition endpoint out of range",
+			func(p *Process) { p.Transitions[0].To = 9 },
+			"out-of-range",
+		},
+		{
+			"negative rate",
+			func(p *Process) {
+				p.Transitions[0] = Transition{From: 0, To: 1, Action: Tau, Rate: -1}
+			},
+			"negative rate",
+		},
+		{
+			"rate with sync action",
+			func(p *Process) {
+				p.Transitions[0] = Transition{From: 0, To: 1, Action: "go", Rate: 2}
+			},
+			"non-internal action",
+		},
+		{
+			"rate with guard",
+			func(p *Process) {
+				p.Transitions[0] = Transition{From: 0, To: 1, Action: Tau, Rate: 2, Guard: expr.True()}
+			},
+			"combines guard and rate",
+		},
+		{
+			"mixed guard and rate from one location",
+			func(p *Process) {
+				p.Transitions = append(p.Transitions,
+					Transition{From: 0, To: 1, Action: Tau, Rate: 1})
+			},
+			"mixes",
+		},
+		{
+			"markovian location with invariant",
+			func(p *Process) {
+				p.Locations[0].Invariant = expr.False()
+				p.Transitions[0] = Transition{From: 0, To: 1, Action: Tau, Rate: 1}
+			},
+			"non-trivial invariant",
+		},
+		{
+			"urgent markovian location",
+			func(p *Process) {
+				p.Locations[0].Urgent = true
+				p.Transitions[0] = Transition{From: 0, To: 1, Action: Tau, Rate: 1}
+			},
+			"urgent",
+		},
+		{
+			"tau in alphabet",
+			func(p *Process) { p.Alphabet[Tau] = struct{}{} },
+			"τ",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := twoLoc()
+			tt.mutate(p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if !strings.Contains(err.Error(), tt.substr) {
+				t.Errorf("error %q does not mention %q", err, tt.substr)
+			}
+		})
+	}
+}
+
+func TestOutgoingIndex(t *testing.T) {
+	p := twoLoc()
+	p.Transitions = append(p.Transitions,
+		Transition{From: 0, To: 0, Action: Tau, Guard: expr.True()},
+		Transition{From: 1, To: 0, Action: Tau, Guard: expr.True()},
+	)
+	if got := p.Outgoing(0); len(got) != 2 {
+		t.Errorf("Outgoing(0) = %v, want 2 transitions", got)
+	}
+	if got := p.Outgoing(1); len(got) != 1 || p.Transitions[got[0]].From != 1 {
+		t.Errorf("Outgoing(1) = %v, want the single transition from 1", got)
+	}
+}
+
+func TestLocationByName(t *testing.T) {
+	p := twoLoc()
+	id, ok := p.LocationByName("b")
+	if !ok || id != 1 {
+		t.Errorf("LocationByName(b) = (%v,%v), want (1,true)", id, ok)
+	}
+	if _, ok := p.LocationByName("zzz"); ok {
+		t.Error("LocationByName should fail for unknown name")
+	}
+}
+
+func TestNetworkValidate(t *testing.T) {
+	n := &Network{
+		Processes: []*Process{twoLoc()},
+		Vars: []VarDecl{
+			{Name: "x", Type: expr.IntRangeType(0, 5), Init: expr.IntVal(2)},
+		},
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	// Initial value out of range.
+	n.Vars[0].Init = expr.IntVal(9)
+	if err := n.Validate(); err == nil {
+		t.Error("expected error for out-of-range initial value")
+	}
+	n.Vars[0].Init = expr.IntVal(2)
+
+	// Duplicate process names.
+	n.Processes = append(n.Processes, twoLoc())
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("expected duplicate-name error, got %v", err)
+	}
+	n.Processes = n.Processes[:1]
+
+	// Out-of-range owned variable.
+	n.Processes[0].Vars = []expr.VarID{7}
+	if err := n.Validate(); err == nil {
+		t.Error("expected error for out-of-range owned variable")
+	}
+	n.Processes[0].Vars = nil
+
+	// Flow variable without expression.
+	n.Vars = append(n.Vars, VarDecl{Name: "f", Type: expr.BoolType(), Init: expr.BoolVal(false), Flow: true})
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "defining expression") {
+		t.Errorf("expected flow-expression error, got %v", err)
+	}
+
+	// Self-referential flow.
+	n.Vars[1].FlowExpr = expr.Var("f", 1)
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "itself") {
+		t.Errorf("expected self-reference error, got %v", err)
+	}
+
+	// Empty network.
+	empty := &Network{}
+	if err := empty.Validate(); err == nil {
+		t.Error("expected error for empty network")
+	}
+}
+
+func TestVarByNameAndDeclMap(t *testing.T) {
+	n := &Network{
+		Processes: []*Process{twoLoc()},
+		Vars: []VarDecl{
+			{Name: "a", Type: expr.BoolType(), Init: expr.BoolVal(true)},
+			{Name: "b", Type: expr.ClockType(), Init: expr.RealVal(0)},
+		},
+	}
+	id, ok := n.VarByName("b")
+	if !ok || id != 1 {
+		t.Errorf("VarByName(b) = (%v,%v), want (1,true)", id, ok)
+	}
+	if _, ok := n.VarByName("c"); ok {
+		t.Error("VarByName should fail for unknown variable")
+	}
+	decls := n.DeclMap()
+	tp, ok := decls.VarType(1)
+	if !ok || !tp.Clock {
+		t.Errorf("DeclMap var 1 = (%v,%v), want clock type", tp, ok)
+	}
+}
+
+func TestMarkovianClassification(t *testing.T) {
+	tr := Transition{Rate: 2.5}
+	if !tr.Markovian() {
+		t.Error("positive rate should be Markovian")
+	}
+	tr = Transition{}
+	if tr.Markovian() {
+		t.Error("zero rate should not be Markovian")
+	}
+}

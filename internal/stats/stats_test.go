@@ -1,0 +1,277 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"slimsim/internal/rng"
+)
+
+func TestChernoffBoundValues(t *testing.T) {
+	tests := []struct {
+		delta, eps float64
+		want       int
+	}{
+		// N = ceil(ln(2/δ) / (2 ε²)).
+		{0.05, 0.01, 18445},
+		{0.01, 0.01, 26492},
+		{0.05, 0.05, 738},
+		{0.1, 0.1, 150},
+	}
+	for _, tt := range tests {
+		got, err := ChernoffBound(Params{Delta: tt.delta, Epsilon: tt.eps})
+		if err != nil {
+			t.Fatalf("ChernoffBound(%v,%v): %v", tt.delta, tt.eps, err)
+		}
+		if got != tt.want {
+			t.Errorf("ChernoffBound(δ=%v, ε=%v) = %d, want %d", tt.delta, tt.eps, got, tt.want)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Delta: 0, Epsilon: 0.1},
+		{Delta: 1, Epsilon: 0.1},
+		{Delta: 0.1, Epsilon: 0},
+		{Delta: 0.1, Epsilon: 1},
+		{Delta: -0.5, Epsilon: 0.1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", p)
+		}
+	}
+	if err := (Params{Delta: 0.05, Epsilon: 0.01}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	var e Estimate
+	if e.Mean() != 0 {
+		t.Error("empty estimate mean should be 0")
+	}
+	for i := 0; i < 10; i++ {
+		e.Add(i < 3)
+	}
+	if e.Trials != 10 || e.Successes != 3 {
+		t.Fatalf("estimate = %+v, want 3/10", e)
+	}
+	if math.Abs(e.Mean()-0.3) > 1e-15 {
+		t.Errorf("mean = %v, want 0.3", e.Mean())
+	}
+	if math.Abs(e.Variance()-0.21) > 1e-15 {
+		t.Errorf("variance = %v, want 0.21", e.Variance())
+	}
+}
+
+func TestChernoffGeneratorStopsExactly(t *testing.T) {
+	p := Params{Delta: 0.1, Epsilon: 0.1}
+	g, err := NewChernoff(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Planned()
+	if n != 150 {
+		t.Fatalf("Planned = %d, want 150", n)
+	}
+	for i := 0; i < n-1; i++ {
+		if g.Done() {
+			t.Fatalf("Done after %d < %d samples", i, n)
+		}
+		g.Add(i%2 == 0)
+	}
+	g.Add(true)
+	if !g.Done() {
+		t.Error("generator should be done after N samples")
+	}
+}
+
+// TestChernoffCoverage verifies the CH guarantee empirically: over many
+// repetitions the estimate is within ε of the truth far more often than
+// 1−δ.
+func TestChernoffCoverage(t *testing.T) {
+	p := Params{Delta: 0.1, Epsilon: 0.05}
+	const truth = 0.3
+	src := rng.New(99)
+	misses := 0
+	const reps = 200
+	for rep := 0; rep < reps; rep++ {
+		g, err := NewChernoff(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !g.Done() {
+			g.Add(src.Bernoulli(truth))
+		}
+		if math.Abs(g.Estimate().Mean()-truth) > p.Epsilon {
+			misses++
+		}
+	}
+	// Expected misses << δ·reps = 20; CH is very conservative.
+	if misses > 20 {
+		t.Errorf("estimate missed ε-tube %d/%d times, want ≤ 20", misses, reps)
+	}
+}
+
+func TestGaussGeneratorNeedsFewerSamples(t *testing.T) {
+	p := Params{Delta: 0.05, Epsilon: 0.05}
+	ch, err := NewChernoff(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGauss(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(7)
+	const truth = 0.2
+	for !g.Done() {
+		g.Add(src.Bernoulli(truth))
+	}
+	if got, bound := g.Estimate().Trials, ch.Planned(); got >= bound {
+		t.Errorf("Gauss used %d samples, expected fewer than CH bound %d", got, bound)
+	}
+	if math.Abs(g.Estimate().Mean()-truth) > 3*p.Epsilon {
+		t.Errorf("Gauss estimate %v too far from %v", g.Estimate().Mean(), truth)
+	}
+}
+
+func TestGaussDegenerateStream(t *testing.T) {
+	p := Params{Delta: 0.05, Epsilon: 0.01}
+	g, err := NewGauss(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All failures: variance floor must keep it sampling past minN.
+	for i := 0; i < 50; i++ {
+		g.Add(false)
+	}
+	if g.Done() {
+		t.Error("Gauss should not stop at minN with ε=0.01 under the variance floor")
+	}
+	for i := 0; i < 10000; i++ {
+		g.Add(false)
+	}
+	if !g.Done() {
+		t.Error("Gauss should eventually stop on a degenerate stream")
+	}
+	if g.Planned() != 0 {
+		t.Error("sequential generator should not report a planned count")
+	}
+}
+
+func TestChowRobbinsStopsAndCovers(t *testing.T) {
+	p := Params{Delta: 0.05, Epsilon: 0.05}
+	src := rng.New(21)
+	const truth = 0.4
+	misses := 0
+	const reps = 100
+	var totalN int
+	for rep := 0; rep < reps; rep++ {
+		g, err := NewChowRobbins(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !g.Done() {
+			g.Add(src.Bernoulli(truth))
+		}
+		totalN += g.Estimate().Trials
+		if math.Abs(g.Estimate().Mean()-truth) > p.Epsilon {
+			misses++
+		}
+	}
+	// Nominal coverage 95%; allow generous slack for sequential bias.
+	if misses > 15 {
+		t.Errorf("Chow–Robbins missed %d/%d times, want ≤ 15", misses, reps)
+	}
+	ch, _ := NewChernoff(p)
+	if avg := totalN / reps; avg >= ch.Planned() {
+		t.Errorf("Chow–Robbins averaged %d samples, expected fewer than CH bound %d", avg, ch.Planned())
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Method
+		wantErr bool
+	}{
+		{"chernoff", MethodChernoff, false},
+		{"ch", MethodChernoff, false},
+		{"gauss", MethodGauss, false},
+		{"clt", MethodGauss, false},
+		{"chow-robbins", MethodChowRobbins, false},
+		{"cr", MethodChowRobbins, false},
+		{"bogus", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseMethod(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseMethod(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseMethod(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+	for _, m := range []Method{MethodChernoff, MethodGauss, MethodChowRobbins} {
+		back, err := ParseMethod(m.String())
+		if err != nil || back != m {
+			t.Errorf("round-trip of %v failed: (%v, %v)", m, back, err)
+		}
+	}
+}
+
+func TestNewGeneratorDispatch(t *testing.T) {
+	p := Params{Delta: 0.1, Epsilon: 0.1}
+	for _, m := range []Method{MethodChernoff, MethodGauss, MethodChowRobbins} {
+		g, err := NewGenerator(m, p)
+		if err != nil || g == nil {
+			t.Errorf("NewGenerator(%v) = (%v, %v)", m, g, err)
+		}
+	}
+	if _, err := NewGenerator(Method(99), p); err == nil {
+		t.Error("NewGenerator should reject invalid method")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.025, -1.959964},
+		{0.0001, -3.719016},
+	}
+	for _, tt := range tests {
+		got := normalQuantile(tt.p)
+		if math.Abs(got-tt.want) > 1e-4 {
+			t.Errorf("normalQuantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestQuickChernoffBoundMonotone(t *testing.T) {
+	// Tighter ε or δ never decreases the required sample count.
+	f := func(a, b uint8) bool {
+		e1 := 0.01 + float64(a%50)/100 // in [0.01, 0.50]
+		e2 := e1 / 2
+		d := 0.01 + float64(b%50)/100
+		n1, err1 := ChernoffBound(Params{Delta: d, Epsilon: e1})
+		n2, err2 := ChernoffBound(Params{Delta: d, Epsilon: e2})
+		n3, err3 := ChernoffBound(Params{Delta: d / 2, Epsilon: e1})
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return n2 >= n1 && n3 >= n1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

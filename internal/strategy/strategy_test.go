@@ -1,0 +1,248 @@
+package strategy
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"slimsim/internal/intervals"
+	"slimsim/internal/rng"
+)
+
+// gpsCtx models the paper's running example: repair enabled on [200, 300]
+// with invariant bound 300 (Fig. 2's transient fault).
+func gpsCtx(seed uint64) *Context {
+	return &Context{
+		MaxDelay:    300,
+		MaxAttained: true,
+		Horizon:     1e6,
+		Windows: []intervals.Set{
+			intervals.FromInterval(intervals.Closed(200, 300)),
+		},
+		Rng: rng.New(seed),
+	}
+}
+
+func TestASAPPicksEarliest(t *testing.T) {
+	c, err := ASAP{}.Choose(gpsCtx(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Delay != 200 {
+		t.Errorf("ASAP delay = %v, want 200 (paper: schedules repair at 200 msec)", c.Delay)
+	}
+	if len(c.Enabled) != 1 || c.Enabled[0] != 0 {
+		t.Errorf("ASAP enabled = %v, want [0]", c.Enabled)
+	}
+}
+
+func TestMaxTimePicksLatest(t *testing.T) {
+	c, err := MaxTime{}.Choose(gpsCtx(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Delay != 300 {
+		t.Errorf("MaxTime delay = %v, want 300 (paper: schedules repair at 300 msec)", c.Delay)
+	}
+	if len(c.Enabled) != 1 {
+		t.Errorf("MaxTime enabled = %v, want [0]", c.Enabled)
+	}
+}
+
+func TestProgressiveSamplesGuardInterval(t *testing.T) {
+	// Paper: Progressive uniformly selects from [200, 300].
+	for seed := uint64(0); seed < 50; seed++ {
+		c, err := Progressive{}.Choose(gpsCtx(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Delay < 200 || c.Delay > 300 {
+			t.Fatalf("Progressive delay %v outside [200,300]", c.Delay)
+		}
+		if len(c.Enabled) != 1 {
+			t.Fatalf("Progressive enabled = %v, want [0]", c.Enabled)
+		}
+	}
+}
+
+func TestLocalSamplesInvariantRange(t *testing.T) {
+	// Paper: Local ignores the guard and selects from [0, 300]; when the
+	// sampled delay is below 200 nothing is enabled.
+	sawDisabled, sawEnabled := false, false
+	for seed := uint64(0); seed < 100; seed++ {
+		c, err := Local{}.Choose(gpsCtx(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Delay < 0 || c.Delay > 300 {
+			t.Fatalf("Local delay %v outside [0,300]", c.Delay)
+		}
+		if len(c.Enabled) == 0 {
+			sawDisabled = true
+			if c.Delay >= 200 {
+				t.Fatalf("delay %v >= 200 should enable the move", c.Delay)
+			}
+		} else {
+			sawEnabled = true
+			if c.Delay < 200 {
+				t.Fatalf("delay %v < 200 should not enable the move", c.Delay)
+			}
+		}
+	}
+	if !sawDisabled || !sawEnabled {
+		t.Error("Local should produce both enabled and disabled samples over [0,300]")
+	}
+}
+
+func TestTimelockWhenNoWindows(t *testing.T) {
+	ctx := &Context{
+		MaxDelay:    50,
+		MaxAttained: true,
+		Horizon:     100,
+		Windows:     []intervals.Set{intervals.EmptySet()},
+		Rng:         rng.New(3),
+	}
+	for _, s := range []Strategy{ASAP{}, Progressive{}, Local{}, MaxTime{}} {
+		c, err := s.Choose(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if !c.Timelocked {
+			t.Errorf("%s should report timelock", s.Name())
+		}
+		if c.Delay != 50 {
+			t.Errorf("%s timelock delay = %v, want invariant bound 50", s.Name(), c.Delay)
+		}
+	}
+}
+
+func TestUnboundedInvariantUsesHorizon(t *testing.T) {
+	ctx := &Context{
+		MaxDelay: math.Inf(1),
+		Horizon:  10,
+		Windows:  []intervals.Set{intervals.EmptySet()},
+		Rng:      rng.New(3),
+	}
+	c, err := ASAP{}.Choose(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Timelocked || c.Delay <= 10 {
+		t.Errorf("expected timelock with delay beyond horizon, got %+v", c)
+	}
+}
+
+func TestASAPOpenWindowNudges(t *testing.T) {
+	ctx := &Context{
+		MaxDelay:    10,
+		MaxAttained: true,
+		Horizon:     100,
+		Windows:     []intervals.Set{intervals.FromInterval(intervals.Open(2, 5))},
+		Rng:         rng.New(3),
+	}
+	c, err := ASAP{}.Choose(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Delay <= 2 || c.Delay > 2.001 {
+		t.Errorf("ASAP on open window = %v, want just above 2", c.Delay)
+	}
+	if len(c.Enabled) != 1 {
+		t.Errorf("enabled = %v, want 1 move", c.Enabled)
+	}
+}
+
+func TestMaxTimeOvershootsInnerWindow(t *testing.T) {
+	// Invariant allows up to 100, but the only move is enabled on [2,5]:
+	// the paper's MaxTime still waits the full 100, stranding the model
+	// — that is how it exposes actionlocks.
+	ctx := &Context{
+		MaxDelay:    100,
+		MaxAttained: true,
+		Horizon:     1000,
+		Windows:     []intervals.Set{intervals.FromInterval(intervals.Closed(2, 5))},
+		Rng:         rng.New(3),
+	}
+	c, err := MaxTime{}.Choose(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Delay != 100 || len(c.Enabled) != 0 || c.Timelocked {
+		t.Errorf("MaxTime = %+v, want delay 100 with nothing enabled", c)
+	}
+}
+
+func TestMultipleWindowsEquiprobabilityInputs(t *testing.T) {
+	// Two moves with overlapping windows: at the ASAP instant both are
+	// enabled, so the engine can choose uniformly (paper's
+	// equiprobability).
+	ctx := &Context{
+		MaxDelay:    100,
+		MaxAttained: true,
+		Horizon:     1000,
+		Windows: []intervals.Set{
+			intervals.FromInterval(intervals.Closed(3, 10)),
+			intervals.FromInterval(intervals.Closed(3, 7)),
+		},
+		Rng: rng.New(3),
+	}
+	c, err := ASAP{}.Choose(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Delay != 3 || len(c.Enabled) != 2 {
+		t.Errorf("ASAP = %+v, want delay 3 with both moves enabled", c)
+	}
+}
+
+func TestInputStrategy(t *testing.T) {
+	ctx := gpsCtx(1)
+	s := Input{Ask: func(c *Context) (float64, int, error) { return 250, 0, nil }}
+	c, err := s.Choose(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Delay != 250 || len(c.Enabled) != 1 {
+		t.Errorf("Input = %+v, want delay 250 with move 0", c)
+	}
+
+	// Uniform pick variant.
+	s = Input{Ask: func(c *Context) (float64, int, error) { return 220, -1, nil }}
+	c, err = s.Choose(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Enabled) != 1 {
+		t.Errorf("Input(-1) enabled = %v", c.Enabled)
+	}
+
+	// Error cases.
+	bad := []Input{
+		{},
+		{Ask: func(c *Context) (float64, int, error) { return -1, -1, nil }},
+		{Ask: func(c *Context) (float64, int, error) { return 100, 0, nil }}, // move not enabled at 100
+		{Ask: func(c *Context) (float64, int, error) { return 250, 7, nil }}, // out of range
+		{Ask: func(c *Context) (float64, int, error) { return 0, -1, errors.New("nope") }},
+	}
+	for i, s := range bad {
+		if _, err := s.Choose(ctx); err == nil {
+			t.Errorf("bad input %d should fail", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"asap", "progressive", "local", "maxtime"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if s.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName should reject unknown names")
+	}
+}

@@ -1,0 +1,101 @@
+// Package trace records simulated paths as sequences of timed events, for
+// debugging models and for the interactive (Input strategy) mode — the
+// CLI counterpart of the step view in the paper's GUI (Fig. 1).
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Event kinds.
+const (
+	// EvDelay is a timed step.
+	EvDelay EventKind = iota + 1
+	// EvMove is a discrete transition.
+	EvMove
+	// EvVerdict ends the path.
+	EvVerdict
+)
+
+// Event is one step of a recorded path.
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Time is the model time after the event.
+	Time float64
+	// Delay is the duration of a timed step (EvDelay only).
+	Delay float64
+	// Label describes a discrete move or the final verdict.
+	Label string
+}
+
+// String renders the event as one trace line.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvDelay:
+		return fmt.Sprintf("t=%-12.6g delay %g", e.Time, e.Delay)
+	case EvMove:
+		return fmt.Sprintf("t=%-12.6g fire  %s", e.Time, e.Label)
+	case EvVerdict:
+		return fmt.Sprintf("t=%-12.6g end   %s", e.Time, e.Label)
+	default:
+		return "<invalid event>"
+	}
+}
+
+// Recorder collects the events of one path. It implements sim.Observer.
+type Recorder struct {
+	// Events holds the recorded steps in order.
+	Events []Event
+	// MaxEvents bounds memory use; 0 means unlimited. Once exceeded,
+	// further events are dropped and Truncated is set.
+	MaxEvents int
+	// Truncated reports dropped events.
+	Truncated bool
+}
+
+// OnDelay implements the sim.Observer hook for timed steps.
+func (r *Recorder) OnDelay(now, delay float64) {
+	r.add(Event{Kind: EvDelay, Time: now, Delay: delay})
+}
+
+// OnMove implements the sim.Observer hook for discrete steps.
+func (r *Recorder) OnMove(now float64, label string) {
+	r.add(Event{Kind: EvMove, Time: now, Label: label})
+}
+
+// OnVerdict implements the sim.Observer hook for the path end.
+func (r *Recorder) OnVerdict(now float64, label string) {
+	r.add(Event{Kind: EvVerdict, Time: now, Label: label})
+}
+
+func (r *Recorder) add(e Event) {
+	if r.MaxEvents > 0 && len(r.Events) >= r.MaxEvents {
+		r.Truncated = true
+		return
+	}
+	r.Events = append(r.Events, e)
+}
+
+// Reset clears the recorder for the next path.
+func (r *Recorder) Reset() {
+	r.Events = r.Events[:0]
+	r.Truncated = false
+}
+
+// String renders the whole trace.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	for _, e := range r.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	if r.Truncated {
+		b.WriteString("... (truncated)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderCollectsEvents(t *testing.T) {
+	r := &Recorder{}
+	r.OnDelay(5, 5)
+	r.OnMove(5, "gps: acquisition -> active")
+	r.OnVerdict(5, "satisfied (decided)")
+	if len(r.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(r.Events))
+	}
+	out := r.String()
+	for _, want := range []string{"delay 5", "fire  gps", "end   satisfied"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace %q missing %q", out, want)
+		}
+	}
+}
+
+func TestRecorderTruncates(t *testing.T) {
+	r := &Recorder{MaxEvents: 2}
+	for i := 0; i < 5; i++ {
+		r.OnDelay(float64(i), 1)
+	}
+	if len(r.Events) != 2 || !r.Truncated {
+		t.Errorf("events = %d truncated = %v, want 2/true", len(r.Events), r.Truncated)
+	}
+	if !strings.Contains(r.String(), "truncated") {
+		t.Error("rendering should mention truncation")
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := &Recorder{MaxEvents: 2}
+	r.OnDelay(1, 1)
+	r.OnDelay(2, 1)
+	r.OnDelay(3, 1)
+	r.Reset()
+	if len(r.Events) != 0 || r.Truncated {
+		t.Errorf("after reset: %d events, truncated %v", len(r.Events), r.Truncated)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	if got := (Event{Kind: EventKind(99)}).String(); !strings.Contains(got, "invalid") {
+		t.Errorf("invalid event rendered as %q", got)
+	}
+}

@@ -1,0 +1,458 @@
+// Package slimsim is a statistical model checker for SLIM, the AADL
+// dialect of the COMPASS toolset — a Go reproduction of "A Statistical
+// Approach for Timed Reachability in AADL Models" (Bruintjes, Katoen,
+// Lesens; DSN 2015).
+//
+// The library parses SLIM models (nominal components with modes, linear
+// hybrid dynamics and event/data ports, plus error models woven in by
+// fault injection), composes them into a network of stochastic timed
+// automata, and estimates time-bounded reachability probabilities by Monte
+// Carlo simulation under a selectable scheduling strategy (asap,
+// progressive, local, maxtime). For the untimed Markovian fragment it also
+// provides the numerical baseline flow the paper compares against:
+// explicit state-space construction, bisimulation lumping, and
+// uniformization.
+//
+// Quickstart:
+//
+//	m, err := slimsim.LoadModel(src)
+//	rep, err := m.Analyze(slimsim.Options{
+//		Goal:     "not thr1.powered and not thr2.powered",
+//		Bound:    3600,
+//		Strategy: "progressive",
+//		Delta:    0.05,
+//		Epsilon:  0.01,
+//	})
+//	fmt.Println(rep.Probability)
+package slimsim
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"slimsim/internal/bisim"
+	"slimsim/internal/ctmc"
+	"slimsim/internal/model"
+	"slimsim/internal/network"
+	"slimsim/internal/prop"
+	"slimsim/internal/rng"
+	"slimsim/internal/sim"
+	"slimsim/internal/slim"
+	"slimsim/internal/stats"
+	"slimsim/internal/strategy"
+	"slimsim/internal/trace"
+)
+
+// Model is a loaded, instantiated and validated SLIM model, ready for
+// analysis. It is immutable and safe for concurrent use.
+type Model struct {
+	built *model.Built
+	rt    *network.Runtime
+}
+
+// LoadModel parses SLIM source text and instantiates it.
+func LoadModel(src string) (*Model, error) {
+	parsed, err := slim.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	built, err := model.Instantiate(parsed)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := network.New(built.Net)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{built: built, rt: rt}, nil
+}
+
+// LoadModelFile reads and loads a SLIM model from a file.
+func LoadModelFile(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("slimsim: %w", err)
+	}
+	m, err := LoadModel(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// NumProcesses returns the number of STA processes in the composed
+// network (component instances with modes, plus attached error models).
+func (m *Model) NumProcesses() int { return len(m.built.Net.Processes) }
+
+// NumVars returns the number of global variables (ports, data elements
+// and synthetic state trackers).
+func (m *Model) NumVars() int { return len(m.built.Net.Vars) }
+
+// PropertyKind selects the temporal pattern of a property.
+type PropertyKind string
+
+// Property kinds (the COMPASS specification patterns supported).
+const (
+	// Reachability is P(<> [0,Bound] Goal) — probabilistic existence.
+	Reachability PropertyKind = "reach"
+	// Invariance is P([] [0,Bound] Goal) — probabilistic absence of
+	// ¬Goal.
+	Invariance PropertyKind = "always"
+	// Until is P(Constraint U [0,Bound] Goal).
+	Until PropertyKind = "until"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// Pattern, when non-empty, gives the whole property in the CSL-like
+	// notation of the paper — e.g. "P(<> [0,3600] failure)",
+	// "P([] [0,60] ok)" or "P(a U [0,5] b)" — and overrides Kind, Goal,
+	// Constraint and Bound.
+	Pattern string
+	// Kind is the property pattern (default Reachability).
+	Kind PropertyKind
+	// Goal is the target predicate, written in SLIM expression syntax
+	// over instance paths from the root (e.g. "mon.down",
+	// "gps1.@err in modes (dead)"). Required.
+	Goal string
+	// Constraint is the left operand for Until.
+	Constraint string
+	// Bound is the time bound u of the property. Required.
+	Bound float64
+	// Strategy names the scheduling strategy: asap, progressive, local
+	// or maxtime (default progressive).
+	Strategy string
+	// Delta and Epsilon are the accuracy knobs: with probability at
+	// least 1−Delta the estimate is within Epsilon of the truth.
+	// Defaults: 0.05 and 0.01.
+	Delta, Epsilon float64
+	// Method selects the sample-count generator: chernoff (default),
+	// gauss or chow-robbins.
+	Method string
+	// Workers is the number of parallel samplers (default 1).
+	Workers int
+	// Seed makes runs reproducible (default 1).
+	Seed uint64
+	// OnLock selects deadlock/timelock handling: "violate" (default)
+	// or "error".
+	OnLock string
+	// MaxSteps bounds steps per path (default 1e6).
+	MaxSteps int
+}
+
+// Report is the outcome of a statistical analysis; see sim.Report.
+type Report = sim.Report
+
+// CompileProperty resolves the property described by opts against the
+// model.
+func (m *Model) CompileProperty(opts Options) (prop.Property, error) {
+	if opts.Pattern != "" {
+		spec, err := prop.ParsePattern(opts.Pattern)
+		if err != nil {
+			return prop.Property{}, err
+		}
+		opts.Bound = spec.Bound
+		opts.Goal = spec.Goal
+		opts.Constraint = spec.Constraint
+		switch spec.Kind {
+		case prop.Reachability:
+			opts.Kind = Reachability
+		case prop.Invariance:
+			opts.Kind = Invariance
+		case prop.Until:
+			opts.Kind = Until
+		}
+	}
+	if opts.Goal == "" {
+		return prop.Property{}, fmt.Errorf("slimsim: no goal expression given")
+	}
+	goal, err := m.built.CompileExpr(opts.Goal)
+	if err != nil {
+		return prop.Property{}, err
+	}
+	kind := opts.Kind
+	if kind == "" {
+		kind = Reachability
+	}
+	switch kind {
+	case Reachability:
+		return prop.Reach(opts.Bound, goal), nil
+	case Invariance:
+		return prop.Always(opts.Bound, goal), nil
+	case Until:
+		if opts.Constraint == "" {
+			return prop.Property{}, fmt.Errorf("slimsim: until property needs a constraint")
+		}
+		cons, err := m.built.CompileExpr(opts.Constraint)
+		if err != nil {
+			return prop.Property{}, err
+		}
+		return prop.UntilWithin(opts.Bound, cons, goal), nil
+	default:
+		return prop.Property{}, fmt.Errorf("slimsim: unknown property kind %q", kind)
+	}
+}
+
+// Analyze estimates the probability of the property via Monte Carlo
+// simulation.
+func (m *Model) Analyze(opts Options) (Report, error) {
+	p, err := m.CompileProperty(opts)
+	if err != nil {
+		return Report{}, err
+	}
+	stratName := opts.Strategy
+	if stratName == "" {
+		stratName = "progressive"
+	}
+	strat, err := strategy.ByName(stratName)
+	if err != nil {
+		return Report{}, err
+	}
+	delta, eps := opts.Delta, opts.Epsilon
+	if delta == 0 {
+		delta = 0.05
+	}
+	if eps == 0 {
+		eps = 0.01
+	}
+	methodName := opts.Method
+	if methodName == "" {
+		methodName = "chernoff"
+	}
+	method, err := stats.ParseMethod(methodName)
+	if err != nil {
+		return Report{}, err
+	}
+	locks := sim.LockViolates
+	switch opts.OnLock {
+	case "", "violate":
+	case "error":
+		locks = sim.LockErrors
+	default:
+		return Report{}, fmt.Errorf("slimsim: unknown lock policy %q (want violate or error)", opts.OnLock)
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return sim.Analyze(m.rt, sim.AnalysisConfig{
+		Config: sim.Config{
+			Strategy: strat,
+			Property: p,
+			Locks:    locks,
+			MaxSteps: opts.MaxSteps,
+		},
+		Params:  stats.Params{Delta: delta, Epsilon: eps},
+		Method:  method,
+		Workers: opts.Workers,
+		Seed:    seed,
+	})
+}
+
+// CTMCReport is the outcome of the numerical baseline pipeline.
+type CTMCReport struct {
+	// Probability is the exact (up to truncation error) time-bounded
+	// reachability probability.
+	Probability float64
+	// States is the tangible state count of the explicit chain.
+	States int
+	// Explored counts all visited discrete states, including vanishing
+	// ones.
+	Explored int
+	// LumpedStates is the quotient size after bisimulation
+	// minimization.
+	LumpedStates int
+	// BuildTime, LumpTime and SolveTime break down the pipeline cost.
+	BuildTime, LumpTime, SolveTime time.Duration
+}
+
+// CheckCTMC runs the paper's baseline flow on the untimed fragment:
+// explicit state space → bisimulation lumping → uniformization. It fails
+// on models with clocks or continuous variables.
+func (m *Model) CheckCTMC(goalSrc string, bound float64, maxStates int) (CTMCReport, error) {
+	goal, err := m.built.CompileExpr(goalSrc)
+	if err != nil {
+		return CTMCReport{}, err
+	}
+	t0 := time.Now()
+	res, err := ctmc.Build(m.rt, goal, maxStates)
+	if err != nil {
+		return CTMCReport{}, err
+	}
+	buildTime := time.Since(t0)
+
+	t1 := time.Now()
+	lumped, err := bisim.Lump(res.Chain)
+	if err != nil {
+		return CTMCReport{}, err
+	}
+	lumpTime := time.Since(t1)
+
+	t2 := time.Now()
+	p, err := lumped.Quotient.ReachWithin(bound, 1e-10)
+	if err != nil {
+		return CTMCReport{}, err
+	}
+	solveTime := time.Since(t2)
+
+	return CTMCReport{
+		Probability:  p,
+		States:       res.Chain.NumStates(),
+		Explored:     res.Explored,
+		LumpedStates: lumped.Blocks,
+		BuildTime:    buildTime,
+		LumpTime:     lumpTime,
+		SolveTime:    solveTime,
+	}, nil
+}
+
+// PathTrace is one recorded simulation path.
+type PathTrace struct {
+	// Satisfied is the path's Bernoulli outcome.
+	Satisfied bool
+	// Termination is why the path ended: decided, deadlock, timelock.
+	Termination string
+	// EndTime is the model time at which the path ended.
+	EndTime float64
+	// Events renders the path's timed and discrete steps in order.
+	Events []string
+}
+
+// Simulate generates n paths under opts and returns their traces — the
+// library counterpart of the tool's step-by-step simulation view.
+func (m *Model) Simulate(opts Options, n int) ([]PathTrace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("slimsim: need at least one path, got %d", n)
+	}
+	p, err := m.CompileProperty(opts)
+	if err != nil {
+		return nil, err
+	}
+	stratName := opts.Strategy
+	if stratName == "" {
+		stratName = "progressive"
+	}
+	strat, err := strategy.ByName(stratName)
+	if err != nil {
+		return nil, err
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rec := &trace.Recorder{MaxEvents: 10000}
+	engine, err := sim.NewEngine(m.rt, sim.Config{
+		Strategy: strat,
+		Property: p,
+		MaxSteps: opts.MaxSteps,
+		Observer: rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(seed)
+	out := make([]PathTrace, 0, n)
+	for i := 0; i < n; i++ {
+		rec.Reset()
+		res, err := engine.SamplePath(src)
+		if err != nil {
+			return nil, err
+		}
+		events := make([]string, len(rec.Events))
+		for j, e := range rec.Events {
+			events[j] = e.String()
+		}
+		out = append(out, PathTrace{
+			Satisfied:   res.Satisfied,
+			Termination: res.Termination.String(),
+			EndTime:     res.EndTime,
+			Events:      events,
+		})
+	}
+	return out, nil
+}
+
+// Decision is an interactive scheduling choice: wait Delay time units,
+// then fire candidate Move (or -1 to let the engine pick uniformly among
+// the moves enabled at that instant).
+type Decision struct {
+	Delay float64
+	Move  int
+}
+
+// Prompt describes one interactive scheduling decision point.
+type Prompt struct {
+	// Now is the current model time.
+	Now float64
+	// MaxDelay is the largest delay the invariants allow (may be +Inf).
+	MaxDelay float64
+	// Moves lists the candidate discrete moves with their enabling
+	// windows (as rendered interval sets, relative to Now).
+	Moves []PromptMove
+}
+
+// PromptMove is one candidate move at a decision point.
+type PromptMove struct {
+	// Label describes the move.
+	Label string
+	// Window renders the delay set at which the move is enabled.
+	Window string
+}
+
+// SimulateInteractive generates one path with the Input strategy: every
+// time the model underspecifies what happens next, ask is consulted — the
+// paper's interactive mode, CLI-style. Exponential (Markovian) transitions
+// still race the chosen delays.
+func (m *Model) SimulateInteractive(opts Options, ask func(Prompt) (Decision, error)) (PathTrace, error) {
+	if ask == nil {
+		return PathTrace{}, fmt.Errorf("slimsim: SimulateInteractive needs a callback")
+	}
+	p, err := m.CompileProperty(opts)
+	if err != nil {
+		return PathTrace{}, err
+	}
+	rec := &trace.Recorder{MaxEvents: 10000}
+	input := strategy.Input{Ask: func(ctx *strategy.Context) (float64, int, error) {
+		pr := Prompt{Now: -1, MaxDelay: ctx.MaxDelay}
+		for i, w := range ctx.Windows {
+			label := fmt.Sprintf("move %d", i)
+			if i < len(ctx.Labels) {
+				label = ctx.Labels[i]
+			}
+			pr.Moves = append(pr.Moves, PromptMove{Label: label, Window: w.String()})
+		}
+		d, err := ask(pr)
+		if err != nil {
+			return 0, 0, err
+		}
+		return d.Delay, d.Move, nil
+	}}
+	engine, err := sim.NewEngine(m.rt, sim.Config{
+		Strategy: input,
+		Property: p,
+		MaxSteps: opts.MaxSteps,
+		Observer: rec,
+	})
+	if err != nil {
+		return PathTrace{}, err
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	res, err := engine.SamplePath(rng.New(seed))
+	if err != nil {
+		return PathTrace{}, err
+	}
+	events := make([]string, len(rec.Events))
+	for j, e := range rec.Events {
+		events[j] = e.String()
+	}
+	return PathTrace{
+		Satisfied:   res.Satisfied,
+		Termination: res.Termination.String(),
+		EndTime:     res.EndTime,
+		Events:      events,
+	}, nil
+}
