@@ -1,0 +1,35 @@
+# Build and verification entry points. "make verify" is the tier-1 gate
+# (build + tests); "make ci" adds the Go-side static analysis and the race
+# detector on the concurrency-heavy packages.
+
+GO ?= go
+
+.PHONY: build test vet fmtcheck lint race verify ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmtcheck fails if any file needs gofmt.
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# lint runs slimlint over every checked-in SLIM fixture that should be
+# clean, as a smoke test of the analyzer binary itself.
+lint: build
+	$(GO) run ./cmd/slimlint internal/lint/testdata/clean.slim
+
+# race re-runs the scheduler- and worker-pool-heavy packages under the
+# race detector.
+race:
+	$(GO) test -race ./internal/parallel/ ./internal/sim/
+
+verify: build test
+
+ci: verify vet fmtcheck race lint

@@ -32,6 +32,7 @@ func run(args []string) error {
 		bound     = fs.Float64("bound", 0, "time bound u of the property (required)")
 		maxStates = fs.Int("max-states", 1<<20, "explicit state-space cap")
 		quiet     = fs.Bool("q", false, "print only the probability")
+		noLint    = fs.Bool("no-lint", false, "skip the static analysis that rejects defective models")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -41,6 +42,11 @@ func run(args []string) error {
 		return fmt.Errorf("-model, -goal and a positive -bound are required")
 	}
 
+	if !*noLint {
+		if err := lintGate(*modelPath); err != nil {
+			return err
+		}
+	}
 	m, err := slimsim.LoadModelFile(*modelPath)
 	if err != nil {
 		return err
@@ -57,5 +63,25 @@ func run(args []string) error {
 	fmt.Printf("states: %d tangible (%d explored), lumped to %d blocks\n",
 		rep.States, rep.Explored, rep.LumpedStates)
 	fmt.Printf("time: build %s, lump %s, solve %s\n", rep.BuildTime, rep.LumpTime, rep.SolveTime)
+	return nil
+}
+
+// lintGate statically analyzes the model file and fails fast when it has
+// error-severity diagnostics, printing them to stderr.
+func lintGate(path string) error {
+	diags, err := slimsim.LintFile(path)
+	if err != nil {
+		return err
+	}
+	errs := 0
+	for _, d := range diags {
+		if d.Severity == slimsim.SeverityError {
+			fmt.Fprintln(os.Stderr, d.Render(path))
+			errs++
+		}
+	}
+	if errs > 0 {
+		return fmt.Errorf("model has %d lint error(s); use -no-lint to override", errs)
+	}
 	return nil
 }

@@ -1,0 +1,82 @@
+// Command slimlint statically analyzes SLIM models and reports positioned
+// diagnostics in the conventional "file:line:col: severity CODE: message"
+// shape. It exits non-zero when any model has error-severity findings (or
+// any finding at all under -Werror), which makes it suitable for CI.
+//
+// Example:
+//
+//	slimlint launcher.slim sensorfilter.slim
+//	slimlint -json -Werror model.slim
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"slimsim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// fileReport groups a file's diagnostics for JSON output.
+type fileReport struct {
+	File        string               `json:"file"`
+	Diagnostics []slimsim.Diagnostic `json:"diagnostics"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slimlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit diagnostics as JSON instead of text")
+		werror  = fs.Bool("Werror", false, "treat warnings as errors for the exit status")
+		quiet   = fs.Bool("q", false, "report via the exit status only")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: slimlint [-json] [-Werror] [-q] model.slim ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	exit := 0
+	reports := make([]fileReport, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		diags, err := slimsim.LintFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "slimlint:", err)
+			return 2
+		}
+		if diags == nil {
+			diags = []slimsim.Diagnostic{}
+		}
+		reports = append(reports, fileReport{File: path, Diagnostics: diags})
+		for _, d := range diags {
+			if d.Severity == slimsim.SeverityError || *werror {
+				exit = 1
+			}
+			if !*quiet && !*jsonOut {
+				fmt.Fprintln(stdout, d.Render(path))
+			}
+		}
+	}
+	if *jsonOut && !*quiet {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(stderr, "slimlint:", err)
+			return 2
+		}
+	}
+	return exit
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fixture(name string) string {
+	return filepath.Join("..", "..", "internal", "lint", "testdata", name)
+}
+
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCleanModel(t *testing.T) {
+	code, out, _ := runLint(t, fixture("clean.slim"))
+	if code != 0 || out != "" {
+		t.Errorf("clean model: exit %d, output %q", code, out)
+	}
+}
+
+func TestErrorModelExitsNonZero(t *testing.T) {
+	code, out, _ := runLint(t, fixture("sl101.slim"))
+	if code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "error SL101") {
+		t.Errorf("output %q misses the SL101 line", out)
+	}
+}
+
+func TestWarningsAndWerror(t *testing.T) {
+	code, out, _ := runLint(t, fixture("sl305.slim"))
+	if code != 0 {
+		t.Errorf("warnings alone: exit %d, want 0", code)
+	}
+	if !strings.Contains(out, "warning SL305") {
+		t.Errorf("output %q misses the SL305 line", out)
+	}
+	if code, _, _ := runLint(t, "-Werror", fixture("sl305.slim")); code != 1 {
+		t.Errorf("-Werror: exit %d, want 1", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := runLint(t, "-json", fixture("sl101.slim"), fixture("clean.slim"))
+	if code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	var reports []fileReport
+	if err := json.Unmarshal([]byte(out), &reports); err != nil {
+		t.Fatalf("bad JSON %q: %v", out, err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	if n := len(reports[0].Diagnostics); n == 0 || reports[0].Diagnostics[0].Code != "SL101" {
+		t.Errorf("first report: %+v", reports[0])
+	}
+	if len(reports[1].Diagnostics) != 0 {
+		t.Errorf("clean model has diagnostics: %+v", reports[1])
+	}
+}
+
+func TestQuietKeepsExitCode(t *testing.T) {
+	code, out, _ := runLint(t, "-q", fixture("sl101.slim"))
+	if code != 1 || out != "" {
+		t.Errorf("-q: exit %d, output %q", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runLint(t); code != 2 {
+		t.Errorf("no arguments: exit %d, want 2", code)
+	}
+	if code, _, stderr := runLint(t, "does-not-exist.slim"); code != 2 || stderr == "" {
+		t.Errorf("missing file: exit %d, stderr %q", code, stderr)
+	}
+}

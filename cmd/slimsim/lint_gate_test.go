@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// defectiveModel has a direction-violating connection: an SL202 lint error
+// that the simulator itself would happily load and run.
+const defectiveModel = `
+system Pair
+features
+  input: in data port bool default false;
+  output: out data port bool default false;
+end Pair;
+
+system implementation Pair.Imp
+modes
+  a: initial mode;
+end Pair.Imp;
+
+system Main
+end Main;
+
+system implementation Main.Imp
+subcomponents
+  x: system Pair.Imp;
+  y: system Pair.Imp;
+connections
+  data port x.input -> y.output;
+end Main.Imp;
+
+root Main.Imp;
+`
+
+func TestLintGateRejectsDefectiveModel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.slim")
+	if err := os.WriteFile(path, []byte(defectiveModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-model", path, "-goal", "y.output", "-bound", "1"})
+	if err == nil || !strings.Contains(err.Error(), "use -no-lint to override") {
+		t.Fatalf("want lint-gate error, got %v", err)
+	}
+
+	// -no-lint must bypass the gate entirely.
+	err = run([]string{"-no-lint", "-model", path, "-goal", "y.output", "-bound", "1", "-q"})
+	if err != nil && strings.Contains(err.Error(), "lint") {
+		t.Fatalf("-no-lint still hit the gate: %v", err)
+	}
+}

@@ -47,6 +47,7 @@ func run(args []string) error {
 		quiet       = fs.Bool("q", false, "print only the probability")
 		simulate    = fs.Int("simulate", 0, "instead of analyzing, print N sample path traces")
 		interactive = fs.Bool("interactive", false, "instead of analyzing, drive one path interactively (Input strategy)")
+		noLint      = fs.Bool("no-lint", false, "skip the static analysis that rejects defective models")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +57,11 @@ func run(args []string) error {
 		return fmt.Errorf("-model plus either -prop or (-goal and a positive -bound) are required")
 	}
 
+	if !*noLint {
+		if err := lintGate(*modelPath); err != nil {
+			return err
+		}
+	}
 	m, err := slimsim.LoadModelFile(*modelPath)
 	if err != nil {
 		return err
@@ -116,6 +122,26 @@ func run(args []string) error {
 		return nil
 	}
 	fmt.Println(rep)
+	return nil
+}
+
+// lintGate statically analyzes the model file and fails fast when it has
+// error-severity diagnostics, printing them to stderr.
+func lintGate(path string) error {
+	diags, err := slimsim.LintFile(path)
+	if err != nil {
+		return err
+	}
+	errs := 0
+	for _, d := range diags {
+		if d.Severity == slimsim.SeverityError {
+			fmt.Fprintln(os.Stderr, d.Render(path))
+			errs++
+		}
+	}
+	if errs > 0 {
+		return fmt.Errorf("model has %d lint error(s); use -no-lint to override", errs)
+	}
 	return nil
 }
 

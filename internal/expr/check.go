@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"errors"
 	"fmt"
 )
 
@@ -20,20 +21,53 @@ func (m DeclMap) VarType(id VarID) (Type, bool) {
 	return t, ok
 }
 
+// CheckError is a structured static-checking failure. Node is the smallest
+// subexpression the problem was detected at, so callers that track node
+// provenance (the linter) can map the failure back to a source position.
+type CheckError struct {
+	Node Expr
+	Msg  string
+}
+
+// Error implements the error interface with the package's historical
+// "expr: message" rendering.
+func (e *CheckError) Error() string { return "expr: " + e.Msg }
+
+// ErrNode returns the node a static-checking error was detected at. ok is
+// false when err carries no *CheckError.
+func ErrNode(err error) (Expr, bool) {
+	var e *CheckError
+	if errors.As(err, &e) {
+		return e.Node, true
+	}
+	return nil, false
+}
+
+func checkErrf(node Expr, format string, args ...any) error {
+	return &CheckError{Node: node, Msg: fmt.Sprintf(format, args...)}
+}
+
 // Check infers the expression's kind and validates operator/operand
 // compatibility without evaluating it. Int and real mix freely in
-// arithmetic and comparisons (the result widens to real).
+// arithmetic and comparisons (the result widens to real). Failures are
+// *CheckError values carrying the offending node.
 func Check(e Expr, decls Decls) (Kind, error) {
+	if e == nil {
+		return 0, checkErrf(nil, "nil expression")
+	}
 	switch n := e.(type) {
 	case *Lit:
+		if n.Val.Kind() == 0 {
+			return 0, checkErrf(n, "literal with invalid value")
+		}
 		return n.Val.Kind(), nil
 	case *Ref:
 		if n.ID == NoVar {
-			return 0, fmt.Errorf("expr: unresolved reference %q", n.Name)
+			return 0, checkErrf(n, fmt.Sprintf("unresolved reference %q", n.Name))
 		}
 		t, ok := decls.VarType(n.ID)
 		if !ok {
-			return 0, fmt.Errorf("expr: unknown variable id %d (%s)", n.ID, n.Name)
+			return 0, checkErrf(n, fmt.Sprintf("unknown variable id %d (%s)", n.ID, n.Name))
 		}
 		return t.Kind, nil
 	case *Unary:
@@ -44,16 +78,16 @@ func Check(e Expr, decls Decls) (Kind, error) {
 		switch n.Op {
 		case OpNot:
 			if k != KindBool {
-				return 0, fmt.Errorf("expr: not applied to %s in %s", k, e)
+				return 0, checkErrf(n, fmt.Sprintf("not applied to %s in %s", k, e))
 			}
 			return KindBool, nil
 		case OpNeg:
 			if k == KindBool {
-				return 0, fmt.Errorf("expr: negation applied to bool in %s", e)
+				return 0, checkErrf(n, fmt.Sprintf("negation applied to bool in %s", e))
 			}
 			return k, nil
 		default:
-			return 0, fmt.Errorf("expr: invalid unary operator %v", n.Op)
+			return 0, checkErrf(n, fmt.Sprintf("invalid unary operator %v", n.Op))
 		}
 	case *Binary:
 		return checkBinary(n, decls)
@@ -76,9 +110,9 @@ func Check(e Expr, decls Decls) (Kind, error) {
 		if numeric(tk) && numeric(ek) {
 			return KindReal, nil
 		}
-		return 0, fmt.Errorf("expr: conditional branches have kinds %s and %s in %s", tk, ek, n)
+		return 0, checkErrf(n, fmt.Sprintf("conditional branches have kinds %s and %s in %s", tk, ek, n))
 	default:
-		return 0, fmt.Errorf("expr: unsupported node %T", e)
+		return 0, checkErrf(e, fmt.Sprintf("unsupported node %T", e))
 	}
 }
 
@@ -95,7 +129,7 @@ func checkBinary(n *Binary, decls Decls) (Kind, error) {
 	switch n.Op {
 	case OpAnd, OpOr:
 		if lk != KindBool || rk != KindBool {
-			return 0, fmt.Errorf("expr: %v applied to %s and %s in %s", n.Op, lk, rk, n)
+			return 0, checkErrf(n, fmt.Sprintf("%v applied to %s and %s in %s", n.Op, lk, rk, n))
 		}
 		return KindBool, nil
 	case OpEq, OpNe:
@@ -105,22 +139,22 @@ func checkBinary(n *Binary, decls Decls) (Kind, error) {
 		if numeric(lk) && numeric(rk) {
 			return KindBool, nil
 		}
-		return 0, fmt.Errorf("expr: %v compares %s with %s in %s", n.Op, lk, rk, n)
+		return 0, checkErrf(n, fmt.Sprintf("%v compares %s with %s in %s", n.Op, lk, rk, n))
 	case OpLt, OpLe, OpGt, OpGe:
 		if !numeric(lk) || !numeric(rk) {
-			return 0, fmt.Errorf("expr: %v applied to %s and %s in %s", n.Op, lk, rk, n)
+			return 0, checkErrf(n, fmt.Sprintf("%v applied to %s and %s in %s", n.Op, lk, rk, n))
 		}
 		return KindBool, nil
 	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
 		if !numeric(lk) || !numeric(rk) {
-			return 0, fmt.Errorf("expr: %v applied to %s and %s in %s", n.Op, lk, rk, n)
+			return 0, checkErrf(n, fmt.Sprintf("%v applied to %s and %s in %s", n.Op, lk, rk, n))
 		}
 		if lk == KindInt && rk == KindInt {
 			return KindInt, nil
 		}
 		return KindReal, nil
 	default:
-		return 0, fmt.Errorf("expr: invalid binary operator %v", n.Op)
+		return 0, checkErrf(n, fmt.Sprintf("invalid binary operator %v", n.Op))
 	}
 }
 
@@ -131,7 +165,7 @@ func CheckBool(e Expr, decls Decls) error {
 		return err
 	}
 	if k != KindBool {
-		return fmt.Errorf("expr: expected Boolean expression, %s has kind %s", e, k)
+		return checkErrf(e, fmt.Sprintf("expected Boolean expression, %s has kind %s", e, k))
 	}
 	return nil
 }
@@ -147,16 +181,19 @@ func TimedLinear(e Expr, decls Decls) error {
 
 // timedDeps reports whether e depends on a clock or continuous variable.
 func timedDeps(e Expr, decls Decls) (bool, error) {
+	if e == nil {
+		return false, checkErrf(nil, "nil expression")
+	}
 	switch n := e.(type) {
 	case *Lit:
 		return false, nil
 	case *Ref:
 		if n.ID == NoVar {
-			return false, fmt.Errorf("expr: unresolved reference %q", n.Name)
+			return false, checkErrf(n, fmt.Sprintf("unresolved reference %q", n.Name))
 		}
 		t, ok := decls.VarType(n.ID)
 		if !ok {
-			return false, fmt.Errorf("expr: unknown variable id %d (%s)", n.ID, n.Name)
+			return false, checkErrf(n, fmt.Sprintf("unknown variable id %d (%s)", n.ID, n.Name))
 		}
 		return t.Timed(), nil
 	case *Unary:
@@ -173,11 +210,11 @@ func timedDeps(e Expr, decls Decls) (bool, error) {
 		switch n.Op {
 		case OpMul:
 			if l && r {
-				return false, fmt.Errorf("expr: product of two timed expressions in %s", n)
+				return false, checkErrf(n, fmt.Sprintf("product of two timed expressions in %s", n))
 			}
 		case OpDiv, OpMod:
 			if r {
-				return false, fmt.Errorf("expr: timed divisor in %s", n)
+				return false, checkErrf(n, fmt.Sprintf("timed divisor in %s", n))
 			}
 		}
 		return l || r, nil
@@ -199,11 +236,11 @@ func timedDeps(e Expr, decls Decls) (bool, error) {
 		// contexts. (Window handles it exactly, but TimedLinear guards
 		// the numeric path.)
 		if c && (tb || eb || n.branchesNumeric(decls)) {
-			return false, fmt.Errorf("expr: timed condition in conditional %s", n)
+			return false, checkErrf(n, fmt.Sprintf("timed condition in conditional %s", n))
 		}
 		return c || tb || eb, nil
 	default:
-		return false, fmt.Errorf("expr: unsupported node %T", e)
+		return false, checkErrf(e, fmt.Sprintf("unsupported node %T", e))
 	}
 }
 

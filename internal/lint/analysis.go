@@ -1,0 +1,351 @@
+package lint
+
+import (
+	"math"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/intervals"
+)
+
+// This file implements the three-valued satisfiability check behind the
+// dead-transition pass: a box abstraction that bounds every numeric
+// subexpression by an interval derived from declared variable ranges
+// (int[lo..hi] -> [lo,hi], clock -> [0,inf)), plus per-variable interval
+// propagation across conjunctions of single-variable atoms. A verdict of
+// vFalse is sound as long as every variable stays within its declared range
+// — which the runtime enforces for ranged integers, and which holds for
+// clocks unless a model assigns one a negative value.
+
+// verdict is a three-valued truth value ordered vFalse < vUnknown < vTrue,
+// so that conjunction is min and disjunction is max.
+type verdict int
+
+const (
+	vFalse verdict = iota - 1
+	vUnknown
+	vTrue
+)
+
+func (v verdict) not() verdict { return -v }
+
+func vMin(a, b verdict) verdict {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func vMax(a, b verdict) verdict {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// declaredRange returns the interval a variable's values are confined to by
+// its declared type.
+func declaredRange(t expr.Type) intervals.Interval {
+	switch {
+	case t.Kind == expr.KindInt && t.HasRange:
+		return intervals.Closed(float64(t.Min), float64(t.Max))
+	case t.Clock:
+		return intervals.AtLeast(0)
+	default:
+		return intervals.All()
+	}
+}
+
+// rangeOf bounds a numeric expression by an interval. ok is false when the
+// expression is non-numeric or the bound degenerates (NaN endpoints).
+func rangeOf(e expr.Expr, decls expr.Decls) (intervals.Interval, bool) {
+	switch n := e.(type) {
+	case *expr.Lit:
+		if !n.Val.IsNumeric() {
+			return intervals.Interval{}, false
+		}
+		return intervals.Point(n.Val.AsFloat()), true
+	case *expr.Ref:
+		t, ok := decls.VarType(n.ID)
+		if !ok || t.Kind == expr.KindBool {
+			return intervals.Interval{}, false
+		}
+		return declaredRange(t), true
+	case *expr.Unary:
+		if n.Op != expr.OpNeg {
+			return intervals.Interval{}, false
+		}
+		x, ok := rangeOf(n.X, decls)
+		if !ok {
+			return intervals.Interval{}, false
+		}
+		return checked(intervals.Interval{Lo: -x.Hi, Hi: -x.Lo, LoOpen: x.HiOpen, HiOpen: x.LoOpen})
+	case *expr.Binary:
+		return rangeOfBinary(n, decls)
+	case *expr.Cond:
+		a, ok := rangeOf(n.Then, decls)
+		if !ok {
+			return intervals.Interval{}, false
+		}
+		b, ok := rangeOf(n.Else, decls)
+		if !ok {
+			return intervals.Interval{}, false
+		}
+		return checked(hull(a, b))
+	default:
+		return intervals.Interval{}, false
+	}
+}
+
+func rangeOfBinary(n *expr.Binary, decls expr.Decls) (intervals.Interval, bool) {
+	switch n.Op {
+	case expr.OpAdd, expr.OpSub, expr.OpMul:
+	default:
+		// Division and modulo bounds are omitted; unknown is sound.
+		return intervals.Interval{}, false
+	}
+	l, ok := rangeOf(n.L, decls)
+	if !ok {
+		return intervals.Interval{}, false
+	}
+	r, ok := rangeOf(n.R, decls)
+	if !ok {
+		return intervals.Interval{}, false
+	}
+	switch n.Op {
+	case expr.OpAdd:
+		return checked(intervals.Interval{Lo: l.Lo + r.Lo, Hi: l.Hi + r.Hi})
+	case expr.OpSub:
+		return checked(intervals.Interval{Lo: l.Lo - r.Hi, Hi: l.Hi - r.Lo})
+	default: // OpMul
+		ps := [4]float64{l.Lo * r.Lo, l.Lo * r.Hi, l.Hi * r.Lo, l.Hi * r.Hi}
+		lo, hi := ps[0], ps[0]
+		for _, p := range ps[1:] {
+			lo, hi = math.Min(lo, p), math.Max(hi, p)
+		}
+		return checked(intervals.Interval{Lo: lo, Hi: hi})
+	}
+}
+
+// checked rejects NaN endpoints (e.g. inf*0) as unknown.
+func checked(iv intervals.Interval) (intervals.Interval, bool) {
+	if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
+		return intervals.Interval{}, false
+	}
+	return iv, true
+}
+
+// hull returns the smallest interval containing both operands.
+func hull(a, b intervals.Interval) intervals.Interval {
+	out := a
+	if b.Lo < out.Lo {
+		out.Lo, out.LoOpen = b.Lo, b.LoOpen
+	}
+	if b.Hi > out.Hi {
+		out.Hi, out.HiOpen = b.Hi, b.HiOpen
+	}
+	return out
+}
+
+// satisfy computes a three-valued verdict for a Boolean expression under
+// the box abstraction.
+func satisfy(e expr.Expr, decls expr.Decls) verdict {
+	switch n := e.(type) {
+	case *expr.Lit:
+		if n.Val.Kind() != expr.KindBool {
+			return vUnknown
+		}
+		if n.Val.Bool() {
+			return vTrue
+		}
+		return vFalse
+	case *expr.Ref:
+		return vUnknown
+	case *expr.Unary:
+		if n.Op != expr.OpNot {
+			return vUnknown
+		}
+		return satisfy(n.X, decls).not()
+	case *expr.Binary:
+		switch n.Op {
+		case expr.OpAnd:
+			v := vMin(satisfy(n.L, decls), satisfy(n.R, decls))
+			if v == vUnknown && conjUnsat(n, decls) {
+				return vFalse
+			}
+			return v
+		case expr.OpOr:
+			return vMax(satisfy(n.L, decls), satisfy(n.R, decls))
+		case expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
+			return compareVerdict(n, decls)
+		default:
+			return vUnknown
+		}
+	case *expr.Cond:
+		switch satisfy(n.If, decls) {
+		case vTrue:
+			return satisfy(n.Then, decls)
+		case vFalse:
+			return satisfy(n.Else, decls)
+		default:
+			t, e := satisfy(n.Then, decls), satisfy(n.Else, decls)
+			if t == e {
+				return t
+			}
+			return vUnknown
+		}
+	default:
+		return vUnknown
+	}
+}
+
+// compareVerdict decides a comparison atom from the operand ranges. Only
+// the endpoint values are compared, which is conservative regardless of
+// endpoint openness.
+func compareVerdict(n *expr.Binary, decls expr.Decls) verdict {
+	l, ok := rangeOf(n.L, decls)
+	if !ok {
+		return vUnknown
+	}
+	r, ok := rangeOf(n.R, decls)
+	if !ok {
+		return vUnknown
+	}
+	op := n.Op
+	// Normalize > and >= by swapping operands.
+	if op == expr.OpGt {
+		l, r, op = r, l, expr.OpLt
+	} else if op == expr.OpGe {
+		l, r, op = r, l, expr.OpLe
+	}
+	point := func(iv intervals.Interval) (float64, bool) {
+		return iv.Lo, iv.Lo == iv.Hi && !iv.LoOpen && !iv.HiOpen
+	}
+	switch op {
+	case expr.OpEq:
+		if l.Intersect(r).Empty() {
+			return vFalse
+		}
+		if lp, ok := point(l); ok {
+			if rp, ok := point(r); ok && lp == rp {
+				return vTrue
+			}
+		}
+		return vUnknown
+	case expr.OpNe:
+		if l.Intersect(r).Empty() {
+			return vTrue
+		}
+		if lp, ok := point(l); ok {
+			if rp, ok := point(r); ok && lp == rp {
+				return vFalse
+			}
+		}
+		return vUnknown
+	case expr.OpLt:
+		if l.Hi < r.Lo {
+			return vTrue
+		}
+		if l.Lo >= r.Hi {
+			return vFalse
+		}
+		return vUnknown
+	case expr.OpLe:
+		if l.Hi <= r.Lo {
+			return vTrue
+		}
+		if l.Lo > r.Hi {
+			return vFalse
+		}
+		return vUnknown
+	default:
+		return vUnknown
+	}
+}
+
+// conjUnsat refines a conjunction: single-variable atoms (x OP c, c OP x)
+// contribute interval sets per variable; if any variable's combined set —
+// intersected with its declared range — is empty, the conjunction cannot
+// hold.
+func conjUnsat(e expr.Expr, decls expr.Decls) bool {
+	sets := make(map[expr.VarID]intervals.Set)
+	var collect func(expr.Expr)
+	collect = func(e expr.Expr) {
+		if b, ok := e.(*expr.Binary); ok && b.Op == expr.OpAnd {
+			collect(b.L)
+			collect(b.R)
+			return
+		}
+		id, set, ok := atomSet(e)
+		if !ok {
+			return
+		}
+		if cur, seen := sets[id]; seen {
+			sets[id] = cur.Intersect(set)
+		} else {
+			sets[id] = set
+		}
+	}
+	collect(e)
+	for id, set := range sets {
+		t, ok := decls.VarType(id)
+		if !ok {
+			continue
+		}
+		if set.Intersect(intervals.FromInterval(declaredRange(t))).Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// atomSet recognizes `x OP c` and `c OP x` atoms and returns the set of x
+// values satisfying them.
+func atomSet(e expr.Expr) (expr.VarID, intervals.Set, bool) {
+	b, ok := e.(*expr.Binary)
+	if !ok {
+		return expr.NoVar, intervals.Set{}, false
+	}
+	op := b.Op
+	ref, isL := b.L.(*expr.Ref)
+	lit, litOK := b.R.(*expr.Lit)
+	if !isL || !litOK {
+		// Try the mirrored form c OP x.
+		lit, litOK = b.L.(*expr.Lit)
+		ref, isL = b.R.(*expr.Ref)
+		if !isL || !litOK {
+			return expr.NoVar, intervals.Set{}, false
+		}
+		switch op {
+		case expr.OpLt:
+			op = expr.OpGt
+		case expr.OpLe:
+			op = expr.OpGe
+		case expr.OpGt:
+			op = expr.OpLt
+		case expr.OpGe:
+			op = expr.OpLe
+		}
+	}
+	if ref.ID == expr.NoVar || !lit.Val.IsNumeric() {
+		return expr.NoVar, intervals.Set{}, false
+	}
+	c := lit.Val.AsFloat()
+	var set intervals.Set
+	switch op {
+	case expr.OpLt:
+		set = intervals.FromInterval(intervals.LessThan(c))
+	case expr.OpLe:
+		set = intervals.FromInterval(intervals.AtMost(c))
+	case expr.OpGt:
+		set = intervals.FromInterval(intervals.GreaterThan(c))
+	case expr.OpGe:
+		set = intervals.FromInterval(intervals.AtLeast(c))
+	case expr.OpEq:
+		set = intervals.FromInterval(intervals.Point(c))
+	case expr.OpNe:
+		set = intervals.FromInterval(intervals.Point(c)).Complement()
+	default:
+		return expr.NoVar, intervals.Set{}, false
+	}
+	return ref.ID, set, true
+}

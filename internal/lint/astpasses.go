@@ -1,0 +1,639 @@
+package lint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"slimsim/internal/slim"
+)
+
+// The passes in this file analyze the parsed AST only, so they work even on
+// models that fail to instantiate. Name resolution is done statically over
+// the declaration tables; when a resolution step fails for a reason another
+// diagnostic already covers (an unknown component type or implementation),
+// the passes stay silent rather than pile on.
+
+// resolver resolves names statically over a parsed model.
+type resolver struct {
+	m *slim.Model
+}
+
+func (r resolver) typeOf(impl *slim.ComponentImpl) *slim.ComponentType {
+	if impl == nil {
+		return nil
+	}
+	return r.m.ComponentTypes[impl.TypeName]
+}
+
+func (r resolver) implOf(ref string) *slim.ComponentImpl {
+	return r.m.ComponentImpls[ref]
+}
+
+func feature(t *slim.ComponentType, name string) *slim.Feature {
+	if t == nil {
+		return nil
+	}
+	for _, f := range t.Features {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+func subcomponent(impl *slim.ComponentImpl, name string) *slim.Subcomponent {
+	if impl == nil {
+		return nil
+	}
+	for _, s := range impl.Subcomponents {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+func joinRef(ref []string) string { return strings.Join(ref, ".") }
+
+// endpoint resolves a one- or two-segment port reference in impl's scope.
+// own reports whether the port belongs to the component itself (as opposed
+// to a subcomponent). Resolution failures are reported under code with the
+// given role ("connection source", "transition trigger", ...); failures
+// caused by unknown types or implementations elsewhere stay silent.
+func (r resolver) endpoint(impl *slim.ComponentImpl, ref []string, pos slim.Pos, rep *Reporter, code, role string) (f *slim.Feature, own bool, ok bool) {
+	switch len(ref) {
+	case 1:
+		t := r.typeOf(impl)
+		if t == nil {
+			return nil, false, false
+		}
+		f := feature(t, ref[0])
+		if f == nil {
+			rep.Errorf(code, pos, "%s %s: component type %s has no port %s", role, joinRef(ref), t.Name, ref[0])
+			return nil, false, false
+		}
+		return f, true, true
+	case 2:
+		sub := subcomponent(impl, ref[0])
+		if sub == nil {
+			rep.Errorf(code, pos, "%s %s: component %s has no subcomponent %s", role, joinRef(ref), impl.Name(), ref[0])
+			return nil, false, false
+		}
+		if sub.Data != nil {
+			rep.Errorf(code, pos, "%s %s: %s is a data subcomponent, not a component", role, joinRef(ref), ref[0])
+			return nil, false, false
+		}
+		st := r.typeOf(r.implOf(sub.ImplRef))
+		if st == nil {
+			return nil, false, false
+		}
+		f := feature(st, ref[1])
+		if f == nil {
+			rep.Errorf(code, pos, "%s %s: component type %s has no port %s", role, joinRef(ref), st.Name, ref[1])
+			return nil, false, false
+		}
+		return f, false, true
+	default:
+		rep.Errorf(code, pos, "%s %s: port references have at most two segments", role, joinRef(ref))
+		return nil, false, false
+	}
+}
+
+// sortedImpls returns the component implementations in name order so pass
+// output is deterministic.
+func sortedImpls(m *slim.Model) []*slim.ComponentImpl {
+	names := make([]string, 0, len(m.ComponentImpls))
+	for name := range m.ComponentImpls {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*slim.ComponentImpl, len(names))
+	for i, name := range names {
+		out[i] = m.ComponentImpls[name]
+	}
+	return out
+}
+
+// portDesc says which port a connection diagnostic is about.
+func portDesc(ref []string, f *slim.Feature, own bool) string {
+	dir := "in"
+	if f.Out {
+		dir = "out"
+	}
+	if own {
+		return fmt.Sprintf("%s is the component's own %s port", joinRef(ref), dir)
+	}
+	return fmt.Sprintf("%s is an %s port of subcomponent %s", joinRef(ref), dir, ref[0])
+}
+
+// checkConnectionsAST checks every connection's endpoints (SL205), port
+// kinds (SL206), directions (SL202), data types and ranges (SL203), and
+// flags duplicates (SL204).
+func checkConnectionsAST(m *slim.Model, rep *Reporter) {
+	r := resolver{m}
+	for _, impl := range sortedImpls(m) {
+		seen := make(map[string]*slim.Connection)
+		for _, c := range impl.Connections {
+			kind := "data"
+			if c.Event {
+				kind = "event"
+			}
+			fromF, fromOwn, fromOK := r.endpoint(impl, c.From, c.Pos, rep, "SL205", "connection source")
+			toF, toOwn, toOK := r.endpoint(impl, c.To, c.Pos, rep, "SL205", "connection target")
+
+			if fromOK && fromF.Event != c.Event {
+				rep.Errorf("SL206", c.Pos, "%s connection source %s is %s port", kind, joinRef(c.From), porKind(fromF))
+			}
+			if toOK && toF.Event != c.Event {
+				rep.Errorf("SL206", c.Pos, "%s connection target %s is %s port", kind, joinRef(c.To), porKind(toF))
+			}
+
+			// A source must feed data into the component: the component's
+			// own in ports or a subcomponent's out ports. Targets mirror
+			// that.
+			if fromOK && fromF.Event == c.Event {
+				if fromOwn == fromF.Out {
+					rep.Errorf("SL202", c.Pos,
+						"connection source %s; sources must be own in ports or subcomponent out ports",
+						portDesc(c.From, fromF, fromOwn))
+				}
+			}
+			if toOK && toF.Event == c.Event {
+				if toOwn != toF.Out {
+					rep.Errorf("SL202", c.Pos,
+						"connection target %s; targets must be own out ports or subcomponent in ports",
+						portDesc(c.To, toF, toOwn))
+				}
+			}
+
+			if !c.Event && fromOK && toOK && fromF.Type != nil && toF.Type != nil {
+				checkDataCompat(rep, c, fromF.Type, toF.Type)
+			}
+
+			key := fmt.Sprintf("%s|%s->%s|%s", kind, joinRef(c.From), joinRef(c.To), strings.Join(c.InModes, ","))
+			if first, dup := seen[key]; dup {
+				rep.Report(Diag{
+					Code: "SL204", Severity: SevWarning, Pos: c.Pos,
+					Msg:     fmt.Sprintf("duplicate %s connection %s -> %s", kind, joinRef(c.From), joinRef(c.To)),
+					Related: []Related{{Pos: first.Pos, Msg: "first declared here"}},
+				})
+			} else {
+				seen[key] = c
+			}
+		}
+	}
+}
+
+func porKind(f *slim.Feature) string {
+	if f.Event {
+		return "an event"
+	}
+	return "a data"
+}
+
+// valueKind maps a surface data type to its runtime value kind name.
+func valueKind(t *slim.DataType) string {
+	switch t.Name {
+	case "clock", "continuous":
+		return "real"
+	default:
+		return t.Name
+	}
+}
+
+// checkDataCompat checks the data types at the two ends of a connection:
+// kind mismatches are errors, range narrowing is a warning.
+func checkDataCompat(rep *Reporter, c *slim.Connection, from, to *slim.DataType) {
+	fk, tk := valueKind(from), valueKind(to)
+	if fk != tk {
+		rep.Errorf("SL203", c.Pos, "connection %s -> %s connects a %s port to a %s port",
+			joinRef(c.From), joinRef(c.To), fk, tk)
+		return
+	}
+	if fk != "int" || !to.HasRange {
+		return
+	}
+	if !from.HasRange {
+		rep.Warnf("SL203", c.Pos, "connection %s -> %s feeds an unbounded int into range [%d..%d]",
+			joinRef(c.From), joinRef(c.To), to.Lo, to.Hi)
+		return
+	}
+	if from.Lo < to.Lo || from.Hi > to.Hi {
+		rep.Warnf("SL203", c.Pos, "connection %s -> %s feeds range [%d..%d] into narrower range [%d..%d]",
+			joinRef(c.From), joinRef(c.To), from.Lo, from.Hi, to.Lo, to.Hi)
+	}
+}
+
+// checkModesAST checks the mode graph of every implementation: unknown
+// modes in transitions (SL303) and "in modes" clauses (SL301), bad
+// transition triggers (SL304), and modes unreachable from the initial mode
+// (SL302).
+func checkModesAST(m *slim.Model, rep *Reporter) {
+	r := resolver{m}
+	for _, impl := range sortedImpls(m) {
+		if len(impl.Modes) == 0 {
+			if len(impl.Transitions) > 0 {
+				rep.Errorf("SL303", impl.Pos, "component %s has transitions but no modes", impl.Name())
+			}
+			for _, s := range impl.Subcomponents {
+				if len(s.InModes) > 0 {
+					rep.Errorf("SL301", s.Pos, "subcomponent %s is mode-dependent but %s has no modes", s.Name, impl.Name())
+				}
+			}
+			for _, c := range impl.Connections {
+				if len(c.InModes) > 0 {
+					rep.Errorf("SL301", c.Pos, "connection is mode-dependent but %s has no modes", impl.Name())
+				}
+			}
+			continue
+		}
+
+		modeIdx := make(map[string]int, len(impl.Modes))
+		for i, md := range impl.Modes {
+			modeIdx[md.Name] = i
+		}
+		checkInModes := func(pos slim.Pos, names []string, what string) {
+			for _, name := range names {
+				if _, ok := modeIdx[name]; !ok {
+					rep.Errorf("SL301", pos, "%s: \"in modes\" references unknown mode %s of %s", what, name, impl.Name())
+				}
+			}
+		}
+		for _, s := range impl.Subcomponents {
+			checkInModes(s.Pos, s.InModes, "subcomponent "+s.Name)
+		}
+		for _, c := range impl.Connections {
+			checkInModes(c.Pos, c.InModes, fmt.Sprintf("connection %s -> %s", joinRef(c.From), joinRef(c.To)))
+		}
+
+		adj := make([][]int, len(impl.Modes))
+		for _, tr := range impl.Transitions {
+			from, fromOK := modeIdx[tr.From]
+			to, toOK := modeIdx[tr.To]
+			if !fromOK {
+				rep.Errorf("SL303", tr.Pos, "transition references unknown mode %s of %s", tr.From, impl.Name())
+			}
+			if !toOK {
+				rep.Errorf("SL303", tr.Pos, "transition references unknown mode %s of %s", tr.To, impl.Name())
+			}
+			if fromOK && toOK {
+				adj[from] = append(adj[from], to)
+			}
+			if tr.Event != nil {
+				if f, _, ok := r.endpoint(impl, tr.Event, tr.Pos, rep, "SL304", "transition trigger"); ok && !f.Event {
+					rep.Errorf("SL304", tr.Pos, "transition trigger %s is a data port", joinRef(tr.Event))
+				}
+			}
+		}
+
+		// Reachability from the initial mode. Without an explicit initial
+		// mode the runtime starts in the first one.
+		reached := make([]bool, len(impl.Modes))
+		var stack []int
+		for i, md := range impl.Modes {
+			if md.Initial {
+				stack = append(stack, i)
+			}
+		}
+		if len(stack) == 0 {
+			stack = append(stack, 0)
+		}
+		for _, s := range stack {
+			reached[s] = true
+		}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, next := range adj[cur] {
+				if !reached[next] {
+					reached[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		for i, md := range impl.Modes {
+			if !reached[i] {
+				rep.Warnf("SL302", md.Pos, "mode %s of %s is unreachable from the initial mode", md.Name, impl.Name())
+			}
+		}
+	}
+}
+
+// forEachExpr visits every expression in the model.
+func forEachExpr(m *slim.Model, fn func(e slim.Expr)) {
+	visit := func(e slim.Expr) {
+		if e != nil {
+			walkSurface(e, fn)
+		}
+	}
+	for _, t := range m.ComponentTypes {
+		for _, f := range t.Features {
+			visit(f.Default)
+			visit(f.Compute)
+		}
+	}
+	for _, impl := range m.ComponentImpls {
+		for _, s := range impl.Subcomponents {
+			visit(s.Default)
+		}
+		for _, md := range impl.Modes {
+			visit(md.Invariant)
+			for _, d := range md.Derivs {
+				visit(d.Rate)
+			}
+		}
+		for _, tr := range impl.Transitions {
+			visit(tr.Guard)
+			for _, a := range tr.Effects {
+				visit(a.Value)
+			}
+		}
+	}
+	for _, ext := range m.Extensions {
+		for _, inj := range ext.Injections {
+			visit(inj.Value)
+		}
+	}
+}
+
+// walkSurface calls fn on e and every descendant.
+func walkSurface(e slim.Expr, fn func(slim.Expr)) {
+	fn(e)
+	switch n := e.(type) {
+	case *slim.UnaryExpr:
+		walkSurface(n.X, fn)
+	case *slim.BinExpr:
+		walkSurface(n.L, fn)
+		walkSurface(n.R, fn)
+	case *slim.CondExpr:
+		walkSurface(n.If, fn)
+		walkSurface(n.Then, fn)
+		walkSurface(n.Else, fn)
+	}
+}
+
+// checkInitAST flags discrete data subcomponents that are read somewhere
+// but never assigned anywhere and have no default (SL401): such variables
+// hold their zero value forever, which is rarely intended. The analysis is
+// name-based (last path segment) and global, so shared names suppress the
+// warning rather than produce false positives.
+func checkInitAST(m *slim.Model, rep *Reporter) {
+	assigned := make(map[string]bool)
+	note := func(path []string) {
+		if len(path) > 0 {
+			assigned[path[len(path)-1]] = true
+		}
+	}
+	for _, impl := range m.ComponentImpls {
+		for _, tr := range impl.Transitions {
+			for _, a := range tr.Effects {
+				note(a.Target)
+			}
+		}
+		for _, c := range impl.Connections {
+			note(c.To)
+		}
+	}
+	for _, ext := range m.Extensions {
+		for _, inj := range ext.Injections {
+			note(inj.Target)
+		}
+	}
+
+	reads := make(map[string]slim.Pos)
+	forEachExpr(m, func(e slim.Expr) {
+		ref, ok := e.(*slim.RefExpr)
+		if !ok || len(ref.Path) == 0 {
+			return
+		}
+		name := ref.Path[len(ref.Path)-1]
+		if cur, seen := reads[name]; !seen || before(ref.Pos, cur) {
+			reads[name] = ref.Pos
+		}
+	})
+
+	for _, impl := range sortedImpls(m) {
+		for _, s := range impl.Subcomponents {
+			if s.Data == nil || s.Default != nil {
+				continue
+			}
+			switch s.Data.Name {
+			case "clock", "continuous":
+				// Timed variables evolve on their own; zero is a
+				// meaningful start.
+				continue
+			}
+			readPos, isRead := reads[s.Name]
+			if !isRead || assigned[s.Name] {
+				continue
+			}
+			rep.Report(Diag{
+				Code: "SL401", Severity: SevWarning, Pos: s.Pos,
+				Msg: fmt.Sprintf("data subcomponent %s of %s is read but never assigned and has no default; it always holds %s",
+					s.Name, impl.Name(), zeroOf(s.Data)),
+				Related: []Related{{Pos: readPos, Msg: "read here"}},
+			})
+		}
+	}
+}
+
+func before(a, b slim.Pos) bool {
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Col < b.Col
+}
+
+func zeroOf(t *slim.DataType) string {
+	switch t.Name {
+	case "bool":
+		return "false"
+	case "int":
+		if t.HasRange {
+			return fmt.Sprintf("%d", t.Lo)
+		}
+		return "0"
+	default:
+		return "0"
+	}
+}
+
+// checkErrorModelsAST checks error model types, implementations and
+// extension clauses: inconsistent automata (SL602), unused events (SL601),
+// bad rates and timing windows (SL605), unknown error types (SL604) and
+// broken extension clauses (SL603). Unattached error models are never
+// touched by instantiation, so this pass is their only checker.
+func checkErrorModelsAST(m *slim.Model, rep *Reporter) {
+	r := resolver{m}
+
+	typeNames := make([]string, 0, len(m.ErrorTypes))
+	for name := range m.ErrorTypes {
+		typeNames = append(typeNames, name)
+	}
+	sort.Strings(typeNames)
+	for _, name := range typeNames {
+		et := m.ErrorTypes[name]
+		if len(et.States) == 0 {
+			rep.Errorf("SL602", et.Pos, "error model %s has no states", et.Name)
+			continue
+		}
+		seen := make(map[string]bool, len(et.States))
+		initials := 0
+		for _, s := range et.States {
+			if seen[s.Name] {
+				rep.Errorf("SL602", s.Pos, "duplicate error state %s in %s", s.Name, et.Name)
+			}
+			seen[s.Name] = true
+			if s.Initial {
+				initials++
+			}
+		}
+		if initials == 0 {
+			rep.Errorf("SL602", et.Pos, "error model %s has no initial state", et.Name)
+		} else if initials > 1 {
+			rep.Errorf("SL602", et.Pos, "error model %s has multiple initial states", et.Name)
+		}
+	}
+
+	implNames := make([]string, 0, len(m.ErrorImpls))
+	for name := range m.ErrorImpls {
+		implNames = append(implNames, name)
+	}
+	sort.Strings(implNames)
+	for _, name := range implNames {
+		ei := m.ErrorImpls[name]
+		et, typeOK := m.ErrorTypes[ei.TypeName]
+		if !typeOK {
+			rep.Errorf("SL604", ei.Pos, "error model implementation %s implements unknown error model %s",
+				ei.Name(), ei.TypeName)
+		}
+		states := make(map[string]bool)
+		if typeOK {
+			for _, s := range et.States {
+				states[s.Name] = true
+			}
+		}
+		events := make(map[string]*slim.ErrorEvent, len(ei.Events))
+		used := make(map[string]bool, len(ei.Events))
+		for _, ev := range ei.Events {
+			if _, dup := events[ev.Name]; dup {
+				rep.Errorf("SL602", ev.Pos, "duplicate error event %s in %s", ev.Name, ei.Name())
+			}
+			events[ev.Name] = ev
+			if ev.HasRate && ev.Rate <= 0 {
+				rep.Errorf("SL605", ev.Pos, "error event %s has non-positive occurrence rate %g", ev.Name, ev.Rate)
+			}
+		}
+		for _, tr := range ei.Transitions {
+			if typeOK {
+				for _, st := range []string{tr.From, tr.To} {
+					if !states[st] {
+						rep.Errorf("SL602", tr.Pos, "transition references unknown error state %s of %s", st, ei.TypeName)
+					}
+				}
+			}
+			ev, evOK := events[tr.Event]
+			if !evOK {
+				rep.Errorf("SL602", tr.Pos, "transition references unknown error event %s of %s", tr.Event, ei.Name())
+			} else {
+				used[tr.Event] = true
+			}
+			if tr.HasAfter {
+				if tr.Hi < tr.Lo || math.IsInf(tr.Hi, 1) {
+					rep.Errorf("SL605", tr.Pos, "invalid timing window [%g..%g]", tr.Lo, tr.Hi)
+				}
+				if evOK && ev.HasRate {
+					rep.Errorf("SL605", tr.Pos, "transition combines Poisson event %s with a timing window", tr.Event)
+				}
+			}
+		}
+		for _, ev := range ei.Events {
+			if !used[ev.Name] {
+				rep.Warnf("SL601", ev.Pos, "error event %s of %s is never used by a transition", ev.Name, ei.Name())
+			}
+		}
+	}
+
+	for _, ext := range m.Extensions {
+		checkExtension(r, ext, rep)
+	}
+}
+
+// checkExtension statically resolves one "extend" clause: its error
+// implementation, its target path, the reset binding and every injection.
+func checkExtension(r resolver, ext *slim.Extension, rep *Reporter) {
+	ei, implOK := r.m.ErrorImpls[ext.ErrorImplRef]
+	if !implOK {
+		rep.Errorf("SL603", ext.Pos, "extension references unknown error model implementation %s", ext.ErrorImplRef)
+	}
+
+	cur := r.implOf(r.m.Root)
+	if cur == nil {
+		return
+	}
+	for _, seg := range ext.Target {
+		sub := subcomponent(cur, seg)
+		if sub == nil || sub.Data != nil {
+			rep.Errorf("SL603", ext.Pos, "extension target: component %s has no subcomponent %s", cur.Name(), seg)
+			return
+		}
+		next := r.implOf(sub.ImplRef)
+		if next == nil {
+			return
+		}
+		cur = next
+	}
+
+	if len(ext.ResetOn) > 0 {
+		if f, _, ok := r.endpoint(cur, ext.ResetOn, ext.Pos, rep, "SL603", "reset binding"); ok && !f.Event {
+			rep.Errorf("SL603", ext.Pos, "reset binding %s is not an event port", joinRef(ext.ResetOn))
+		}
+	}
+
+	var states map[string]bool
+	if implOK {
+		if et, ok := r.m.ErrorTypes[ei.TypeName]; ok {
+			states = make(map[string]bool, len(et.States))
+			for _, s := range et.States {
+				states[s.Name] = true
+			}
+		}
+	}
+	for _, inj := range ext.Injections {
+		if states != nil && !states[inj.State] {
+			rep.Errorf("SL603", inj.Pos, "injection references unknown error state %s of %s", inj.State, ei.TypeName)
+		}
+		checkInjectionTarget(r, cur, inj, rep)
+	}
+}
+
+// checkInjectionTarget resolves an injection's data reference relative to
+// the extended component.
+func checkInjectionTarget(r resolver, impl *slim.ComponentImpl, inj *slim.Injection, rep *Reporter) {
+	cur := impl
+	for i, seg := range inj.Target {
+		last := i == len(inj.Target)-1
+		if last {
+			if sub := subcomponent(cur, seg); sub != nil && sub.Data != nil {
+				return
+			}
+			if f := feature(r.typeOf(cur), seg); f != nil && !f.Event {
+				return
+			}
+			rep.Errorf("SL603", inj.Pos, "injection target: component %s has no data element %s", cur.Name(), seg)
+			return
+		}
+		sub := subcomponent(cur, seg)
+		if sub == nil || sub.Data != nil {
+			rep.Errorf("SL603", inj.Pos, "injection target: component %s has no subcomponent %s", cur.Name(), seg)
+			return
+		}
+		next := r.implOf(sub.ImplRef)
+		if next == nil {
+			return
+		}
+		cur = next
+	}
+}

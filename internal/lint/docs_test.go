@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestDocsCoverEveryCode scans the analyzer sources for diagnostic-code
+// literals and asserts each one is documented in docs/LINT.md, so the code
+// table cannot silently fall behind the implementation.
+func TestDocsCoverEveryCode(t *testing.T) {
+	codeRE := regexp.MustCompile(`"SL\d{3}"`)
+	sources, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := make(map[string]bool)
+	for _, path := range sources {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range codeRE.FindAllString(string(src), -1) {
+			codes[strings.Trim(m, `"`)] = true
+		}
+	}
+	if len(codes) < 10 {
+		t.Fatalf("found only %d diagnostic codes in the sources: %v", len(codes), codes)
+	}
+
+	docs, err := os.ReadFile(filepath.Join("..", "..", "docs", "LINT.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing []string
+	for code := range codes {
+		if !strings.Contains(string(docs), code) {
+			missing = append(missing, code)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("docs/LINT.md misses codes: %v", missing)
+	}
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"slimsim/internal/casestudy"
+)
+
+// exampleModels extracts every backquoted SLIM model constant from the
+// example programs, so the shipped models are linted exactly as shipped.
+func exampleModels(t *testing.T) map[string]string {
+	t.Helper()
+	mains, err := filepath.Glob(filepath.Join("..", "..", "examples", "*", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := make(map[string]string)
+	for _, path := range mains {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, v := range vs.Values {
+				lit, ok := v.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil || !strings.Contains(s, "root ") {
+					continue
+				}
+				models[filepath.Base(filepath.Dir(path))+"/"+vs.Names[i].Name] = s
+			}
+			return true
+		})
+	}
+	return models
+}
+
+// TestShippedModelsLintClean asserts that every model this repository
+// ships — the example programs' inline models and both case-study
+// generators at their paper configurations — has no error-severity
+// diagnostics.
+func TestShippedModelsLintClean(t *testing.T) {
+	models := exampleModels(t)
+	if len(models) < 3 {
+		t.Fatalf("expected at least 3 example models, found %d: %v", len(models), models)
+	}
+	for n := 1; n <= 3; n++ {
+		src, err := casestudy.SensorFilter(casestudy.DefaultSensorFilter(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[fmt.Sprintf("casestudy/SensorFilter(%d)", n)] = src
+	}
+	for _, mode := range []casestudy.FaultMode{casestudy.FaultsPermanent, casestudy.FaultsRecoverable} {
+		src, err := casestudy.Launcher(casestudy.DefaultLauncher(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[fmt.Sprintf("casestudy/Launcher(%v)", mode)] = src
+	}
+
+	for name, src := range models {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			for _, d := range RunSource(src) {
+				if d.Severity == SevError {
+					t.Errorf("%s", d.Render(name))
+				} else {
+					t.Logf("%s", d.Render(name))
+				}
+			}
+		})
+	}
+}

@@ -9,6 +9,15 @@ import (
 	"slimsim/internal/sta"
 )
 
+// noted reports a lowered node's surface position to the active tracking
+// hook (if any) and returns the node unchanged.
+func (b *Built) noted(e expr.Expr, pos slim.Pos) expr.Expr {
+	if b.track != nil {
+		b.track(e, pos)
+	}
+	return e
+}
+
 // convertExpr lowers a surface expression to a resolved expr.Expr in the
 // scope of inst: bare names resolve to the instance's data subcomponents
 // and ports, dotted names descend through subcomponents.
@@ -16,26 +25,26 @@ func (b *Built) convertExpr(e slim.Expr, inst *Instance) (expr.Expr, error) {
 	switch n := e.(type) {
 	case *slim.NumLit:
 		if n.IsInt {
-			return expr.Literal(expr.IntVal(int64(n.Value))), nil
+			return b.noted(expr.Literal(expr.IntVal(int64(n.Value))), n.Pos), nil
 		}
-		return expr.Literal(expr.RealVal(n.Value)), nil
+		return b.noted(expr.Literal(expr.RealVal(n.Value)), n.Pos), nil
 	case *slim.BoolLit:
-		return expr.Literal(expr.BoolVal(n.Value)), nil
+		return b.noted(expr.Literal(expr.BoolVal(n.Value)), n.Pos), nil
 	case *slim.RefExpr:
 		id, name, err := b.resolveData(inst, n.Path, n.Pos)
 		if err != nil {
 			return nil, err
 		}
-		return expr.Var(name, id), nil
+		return b.noted(expr.Var(name, id), n.Pos), nil
 	case *slim.UnaryExpr:
 		x, err := b.convertExpr(n.X, inst)
 		if err != nil {
 			return nil, err
 		}
 		if n.Op == "not" {
-			return expr.Not(x), nil
+			return b.noted(expr.Not(x), n.Pos), nil
 		}
-		return expr.Neg(x), nil
+		return b.noted(expr.Neg(x), n.Pos), nil
 	case *slim.BinExpr:
 		l, err := b.convertExpr(n.L, inst)
 		if err != nil {
@@ -49,7 +58,7 @@ func (b *Built) convertExpr(e slim.Expr, inst *Instance) (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return expr.Bin(op, l, r), nil
+		return b.noted(expr.Bin(op, l, r), n.Pos), nil
 	case *slim.CondExpr:
 		c, err := b.convertExpr(n.If, inst)
 		if err != nil {
@@ -63,7 +72,7 @@ func (b *Built) convertExpr(e slim.Expr, inst *Instance) (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return expr.Ite(c, a, el), nil
+		return b.noted(expr.Ite(c, a, el), n.Pos), nil
 	case *slim.InModesExpr:
 		return b.convertInModes(n, inst)
 	default:
@@ -174,12 +183,16 @@ func (b *Built) convertInModes(n *slim.InModesExpr, inst *Instance) (expr.Expr, 
 				expr.Var(target.qualify("@err"), target.errVar),
 				expr.Literal(expr.IntVal(int64(idx)))))
 		}
-		return expr.Or(terms...), nil
+		return b.noted(expr.Or(terms...), n.Pos), nil
 	}
 	if target.modeVar == expr.NoVar {
 		return nil, fmt.Errorf("model: %s: %s has no modes", n.Pos, describe(target))
 	}
-	return modePredicate(target, n.Modes, n.Pos)
+	pred, err := modePredicate(target, n.Modes, n.Pos)
+	if err != nil {
+		return nil, err
+	}
+	return b.noted(pred, n.Pos), nil
 }
 
 // buildProcesses lowers each moded instance to an STA process.

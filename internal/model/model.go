@@ -63,6 +63,9 @@ type Built struct {
 	varIDs    map[string]expr.VarID
 	eventRoot map[string]string // union-find over event port keys
 	processes map[string]*sta.Process
+	// track, when set via Convert, observes every lowered expression node
+	// together with its surface position.
+	track func(expr.Expr, slim.Pos)
 }
 
 // Instantiate lowers the model.

@@ -1,0 +1,67 @@
+package model
+
+import (
+	"slimsim/internal/expr"
+	"slimsim/internal/slim"
+	"slimsim/internal/sta"
+)
+
+// This file exposes read-only access to the instantiation result for
+// tooling built on top of the lowering — chiefly the linter, which needs to
+// re-walk surface expressions in instance scope and map lowered nodes back
+// to source positions.
+
+// Source returns the parsed model this Built was instantiated from.
+func (b *Built) Source() *slim.Model { return b.src }
+
+// Instances returns the instance tree flattened in depth-first declaration
+// order, root first.
+func (b *Built) Instances() []*Instance {
+	var out []*Instance
+	var walk func(i *Instance)
+	walk = func(i *Instance) {
+		out = append(out, i)
+		for _, name := range i.ChildOrder {
+			walk(i.Children[name])
+		}
+	}
+	walk(b.Root)
+	return out
+}
+
+// Qualify returns the fully qualified name of a local name in the
+// instance's scope.
+func (i *Instance) Qualify(name string) string { return i.qualify(name) }
+
+// VarID resolves a fully qualified variable name in the global symbol
+// table.
+func (b *Built) VarID(name string) (expr.VarID, bool) { return b.lookupVar(name) }
+
+// Process returns the STA process lowered from the instance's modes, or nil
+// if the instance has none.
+func (b *Built) Process(i *Instance) *sta.Process { return b.processes[i.Path] }
+
+// Port resolves a connection-endpoint or trigger reference in inst's scope
+// to its owning instance and feature declaration.
+func (b *Built) Port(inst *Instance, ref []string, pos slim.Pos) (*Instance, *slim.Feature, error) {
+	return b.resolvePort(inst, ref, pos)
+}
+
+// Data resolves a dotted data reference in inst's scope to its variable ID
+// and fully qualified name.
+func (b *Built) Data(inst *Instance, path []string, pos slim.Pos) (expr.VarID, string, error) {
+	return b.resolveData(inst, path, pos)
+}
+
+// Convert lowers a surface expression in inst's scope. When track is
+// non-nil it is invoked with every lowered node and the source position of
+// the surface construct it came from, letting callers report sub-expression
+// positions for static-check failures. Convert does not mutate the Built
+// and may be called after instantiation; it is not safe for concurrent use
+// with other Convert calls on the same Built.
+func (b *Built) Convert(e slim.Expr, inst *Instance, track func(expr.Expr, slim.Pos)) (expr.Expr, error) {
+	prev := b.track
+	b.track = track
+	defer func() { b.track = prev }()
+	return b.convertExpr(e, inst)
+}

@@ -1,0 +1,29 @@
+package slim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error is a frontend error carrying the source position it refers to. The
+// lexer and parser return *Error values so that downstream tooling (the
+// linter in particular) can attach precise positions to diagnostics instead
+// of parsing them back out of message strings.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface with the package's historical
+// "slim: line:col: message" rendering.
+func (e *Error) Error() string { return fmt.Sprintf("slim: %s: %s", e.Pos, e.Msg) }
+
+// PosOf extracts the source position carried by err. ok is false when err
+// has no *Error in its chain.
+func PosOf(err error) (Pos, bool) {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Pos, true
+	}
+	return Pos{}, false
+}

@@ -81,7 +81,7 @@ func (l *lexer) skipSpaceAndComments() {
 func (l *lexer) here() Pos { return Pos{Line: l.line, Col: l.col} }
 
 func (l *lexer) errorf(pos Pos, format string, args ...any) error {
-	return fmt.Errorf("slim: %s: %s", pos, fmt.Sprintf(format, args...))
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (l *lexer) next() (Token, error) {

@@ -89,7 +89,7 @@ func (p *parser) expectIdent(text string) error {
 }
 
 func (p *parser) errf(pos Pos, format string, args ...any) error {
-	return fmt.Errorf("slim: %s: %s", pos, fmt.Sprintf(format, args...))
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) parseModel() (*Model, error) {
@@ -135,7 +135,7 @@ func (p *parser) parseModel() (*Model, error) {
 		}
 	}
 	if m.Root == "" {
-		return nil, fmt.Errorf("slim: model has no root declaration")
+		return nil, p.errf(p.peek().Pos, "model has no root declaration")
 	}
 	return m, nil
 }

@@ -126,7 +126,8 @@ func (k TokKind) String() string {
 
 // Pos is a source position.
 type Pos struct {
-	Line, Col int
+	Line int `json:"line"`
+	Col  int `json:"col"`
 }
 
 // String renders the position as line:col.

@@ -1,0 +1,42 @@
+package slimsim
+
+import (
+	"fmt"
+	"os"
+
+	"slimsim/internal/lint"
+)
+
+// Diagnostic is one static-analysis finding; see the Diag type of the lint
+// package and docs/LINT.md for the code table.
+type Diagnostic = lint.Diag
+
+// Severity classifies a Diagnostic.
+type Severity = lint.Severity
+
+// Diagnostic severities.
+const (
+	SeverityWarning = lint.SevWarning
+	SeverityError   = lint.SevError
+)
+
+// Lint statically analyzes SLIM source text without simulating it and
+// returns the positioned diagnostics, sorted by source position. Models
+// with error-severity diagnostics either fail to load or crash the
+// simulator at analysis time; warnings flag likely modeling mistakes the
+// simulator tolerates.
+func Lint(src string) []Diagnostic { return lint.RunSource(src) }
+
+// LintFile reads a SLIM model from a file and lints it. The error reports
+// I/O problems only; model defects come back as diagnostics.
+func LintFile(path string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("slimsim: %w", err)
+	}
+	return Lint(string(data)), nil
+}
+
+// HasLintErrors reports whether diags contains an error-severity
+// diagnostic.
+func HasLintErrors(diags []Diagnostic) bool { return lint.HasErrors(diags) }
