@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmtcheck lint race verify ci
+.PHONY: build test vet fmtcheck lint race verify ci bench-json
 
 build:
 	$(GO) build ./...
@@ -33,3 +33,14 @@ race:
 verify: build test
 
 ci: verify vet fmtcheck race lint
+
+# bench-json regenerates the machine-readable perf trajectory: one
+# BENCH_<experiment>.json per case-study experiment, in the report schema
+# of docs/OBSERVABILITY.md (see EXPERIMENTS.md for the workflow). table1
+# is capped at size 6 to keep a full regeneration under a minute.
+bench-json: build
+	$(GO) run ./cmd/slimbench -experiment table1 -max-size 6 -report BENCH_table1.json
+	$(GO) run ./cmd/slimbench -experiment fig5-permanent -report BENCH_fig5-permanent.json
+	$(GO) run ./cmd/slimbench -experiment fig5-recoverable -report BENCH_fig5-recoverable.json
+	$(GO) run ./cmd/slimbench -experiment generators -report BENCH_generators.json
+	$(GO) run ./cmd/slimbench -experiment rare-events -report BENCH_rare-events.json

@@ -10,6 +10,11 @@
 // the CTMC flow's cost explodes with model size while the simulator's stays
 // flat, strategies coincide on purely stochastic models and separate on
 // non-deterministic ones.
+//
+// With -report the run also writes a machine-readable JSON report (the
+// schema of docs/OBSERVABILITY.md, experiment section): `make bench-json`
+// regenerates one BENCH_<experiment>.json per experiment so the perf
+// trajectory of the repository stays comparable across commits.
 package main
 
 import (
@@ -23,12 +28,57 @@ import (
 	"slimsim"
 	"slimsim/internal/casestudy"
 	"slimsim/internal/stats"
+	"slimsim/internal/telemetry"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "slimbench:", err)
 		os.Exit(1)
+	}
+}
+
+// bench carries the sweep-wide knobs and collects machine-readable rows
+// for the -report output.
+type bench struct {
+	delta, eps float64
+	workers    int
+	seed       uint64
+	progress   bool
+
+	experiment string
+	rows       []telemetry.ExperimentRow
+}
+
+// analyze runs one Monte Carlo sub-run, with a live progress line on
+// stderr when -progress is set.
+func (b *bench) analyze(m *slimsim.Model, label string, opts slimsim.Options) (slimsim.Report, error) {
+	if b.progress {
+		fmt.Fprintf(os.Stderr, "%s: ", label)
+		tel := slimsim.NewTelemetry(slimsim.TelemetryInfo{Tool: "slimbench", Model: label})
+		opts.Telemetry = tel
+		stop := tel.StartProgress(os.Stderr, 0)
+		defer stop()
+	}
+	return m.Analyze(opts)
+}
+
+// row records one sweep result for the JSON report.
+func (b *bench) row(label string, values map[string]float64) {
+	b.rows = append(b.rows, telemetry.ExperimentRow{Label: label, Values: values})
+}
+
+// report renders the collected rows in the shared report schema.
+func (b *bench) report(elapsed time.Duration) telemetry.Report {
+	return telemetry.Report{
+		SchemaVersion: telemetry.SchemaVersion,
+		Tool:          "slimbench",
+		Delta:         b.delta,
+		Epsilon:       b.eps,
+		Seed:          b.seed,
+		Workers:       b.workers,
+		Timing:        &telemetry.Timing{WallClockMS: float64(elapsed) / float64(time.Millisecond)},
+		Experiment:    &telemetry.Experiment{Name: b.experiment, Rows: b.rows},
 	}
 }
 
@@ -44,24 +94,39 @@ func run(args []string) error {
 		points     = fs.Int("points", 6, "number of sweep points in fig5")
 		workers    = fs.Int("workers", runtime.NumCPU(), "simulator workers")
 		seed       = fs.Uint64("seed", 1, "random seed")
+		reportPath = fs.String("report", "", "write a JSON experiment report (schema in docs/OBSERVABILITY.md) to this path")
+		progress   = fs.Bool("progress", false, "print per-sub-run progress (samples, rate, ETA, running p̂) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	b := &bench{
+		delta: *delta, eps: *eps, workers: *workers, seed: *seed,
+		progress: *progress, experiment: *experiment,
+	}
+	start := time.Now()
+	var err error
 	switch *experiment {
 	case "table1":
-		return table1(*maxSize, *bound, *delta, *eps, *workers, *seed)
+		err = table1(b, *maxSize, *bound)
 	case "fig5-permanent":
-		return fig5(casestudy.FaultsPermanent, *uMax, *points, *delta, *eps, *workers, *seed)
+		err = fig5(b, casestudy.FaultsPermanent, *uMax, *points)
 	case "fig5-recoverable":
-		return fig5(casestudy.FaultsRecoverable, *uMax, *points, *delta, *eps, *workers, *seed)
+		err = fig5(b, casestudy.FaultsRecoverable, *uMax, *points)
 	case "generators":
-		return generators(*delta, *eps, *workers, *seed)
+		err = generators(b)
 	case "rare-events":
-		return rareEvents(*delta, *eps, *workers, *seed)
+		err = rareEvents(b)
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
+	if err != nil {
+		return err
+	}
+	if *reportPath != "" {
+		return b.report(time.Since(start)).WriteFile(*reportPath)
+	}
+	return nil
 }
 
 // heapDelta runs fn and reports its wall time and the growth of live heap.
@@ -80,9 +145,9 @@ func heapDelta(fn func() error) (time.Duration, float64, error) {
 }
 
 // table1 reproduces the Table I comparison on the sensor-filter family.
-func table1(maxSize int, bound, delta, eps float64, workers int, seed uint64) error {
+func table1(b *bench, maxSize int, bound float64) error {
 	fmt.Printf("Table I reproduction: sensor-filter redundancy benchmark\n")
-	fmt.Printf("property: P(<> [0,%g] %s), δ=%g ε=%g\n\n", bound, casestudy.SensorFilterGoal, delta, eps)
+	fmt.Printf("property: P(<> [0,%g] %s), δ=%g ε=%g\n\n", bound, casestudy.SensorFilterGoal, b.delta, b.eps)
 	fmt.Printf("%-5s | %12s %10s %10s %8s | %12s %10s %8s | %s\n",
 		"size", "ctmc-time", "ctmc-mem", "states", "lumped", "sim-time", "sim-mem", "paths", "|P_ctmc - P_sim|")
 	fmt.Println("------+--------------------------------------------------+----------------------------------+------------------")
@@ -96,6 +161,7 @@ func table1(maxSize int, bound, delta, eps float64, workers int, seed uint64) er
 		if err != nil {
 			return err
 		}
+		label := fmt.Sprintf("size=%d", size)
 
 		var ctmcRep slimsim.CTMCReport
 		ctmcTime, ctmcMem, ctmcErr := heapDelta(func() error {
@@ -107,22 +173,36 @@ func table1(maxSize int, bound, delta, eps float64, workers int, seed uint64) er
 		var simRep slimsim.Report
 		simTime, simMem, simErr := heapDelta(func() error {
 			var err error
-			simRep, err = m.Analyze(slimsim.Options{
+			simRep, err = b.analyze(m, label, slimsim.Options{
 				Goal: casestudy.SensorFilterGoal, Bound: bound,
-				Strategy: "asap", Delta: delta, Epsilon: eps,
-				Workers: workers, Seed: seed,
+				Strategy: "asap", Delta: b.delta, Epsilon: b.eps,
+				Workers: b.workers, Seed: b.seed,
 			})
 			return err
 		})
 		if simErr != nil {
 			return simErr
 		}
+		values := map[string]float64{
+			"simMs":    float64(simTime) / float64(time.Millisecond),
+			"simMemMB": simMem,
+			"paths":    float64(simRep.Paths),
+			"pSim":     simRep.Probability,
+		}
 
 		if ctmcErr != nil {
 			fmt.Printf("%-5d | %12s %10s %10s %8s | %12s %9.1fM %8d | (ctmc: %v)\n",
 				size, "—", "—", "—", "—", simTime.Round(time.Millisecond), simMem, simRep.Paths, ctmcErr)
+			b.row(label, values)
 			continue
 		}
+		values["ctmcMs"] = float64(ctmcTime) / float64(time.Millisecond)
+		values["ctmcMemMB"] = ctmcMem
+		values["states"] = float64(ctmcRep.States)
+		values["lumped"] = float64(ctmcRep.LumpedStates)
+		values["pCtmc"] = ctmcRep.Probability
+		values["absDiff"] = math.Abs(ctmcRep.Probability - simRep.Probability)
+		b.row(label, values)
 		fmt.Printf("%-5d | %12s %9.1fM %10d %8d | %12s %9.1fM %8d | %.4f\n",
 			size,
 			ctmcTime.Round(time.Millisecond), ctmcMem, ctmcRep.States, ctmcRep.LumpedStates,
@@ -133,7 +213,7 @@ func table1(maxSize int, bound, delta, eps float64, workers int, seed uint64) er
 }
 
 // fig5 reproduces one panel of Fig. 5: P(failure by u) under each strategy.
-func fig5(mode casestudy.FaultMode, uMax float64, points int, delta, eps float64, workers int, seed uint64) error {
+func fig5(b *bench, mode casestudy.FaultMode, uMax float64, points int) error {
 	src, err := casestudy.Launcher(casestudy.DefaultLauncher(mode))
 	if err != nil {
 		return err
@@ -144,7 +224,7 @@ func fig5(mode casestudy.FaultMode, uMax float64, points int, delta, eps float64
 	}
 	strategies := []string{"asap", "progressive", "local", "maxtime"}
 	fmt.Printf("Fig. 5 reproduction (%s DPU faults): P(<> [0,u] %s), δ=%g ε=%g\n\n",
-		mode, casestudy.LauncherGoal, delta, eps)
+		mode, casestudy.LauncherGoal, b.delta, b.eps)
 	fmt.Printf("%-8s", "u")
 	for _, s := range strategies {
 		fmt.Printf(" %12s", s)
@@ -154,14 +234,21 @@ func fig5(mode casestudy.FaultMode, uMax float64, points int, delta, eps float64
 		u := uMax * float64(i) / float64(points)
 		fmt.Printf("%-8.0f", u)
 		for _, s := range strategies {
-			rep, err := m.Analyze(slimsim.Options{
+			label := fmt.Sprintf("u=%g/strategy=%s", u, s)
+			start := time.Now()
+			rep, err := b.analyze(m, label, slimsim.Options{
 				Goal: casestudy.LauncherGoal, Bound: u,
-				Strategy: s, Delta: delta, Epsilon: eps,
-				Workers: workers, Seed: seed,
+				Strategy: s, Delta: b.delta, Epsilon: b.eps,
+				Workers: b.workers, Seed: b.seed,
 			})
 			if err != nil {
 				return fmt.Errorf("u=%g strategy=%s: %w", u, s, err)
 			}
+			b.row(label, map[string]float64{
+				"p":     rep.Probability,
+				"paths": float64(rep.Paths),
+				"ms":    float64(time.Since(start)) / float64(time.Millisecond),
+			})
 			fmt.Printf(" %12.4f", rep.Probability)
 		}
 		fmt.Println()
@@ -172,7 +259,7 @@ func fig5(mode casestudy.FaultMode, uMax float64, points int, delta, eps float64
 // generators compares the fixed-N Chernoff–Hoeffding generator against the
 // sequential Gauss and Chow–Robbins generators (paper §III-A's future
 // extensions): same accuracy target, very different sample counts.
-func generators(delta, eps float64, workers int, seed uint64) error {
+func generators(b *bench) error {
 	src, err := casestudy.SensorFilter(casestudy.DefaultSensorFilter(2))
 	if err != nil {
 		return err
@@ -181,23 +268,29 @@ func generators(delta, eps float64, workers int, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	chBound, err := stats.ChernoffBound(stats.Params{Delta: delta, Epsilon: eps})
+	chBound, err := stats.ChernoffBound(stats.Params{Delta: b.delta, Epsilon: b.eps})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Generator ablation on sensor-filter (N=2), δ=%g ε=%g (CH bound: %d samples)\n\n", delta, eps, chBound)
+	fmt.Printf("Generator ablation on sensor-filter (N=2), δ=%g ε=%g (CH bound: %d samples)\n\n", b.delta, b.eps, chBound)
 	fmt.Printf("%-14s %10s %12s %12s\n", "method", "paths", "P", "time")
 	for _, method := range []string{"chernoff", "gauss", "chow-robbins"} {
 		start := time.Now()
-		rep, err := m.Analyze(slimsim.Options{
+		rep, err := b.analyze(m, "method="+method, slimsim.Options{
 			Goal: casestudy.SensorFilterGoal, Bound: 150,
-			Strategy: "asap", Delta: delta, Epsilon: eps, Method: method,
-			Workers: workers, Seed: seed,
+			Strategy: "asap", Delta: b.delta, Epsilon: b.eps, Method: method,
+			Workers: b.workers, Seed: b.seed,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-14s %10d %12.4f %12s\n", method, rep.Paths, rep.Probability, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		b.row("method="+method, map[string]float64{
+			"paths": float64(rep.Paths),
+			"p":     rep.Probability,
+			"ms":    float64(elapsed) / float64(time.Millisecond),
+		})
+		fmt.Printf("%-14s %10d %12.4f %12s\n", method, rep.Paths, rep.Probability, elapsed.Round(time.Millisecond))
 	}
 	return nil
 }
@@ -205,7 +298,7 @@ func generators(delta, eps float64, workers int, seed uint64) error {
 // rareEvents demonstrates the §IV caveat: with a fixed ε the CH bound's
 // cost is flat, but the *relative* error explodes as the event gets rarer —
 // the motivation for the rare-event methods cited in §VI.
-func rareEvents(delta, eps float64, workers int, seed uint64) error {
+func rareEvents(b *bench) error {
 	src, err := casestudy.SensorFilter(casestudy.DefaultSensorFilter(2))
 	if err != nil {
 		return err
@@ -215,13 +308,14 @@ func rareEvents(delta, eps float64, workers int, seed uint64) error {
 		return err
 	}
 	fmt.Printf("Rare-event behaviour: shrinking the time bound makes failure rarer;\n")
-	fmt.Printf("fixed ε=%g keeps path counts flat while relative error grows.\n\n", eps)
+	fmt.Printf("fixed ε=%g keeps path counts flat while relative error grows.\n\n", b.eps)
 	fmt.Printf("%-8s %10s %12s %12s %14s\n", "bound", "paths", "P_sim", "P_exact", "rel-err")
 	for _, bound := range []float64{200, 100, 50, 20, 10} {
-		rep, err := m.Analyze(slimsim.Options{
+		label := fmt.Sprintf("bound=%g", bound)
+		rep, err := b.analyze(m, label, slimsim.Options{
 			Goal: casestudy.SensorFilterGoal, Bound: bound,
-			Strategy: "asap", Delta: delta, Epsilon: eps,
-			Workers: workers, Seed: seed,
+			Strategy: "asap", Delta: b.delta, Epsilon: b.eps,
+			Workers: b.workers, Seed: b.seed,
 		})
 		if err != nil {
 			return err
@@ -234,6 +328,15 @@ func rareEvents(delta, eps float64, workers int, seed uint64) error {
 		if exact.Probability > 0 {
 			rel = math.Abs(rep.Probability-exact.Probability) / exact.Probability
 		}
+		values := map[string]float64{
+			"paths":  float64(rep.Paths),
+			"pSim":   rep.Probability,
+			"pExact": exact.Probability,
+		}
+		if !math.IsNaN(rel) {
+			values["relErr"] = rel
+		}
+		b.row(label, values)
 		fmt.Printf("%-8.0f %10d %12.5f %12.5f %14.3f\n", bound, rep.Paths, rep.Probability, exact.Probability, rel)
 	}
 	return nil

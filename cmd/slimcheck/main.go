@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"slimsim"
+	"slimsim/internal/telemetry"
 )
 
 func main() {
@@ -27,12 +29,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("slimcheck", flag.ContinueOnError)
 	var (
-		modelPath = fs.String("model", "", "path to the SLIM model file (required)")
-		goal      = fs.String("goal", "", "goal predicate over instance paths (required)")
-		bound     = fs.Float64("bound", 0, "time bound u of the property (required)")
-		maxStates = fs.Int("max-states", 1<<20, "explicit state-space cap")
-		quiet     = fs.Bool("q", false, "print only the probability")
-		noLint    = fs.Bool("no-lint", false, "skip the static analysis that rejects defective models")
+		modelPath  = fs.String("model", "", "path to the SLIM model file (required)")
+		goal       = fs.String("goal", "", "goal predicate over instance paths (required)")
+		bound      = fs.Float64("bound", 0, "time bound u of the property (required)")
+		maxStates  = fs.Int("max-states", 1<<20, "explicit state-space cap")
+		quiet      = fs.Bool("q", false, "print only the probability")
+		noLint     = fs.Bool("no-lint", false, "skip the static analysis that rejects defective models")
+		reportPath = fs.String("report", "", "write a JSON run report (schema in docs/OBSERVABILITY.md) to this path")
+		progress   = fs.Bool("progress", false, "print pipeline phase progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,9 +55,41 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "slimcheck: state space -> lumping -> uniformization on %s (bound %g)...\n",
+			*modelPath, *bound)
+	}
+	start := time.Now()
 	rep, err := m.CheckCTMC(*goal, *bound, *maxStates)
 	if err != nil {
 		return err
+	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "slimcheck: done in %s (build %s, lump %s, solve %s; %d states -> %d blocks)\n",
+			time.Since(start).Round(time.Millisecond),
+			rep.BuildTime.Round(time.Millisecond), rep.LumpTime.Round(time.Millisecond),
+			rep.SolveTime.Round(time.Millisecond), rep.States, rep.LumpedStates)
+	}
+	if *reportPath != "" {
+		out := telemetry.Report{
+			SchemaVersion: telemetry.SchemaVersion,
+			Tool:          "slimcheck",
+			Model:         *modelPath,
+			Property:      fmt.Sprintf("P(<> [0,%g] %s)", *bound, *goal),
+			Timing:        &telemetry.Timing{WallClockMS: float64(time.Since(start)) / float64(time.Millisecond)},
+			CTMC: &telemetry.CTMCMetrics{
+				Probability:  rep.Probability,
+				States:       rep.States,
+				Explored:     rep.Explored,
+				LumpedStates: rep.LumpedStates,
+				BuildMS:      float64(rep.BuildTime) / float64(time.Millisecond),
+				LumpMS:       float64(rep.LumpTime) / float64(time.Millisecond),
+				SolveMS:      float64(rep.SolveTime) / float64(time.Millisecond),
+			},
+		}
+		if err := out.WriteFile(*reportPath); err != nil {
+			return err
+		}
 	}
 	if *quiet {
 		fmt.Printf("%.10f\n", rep.Probability)

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"slimsim"
+	"slimsim/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +49,9 @@ func run(args []string) error {
 		simulate    = fs.Int("simulate", 0, "instead of analyzing, print N sample path traces")
 		interactive = fs.Bool("interactive", false, "instead of analyzing, drive one path interactively (Input strategy)")
 		noLint      = fs.Bool("no-lint", false, "skip the static analysis that rejects defective models")
+		reportPath  = fs.String("report", "", "write a JSON run report (schema in docs/OBSERVABILITY.md) to this path")
+		progress    = fs.Bool("progress", false, "print periodic progress (samples, rate, ETA, running p̂) to stderr")
+		pprofAddr   = fs.String("pprof", "", "serve pprof/expvar debug endpoints on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +104,27 @@ func run(args []string) error {
 	if !*quiet {
 		fmt.Printf("loaded %s: %d processes, %d variables\n", *modelPath, m.NumProcesses(), m.NumVars())
 	}
+	// Telemetry: one collector feeds the report file, the progress line
+	// and the debug endpoints; when none of the flags is set the sampling
+	// loop runs without any of it.
+	var tel *slimsim.Telemetry
+	if *reportPath != "" || *progress || *pprofAddr != "" {
+		tel = slimsim.NewTelemetry(slimsim.TelemetryInfo{Tool: "slimsim", Model: *modelPath})
+	}
+	if *pprofAddr != "" {
+		srv, err := telemetry.ServeDebug(*pprofAddr, tel)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "slimsim: debug endpoints on http://%s/debug/\n", *pprofAddr)
+		}
+	}
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = tel.StartProgress(os.Stderr, 0)
+	}
 	rep, err := m.Analyze(slimsim.Options{
 		Pattern:    *pattern,
 		Kind:       slimsim.PropertyKind(*kind),
@@ -113,9 +138,16 @@ func run(args []string) error {
 		Workers:    *workers,
 		Seed:       *seed,
 		OnLock:     *onLock,
+		Telemetry:  tel,
 	})
+	stopProgress()
 	if err != nil {
 		return err
+	}
+	if *reportPath != "" {
+		if err := tel.Report().WriteFile(*reportPath); err != nil {
+			return err
+		}
 	}
 	if *quiet {
 		fmt.Printf("%.6f\n", rep.Probability)

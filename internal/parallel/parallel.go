@@ -28,8 +28,9 @@ type Sampler func(worker, iteration int) (bool, error)
 
 // sample is one worker result.
 type sample struct {
-	ok  bool
-	err error
+	ok        bool
+	err       error
+	iteration int
 }
 
 // Options configures a Run.
@@ -37,6 +38,14 @@ type Options struct {
 	// Workers is the number of concurrent sampling goroutines
 	// (minimum 1).
 	Workers int
+	// OnSample, when non-nil, is invoked for every sample the generator
+	// actually consumes — immediately after the corresponding gen.Add,
+	// in consumption order, from the collecting goroutine. worker and
+	// iteration identify the sampler call that produced the outcome.
+	// Samples that workers overdraw past the stopping point are never
+	// reported, which is what keeps consumers (e.g. the telemetry
+	// collector) deterministic for a fixed seed and worker count.
+	OnSample func(worker, iteration int, ok bool)
 }
 
 // Run draws samples with k workers and feeds them into gen in fair rounds
@@ -56,6 +65,9 @@ func Run(gen stats.Generator, sampler Sampler, opts Options) (stats.Estimate, er
 				return gen.Estimate(), fmt.Errorf("parallel: worker 0 iteration %d: %w", i, err)
 			}
 			gen.Add(ok)
+			if opts.OnSample != nil {
+				opts.OnSample(0, i, ok)
+			}
 		}
 		return gen.Estimate(), nil
 	}
@@ -76,7 +88,7 @@ func Run(gen stats.Generator, sampler Sampler, opts Options) (stats.Estimate, er
 				}
 				ok, err := sampler(w, i)
 				select {
-				case chans[w] <- sample{ok: ok, err: err}:
+				case chans[w] <- sample{ok: ok, err: err, iteration: i}:
 					if err != nil {
 						return
 					}
@@ -95,12 +107,15 @@ collect:
 		for w := 0; w < k; w++ {
 			round[w] = <-chans[w]
 			if round[w].err != nil {
-				runErr = fmt.Errorf("parallel: worker %d: %w", w, round[w].err)
+				runErr = fmt.Errorf("parallel: worker %d iteration %d: %w", w, round[w].iteration, round[w].err)
 				break collect
 			}
 		}
 		for w := 0; w < k && !gen.Done(); w++ {
 			gen.Add(round[w].ok)
+			if opts.OnSample != nil {
+				opts.OnSample(w, round[w].iteration, round[w].ok)
+			}
 		}
 	}
 	close(stop)

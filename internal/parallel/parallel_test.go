@@ -3,6 +3,7 @@ package parallel
 import (
 	"errors"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -144,6 +145,103 @@ func TestZeroWorkersDefaultsToOne(t *testing.T) {
 	}
 	if est.Trials == 0 {
 		t.Error("no samples collected")
+	}
+}
+
+// TestErrorReportsWorkerAndIteration asserts both collection paths
+// identify a failing sample the same way: by worker and iteration index.
+func TestErrorReportsWorkerAndIteration(t *testing.T) {
+	boom := errors.New("boom")
+	sampler := func(worker, iteration int) (bool, error) {
+		if worker == 1 && iteration == 3 {
+			return false, boom
+		}
+		if worker == 1 {
+			// Keep worker 1 the slowest so its iteration 3 is the
+			// first error the collector sees.
+			time.Sleep(10 * time.Microsecond)
+		}
+		return true, nil
+	}
+	gen, err := stats.NewChernoff(stats.Params{Delta: 0.1, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(gen, sampler, Options{Workers: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want wrapped boom", err)
+	}
+	if want := "worker 1 iteration 3"; !strings.Contains(err.Error(), want) {
+		t.Errorf("parallel error %q does not report %q", err, want)
+	}
+
+	seq := func(worker, iteration int) (bool, error) {
+		if iteration == 5 {
+			return false, boom
+		}
+		return true, nil
+	}
+	gen, err = stats.NewChernoff(stats.Params{Delta: 0.1, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(gen, seq, Options{Workers: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want wrapped boom", err)
+	}
+	if want := "worker 0 iteration 5"; !strings.Contains(err.Error(), want) {
+		t.Errorf("sequential error %q does not report %q", err, want)
+	}
+}
+
+// TestOnSampleMatchesConsumption asserts OnSample fires exactly once per
+// consumed sample, in consumption order, with the producing worker's
+// iteration — and that the consumed (worker, iteration, ok) sequence is
+// identical across runs even when worker speeds differ wildly.
+func TestOnSampleMatchesConsumption(t *testing.T) {
+	type consumed struct {
+		worker, iteration int
+		ok                bool
+	}
+	run := func(jitter bool) []consumed {
+		sampler := func(worker, iteration int) (bool, error) {
+			if jitter && worker == 0 {
+				time.Sleep(20 * time.Microsecond)
+			}
+			// A deterministic outcome pattern per (worker, iteration).
+			return (worker+iteration)%3 == 0, nil
+		}
+		gen, err := stats.NewChernoff(stats.Params{Delta: 0.2, Epsilon: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seq []consumed
+		est, err := Run(gen, sampler, Options{
+			Workers:  3,
+			OnSample: func(w, i int, ok bool) { seq = append(seq, consumed{w, i, ok}) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != est.Trials {
+			t.Fatalf("OnSample fired %d times for %d consumed samples", len(seq), est.Trials)
+		}
+		return seq
+	}
+	fast, slow := run(false), run(true)
+	if len(fast) != len(slow) {
+		t.Fatalf("consumed counts differ: %d vs %d", len(fast), len(slow))
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Fatalf("consumption order depends on worker timing at %d: %+v vs %+v", i, fast[i], slow[i])
+		}
+	}
+	// Round-based fairness: sample i must come from worker i mod k.
+	for i, c := range fast {
+		if c.worker != i%3 {
+			t.Errorf("sample %d consumed from worker %d, want %d", i, c.worker, i%3)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"slimsim/internal/parallel"
 	"slimsim/internal/rng"
 	"slimsim/internal/stats"
+	"slimsim/internal/telemetry"
 )
 
 // AnalysisConfig configures a complete statistical analysis run.
@@ -25,6 +26,11 @@ type AnalysisConfig struct {
 	// Seed makes the run reproducible; runs with equal seeds and worker
 	// counts produce identical results.
 	Seed uint64
+	// Telemetry, when non-nil, receives per-run metrics: each worker
+	// gets a path recorder as its observer, and outcomes are committed
+	// in the parallel collector's deterministic consumption order. Nil
+	// telemetry adds no work to the sampling loop.
+	Telemetry *telemetry.Collector
 }
 
 // Report is the outcome of a statistical analysis.
@@ -66,20 +72,39 @@ func Analyze(rt *network.Runtime, cfg AnalysisConfig) (Report, error) {
 	var mu sync.Mutex
 	var deadlocks, timelocks int
 	var totalSteps int64
-	srcs := make(map[int]*rng.Source)
+	type workerState struct {
+		src *rng.Source
+		eng *Engine
+		rec *telemetry.PathRecorder
+	}
+	states := make(map[int]*workerState)
 	root := rng.New(cfg.Seed)
+	tel := cfg.Telemetry
 
-	sampler := func(worker, _ int) (bool, error) {
+	sampler := func(worker, iteration int) (bool, error) {
 		mu.Lock()
-		src, ok := srcs[worker]
+		ws, ok := states[worker]
 		if !ok {
-			src = root.Split(uint64(worker))
-			srcs[worker] = src
+			ws = &workerState{src: root.Split(uint64(worker)), eng: engine}
+			if tel != nil {
+				// Give the worker its own recorder as observer,
+				// preserving any caller-configured observer.
+				ws.rec = tel.Recorder(worker)
+				var obs Observer = ws.rec
+				if cfg.Observer != nil {
+					obs = TeeObserver{A: cfg.Observer, B: ws.rec}
+				}
+				ws.eng = engine.WithObserver(obs)
+			}
+			states[worker] = ws
 		}
 		mu.Unlock()
-		// Each worker owns its source; SamplePath uses it
-		// sequentially within the worker goroutine.
-		res, err := engine.SamplePath(src)
+		if ws.rec != nil {
+			ws.rec.Begin()
+		}
+		// Each worker owns its state; SamplePath uses it sequentially
+		// within the worker goroutine.
+		res, err := ws.eng.SamplePath(ws.src)
 		if err != nil {
 			return false, err
 		}
@@ -92,12 +117,38 @@ func Analyze(rt *network.Runtime, cfg AnalysisConfig) (Report, error) {
 			timelocks++
 		}
 		mu.Unlock()
+		if ws.rec != nil {
+			tel.RecordPath(worker, iteration,
+				ws.rec.Finish(res.Steps, res.EndTime, res.Termination.String(), res.Satisfied))
+		}
 		return res.Satisfied, nil
 	}
 
+	popts := parallel.Options{Workers: cfg.Workers}
+	if tel != nil {
+		workers := cfg.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		tel.SetRun(telemetry.RunInfo{
+			Strategy: cfg.Strategy.Name(),
+			Method:   method.String(),
+			Delta:    cfg.Params.Delta,
+			Epsilon:  cfg.Params.Epsilon,
+			Seed:     cfg.Seed,
+			Workers:  workers,
+			Bound:    cfg.Property.Bound,
+		})
+		tel.Begin(gen.Planned())
+		popts.OnSample = tel.Commit
+	}
+
 	start := time.Now()
-	est, err := parallel.Run(gen, sampler, parallel.Options{Workers: cfg.Workers})
+	est, err := parallel.Run(gen, sampler, popts)
 	elapsed := time.Since(start)
+	if tel != nil {
+		tel.End(est, elapsed)
+	}
 	if err != nil {
 		return Report{}, fmt.Errorf("sim: analysis failed: %w", err)
 	}

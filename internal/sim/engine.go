@@ -152,6 +152,39 @@ func NewEngine(rt *network.Runtime, cfg Config) (*Engine, error) {
 	return &Engine{rt: rt, cfg: c, ev: c.Property}, nil
 }
 
+// WithObserver returns a copy of the engine whose paths report to obs.
+// The copy shares the runtime and is as safe for concurrent use as the
+// original; the telemetry layer uses it to give each worker its own
+// recorder without re-validating the configuration.
+func (e *Engine) WithObserver(obs Observer) *Engine {
+	e2 := *e
+	e2.cfg.Observer = obs
+	return &e2
+}
+
+// TeeObserver fans each event out to both observers, in order.
+type TeeObserver struct {
+	A, B Observer
+}
+
+// OnDelay implements Observer.
+func (t TeeObserver) OnDelay(now, delay float64) {
+	t.A.OnDelay(now, delay)
+	t.B.OnDelay(now, delay)
+}
+
+// OnMove implements Observer.
+func (t TeeObserver) OnMove(now float64, label string) {
+	t.A.OnMove(now, label)
+	t.B.OnMove(now, label)
+}
+
+// OnVerdict implements Observer.
+func (t TeeObserver) OnVerdict(now float64, label string) {
+	t.A.OnVerdict(now, label)
+	t.B.OnVerdict(now, label)
+}
+
 // SamplePath generates one path and returns its outcome.
 func (e *Engine) SamplePath(src *rng.Source) (PathResult, error) {
 	st, err := e.rt.InitialState()

@@ -44,7 +44,7 @@ func failedRef() expr.Expr { return expr.Var("failed", 0) }
 
 // windowNet builds a single process with clock x, invariant x <= inv, and a
 // transition to "done" enabled while x ∈ [lo, hi].
-func windowNet(t *testing.T, lo, hi, inv float64) *network.Runtime {
+func windowNet(t testing.TB, lo, hi, inv float64) *network.Runtime {
 	t.Helper()
 	xID, doneID := expr.VarID(0), expr.VarID(1)
 	x := func() expr.Expr { return expr.Var("x", xID) }

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+
+	"slimsim/internal/prop"
+	"slimsim/internal/rng"
+	"slimsim/internal/strategy"
+)
+
+// orderObserver records the kind sequence of the observer callbacks.
+type orderObserver struct {
+	events []string
+	times  []float64
+}
+
+func (o *orderObserver) OnDelay(now, delay float64) {
+	o.events = append(o.events, "delay")
+	o.times = append(o.times, now)
+}
+
+func (o *orderObserver) OnMove(now float64, label string) {
+	o.events = append(o.events, "move:"+label)
+	o.times = append(o.times, now)
+}
+
+func (o *orderObserver) OnVerdict(now float64, label string) {
+	o.events = append(o.events, "verdict")
+	o.times = append(o.times, now)
+}
+
+// TestObserverDispatchOrder asserts the Observer contract on a window
+// model: timed steps (OnDelay) and the discrete firing (OnMove) arrive in
+// path order with non-decreasing times, and OnVerdict fires exactly once,
+// last.
+func TestObserverDispatchOrder(t *testing.T) {
+	rt := windowNet(t, 1, 2, 3)
+	obs := &orderObserver{}
+	e, err := NewEngine(rt, Config{
+		Strategy: strategy.ASAP{},
+		Property: prop.Reach(10, doneRef()),
+		Observer: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.SamplePath(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("path not satisfied: %+v", res)
+	}
+	if len(obs.events) < 3 {
+		t.Fatalf("too few events: %v", obs.events)
+	}
+	// ASAP waits to the window's left end (delay 1 > 0), fires, decides.
+	want := []string{"delay", "move:w: wait -> done", "verdict"}
+	if len(obs.events) != len(want) {
+		t.Fatalf("events = %v, want %v", obs.events, want)
+	}
+	for i := range want {
+		if obs.events[i] != want[i] {
+			t.Errorf("event %d = %q, want %q", i, obs.events[i], want[i])
+		}
+	}
+	for i := 1; i < len(obs.times); i++ {
+		if obs.times[i] < obs.times[i-1] {
+			t.Errorf("event times decrease: %v", obs.times)
+		}
+	}
+	if obs.events[len(obs.events)-1] != "verdict" {
+		t.Errorf("last event = %q, want verdict", obs.events[len(obs.events)-1])
+	}
+}
+
+// TestObserverTee asserts the tee fans every event to both observers in
+// order.
+func TestObserverTee(t *testing.T) {
+	rt := windowNet(t, 1, 2, 3)
+	a, b := &orderObserver{}, &orderObserver{}
+	e, err := NewEngine(rt, Config{
+		Strategy: strategy.ASAP{},
+		Property: prop.Reach(10, doneRef()),
+		Observer: TeeObserver{A: a, B: b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SamplePath(rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.events) == 0 || len(a.events) != len(b.events) {
+		t.Fatalf("tee events diverge: %v vs %v", a.events, b.events)
+	}
+	for i := range a.events {
+		if a.events[i] != b.events[i] {
+			t.Errorf("tee event %d: %q vs %q", i, a.events[i], b.events[i])
+		}
+	}
+}
+
+// TestWithObserverLeavesOriginalUntouched asserts WithObserver is a copy,
+// so one engine can serve many workers with distinct recorders.
+func TestWithObserverLeavesOriginalUntouched(t *testing.T) {
+	rt := windowNet(t, 1, 2, 3)
+	e, err := NewEngine(rt, Config{
+		Strategy: strategy.ASAP{},
+		Property: prop.Reach(10, doneRef()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &orderObserver{}
+	e2 := e.WithObserver(obs)
+	if _, err := e2.SamplePath(rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.events) == 0 {
+		t.Error("derived engine did not report to its observer")
+	}
+	if e.cfg.Observer != nil {
+		t.Error("WithObserver mutated the original engine")
+	}
+	obs2 := &orderObserver{}
+	if _, err := e.WithObserver(obs2).SamplePath(rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs2.events) == 0 || len(obs.events) == 0 {
+		t.Error("sibling engines must report to their own observers")
+	}
+}
+
+// TestNilObserverAllocatesNothingExtra is the disabled-telemetry guard:
+// the nil-observer fast path must not allocate more than the observed
+// path, which bounds its overhead at "never worse".
+func TestNilObserverAllocatesNothingExtra(t *testing.T) {
+	rt := windowNet(t, 1, 2, 3)
+	mk := func(obs Observer) *Engine {
+		e, err := NewEngine(rt, Config{
+			Strategy: strategy.ASAP{},
+			Property: prop.Reach(10, doneRef()),
+			Observer: obs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	src := rng.New(1)
+	sample := func(e *Engine) func() {
+		return func() {
+			if _, err := e.SamplePath(src); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	bare := testing.AllocsPerRun(200, sample(mk(nil)))
+	observed := testing.AllocsPerRun(200, sample(mk(&orderObserver{})))
+	if bare > observed {
+		t.Errorf("nil-observer path allocates more (%v allocs/op) than the observed path (%v)", bare, observed)
+	}
+}
+
+// BenchmarkSamplePathObserver compares the engine hot loop with telemetry
+// disabled (nil observer) and enabled (a recording observer): the
+// acceptance gate is that the nil case shows no measurable regression.
+//
+//	go test ./internal/sim/ -bench SamplePathObserver -benchmem
+func BenchmarkSamplePathObserver(b *testing.B) {
+	cases := []struct {
+		name string
+		obs  Observer
+	}{
+		{"nil", nil},
+		{"recorder", &orderObserver{}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			rt := windowNet(b, 1, 2, 3)
+			e, err := NewEngine(rt, Config{
+				Strategy: strategy.Progressive{},
+				Property: prop.Reach(10, doneRef()),
+				Observer: tc.obs,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := rng.New(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rec, ok := tc.obs.(*orderObserver); ok {
+					rec.events, rec.times = rec.events[:0], rec.times[:0]
+				}
+				if _, err := e.SamplePath(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -81,6 +81,35 @@ func (e Estimate) Variance() float64 {
 	return m * (1 - m)
 }
 
+// ConfidenceInterval returns a two-sided CLT (Wald-style) confidence
+// interval around the empirical mean at level 1−delta, clamped to [0, 1].
+// The variance uses the 1/(4n) floor of the Gauss generator so degenerate
+// estimates (all outcomes equal) still get a non-trivial interval. With no
+// trials the interval is the vacuous [0, 1].
+//
+// This is the interval shown by the telemetry layer (progress line, run
+// reports); the stopping rules themselves live in the generators below.
+func ConfidenceInterval(e Estimate, delta float64) (lo, hi float64) {
+	if e.Trials == 0 || !(delta > 0 && delta < 1) {
+		return 0, 1
+	}
+	n := float64(e.Trials)
+	v := e.Variance()
+	if v == 0 {
+		v = 1 / (4 * n)
+	}
+	half := normalQuantile(1-delta/2) * math.Sqrt(v/n)
+	lo = e.Mean() - half
+	hi = e.Mean() + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // Generator decides how many samples an analysis needs. Implementations
 // are stateful and not safe for concurrent use; the parallel collector
 // funnels worker results into a single Generator.

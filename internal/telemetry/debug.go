@@ -1,0 +1,47 @@
+// Live debugging endpoints for long runs: net/http/pprof profiles, the
+// expvar variable dump, and a JSON view of the collector snapshot. Enabled
+// by the -pprof flag of the CLIs; see docs/OBSERVABILITY.md.
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug listens on addr and serves, in the background:
+//
+//	/debug/pprof/...   the standard pprof profiles
+//	/debug/vars        the expvar dump (runtime memstats etc.)
+//	/debug/telemetry   the collector snapshot as JSON (if c is non-nil)
+//
+// It returns the server (whose Close stops it) once the listener is bound,
+// so a bad address fails fast instead of asynchronously.
+func ServeDebug(addr string, c *Collector) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if c != nil {
+		mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(c.Snapshot())
+		})
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// flagRE matches flag definitions in the cmd packages, e.g.
+// fs.String("report", ...) or fs.Bool("progress", ...).
+var flagRE = regexp.MustCompile(`fs\.(?:String|Bool|Int|Int64|Uint64|Float64|Duration)\("([A-Za-z][A-Za-z0-9-]*)"`)
+
+// cliFlags scans cmd/*/main.go and returns tool -> sorted flag names.
+func cliFlags(t *testing.T) map[string][]string {
+	t.Helper()
+	mains, err := filepath.Glob(filepath.Join("..", "..", "cmd", "*", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mains) < 3 {
+		t.Fatalf("found only %d cmd mains: %v", len(mains), mains)
+	}
+	flags := make(map[string][]string)
+	for _, path := range mains {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tool := filepath.Base(filepath.Dir(path))
+		seen := make(map[string]bool)
+		for _, m := range flagRE.FindAllStringSubmatch(string(src), -1) {
+			if !seen[m[1]] {
+				seen[m[1]] = true
+				flags[tool] = append(flags[tool], m[1])
+			}
+		}
+		sort.Strings(flags[tool])
+	}
+	return flags
+}
+
+// TestReadmeCoversEveryFlag extends the docs-coverage pattern from
+// internal/lint: every CLI flag of every tool must appear as `-flag` in
+// the README flag tables, so adding a flag without documenting it fails
+// the build.
+func TestReadmeCoversEveryFlag(t *testing.T) {
+	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing []string
+	for tool, names := range cliFlags(t) {
+		for _, name := range names {
+			if !strings.Contains(string(readme), "`-"+name+"`") {
+				missing = append(missing, tool+" -"+name)
+			}
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("README.md flag tables miss: %v", missing)
+	}
+}
+
+// TestObservabilityDocCoversTelemetryFlags pins the telemetry surface:
+// each tool's observability flags must be documented in
+// docs/OBSERVABILITY.md together with the report schema version.
+func TestObservabilityDocCoversTelemetryFlags(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	flags := cliFlags(t)
+	want := map[string][]string{
+		"slimsim":   {"report", "progress", "pprof"},
+		"slimcheck": {"report", "progress"},
+		"slimbench": {"report", "progress"},
+	}
+	for tool, names := range want {
+		have := make(map[string]bool)
+		for _, f := range flags[tool] {
+			have[f] = true
+		}
+		for _, name := range names {
+			if !have[name] {
+				t.Errorf("%s no longer defines -%s; update this test and the docs", tool, name)
+			}
+			if !strings.Contains(text, "`-"+name+"`") {
+				t.Errorf("docs/OBSERVABILITY.md misses `-%s` (%s)", name, tool)
+			}
+		}
+	}
+	if !strings.Contains(text, "schemaVersion") {
+		t.Error("docs/OBSERVABILITY.md does not document schemaVersion")
+	}
+	// The schema doc must track the code: the literal current version has
+	// to appear next to the schemaVersion field documentation.
+	if !regexp.MustCompile(`schemaVersion[^\n]*1`).MatchString(text) {
+		t.Errorf("docs/OBSERVABILITY.md does not pin schemaVersion %d", SchemaVersion)
+	}
+}
+
+// TestExampleReportMatchesSchema asserts the example report committed for
+// the documentation is valid against the current schema essentials.
+func TestExampleReportMatchesSchema(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "examples", "report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, key := range []string{`"schemaVersion": 1`, `"tool"`, `"model"`, `"sampling"`} {
+		if !strings.Contains(text, key) {
+			t.Errorf("docs/examples/report.json misses %s", key)
+		}
+	}
+}

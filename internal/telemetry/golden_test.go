@@ -1,0 +1,144 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slimsim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden report")
+
+// goldenModel is a minimal stochastic model (one exponential failure) so
+// the golden report exercises sampling, terminations, histograms and
+// transition counts without being huge.
+const goldenModel = `
+device Unit
+features
+  alive: out data port bool default true;
+end Unit;
+
+device implementation Unit.Imp
+modes
+  run: initial mode;
+end Unit.Imp;
+
+system S
+end S;
+
+system implementation S.Imp
+subcomponents
+  u: device Unit.Imp;
+end S.Imp;
+
+error model Fail
+states
+  ok: initial state;
+  dead: state;
+end Fail;
+
+error model implementation Fail.Imp
+events
+  die: error event occurrence poisson 0.1;
+transitions
+  ok -[die]-> dead;
+end Fail.Imp;
+
+root S.Imp;
+
+extend u with Fail.Imp {
+  inject dead: alive := false;
+}
+`
+
+// goldenRun performs the reference analysis: fixed seed, fixed worker
+// count, CH generator. Everything in the returned sampling section must be
+// a pure function of these inputs.
+func goldenRun(t *testing.T) []byte {
+	t.Helper()
+	m, err := slimsim.LoadModel(goldenModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := slimsim.NewTelemetry(slimsim.TelemetryInfo{Tool: "slimsim", Model: "golden.slim"})
+	_, err = m.Analyze(slimsim.Options{
+		Goal: "not u.alive", Bound: 10,
+		Strategy: "progressive", Delta: 0.2, Epsilon: 0.05,
+		Workers: 4, Seed: 1,
+		Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tel.Report()
+	if rep.Timing == nil || rep.Timing.WallClockMS <= 0 {
+		t.Error("report has no wall-clock timing")
+	}
+	// The timing section is wall-clock and therefore excluded from the
+	// byte comparison.
+	rep.Timing = nil
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// TestReportDeterministic asserts the acceptance criterion: two runs with
+// the same seed and worker count produce byte-identical metrics.
+func TestReportDeterministic(t *testing.T) {
+	a, b := goldenRun(t), goldenRun(t)
+	if !bytes.Equal(a, b) {
+		t.Errorf("reports differ across identical runs:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+// TestReportGolden pins the report content to the committed golden file,
+// so schema or metric changes are reviewed deliberately. Regenerate with
+//
+//	go test ./internal/telemetry/ -run TestReportGolden -update
+func TestReportGolden(t *testing.T) {
+	got := goldenRun(t)
+	path := filepath.Join("testdata", "report_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report deviates from golden (rerun with -update to accept):\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}
+
+// TestReportSchemaFields sanity-checks the structural invariants the
+// documentation promises.
+func TestReportSchemaFields(t *testing.T) {
+	var rep map[string]any
+	if err := json.Unmarshal(goldenRun(t), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep["schemaVersion"] != float64(1) {
+		t.Errorf("schemaVersion = %v", rep["schemaVersion"])
+	}
+	sampling, ok := rep["sampling"].(map[string]any)
+	if !ok {
+		t.Fatal("no sampling section")
+	}
+	for _, key := range []string{"samples", "successes", "estimate", "confidenceInterval",
+		"terminations", "totalSteps", "decisions", "pathSteps", "pathTime", "transitions"} {
+		if _, ok := sampling[key]; !ok {
+			t.Errorf("sampling section misses %q", key)
+		}
+	}
+	if rep["strategy"] != "progressive" || rep["method"] != "chernoff" {
+		t.Errorf("strategy/method = %v/%v", rep["strategy"], rep["method"])
+	}
+}

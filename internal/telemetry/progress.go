@@ -1,0 +1,81 @@
+// Periodic progress reporting: a single line, repeatedly rewritten on
+// stderr (or any writer), showing consumed samples, the running estimate,
+// the rate and an ETA. The format is documented in docs/OBSERVABILITY.md.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FormatProgress renders one progress line for a snapshot. With a planned
+// sample count the line includes completion percentage and an ETA;
+// sequential (data-dependent) generators omit both.
+func FormatProgress(s Snapshot) string {
+	var b strings.Builder
+	if s.Planned > 0 {
+		pct := 100 * float64(s.Samples) / float64(s.Planned)
+		fmt.Fprintf(&b, "%d/%d paths (%.1f%%)", s.Samples, s.Planned, pct)
+	} else {
+		fmt.Fprintf(&b, "%d paths", s.Samples)
+	}
+	fmt.Fprintf(&b, "  p̂=%.4f [%.4f, %.4f]", s.Estimate, s.Lo, s.Hi)
+	if s.Rate > 0 {
+		fmt.Fprintf(&b, "  %.0f/s", s.Rate)
+		if s.Planned > 0 && s.Samples < s.Planned && s.Running {
+			eta := time.Duration(float64(s.Planned-s.Samples) / s.Rate * float64(time.Second))
+			fmt.Fprintf(&b, "  ETA %s", eta.Round(time.Second))
+		}
+	}
+	return b.String()
+}
+
+// StartProgress launches a goroutine that rewrites a progress line on w
+// every interval (default 500 ms). The returned stop function prints the
+// final state followed by a newline and waits for the goroutine to exit;
+// it is safe to call once.
+func (c *Collector) StartProgress(w io.Writer, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var width int
+	line := func() {
+		s := FormatProgress(c.Snapshot())
+		// Pad with spaces so a shrinking line fully overwrites its
+		// predecessor.
+		pad := width - len(s)
+		if pad < 0 {
+			pad = 0
+		}
+		width = len(s)
+		fmt.Fprintf(w, "\r%s%s", s, strings.Repeat(" ", pad))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				line()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			line()
+			fmt.Fprintln(w)
+		})
+	}
+}

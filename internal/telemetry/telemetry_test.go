@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"slimsim/internal/stats"
+)
+
+// commitPath is a test helper: record a path for (worker, iteration) and
+// immediately consume it.
+func commitPath(c *Collector, worker, iteration int, ps *PathStats) {
+	c.RecordPath(worker, iteration, ps)
+	c.Commit(worker, iteration, ps.Satisfied)
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	c := New(RunInfo{Tool: "test", Delta: 0.05, Bound: 10})
+	c.Begin(100)
+	commitPath(c, 0, 0, &PathStats{Steps: 3, EndTime: 2.5, Termination: "decided", Satisfied: true,
+		Delays: 2, Moves: 1, Fires: map[string]int64{"a": 1}})
+	commitPath(c, 1, 0, &PathStats{Steps: 5, EndTime: 11, Termination: "timelock", Satisfied: false,
+		Delays: 4, Moves: 2, Fires: map[string]int64{"a": 1, "b": 1}})
+	c.End(stats.Estimate{Successes: 1, Trials: 2}, time.Second)
+
+	rep := c.Report()
+	m := rep.Sampling
+	if m == nil {
+		t.Fatal("no sampling section")
+	}
+	if m.Samples != 2 || m.Successes != 1 {
+		t.Errorf("samples/successes = %d/%d, want 2/1", m.Samples, m.Successes)
+	}
+	if m.Estimate != 0.5 {
+		t.Errorf("estimate = %v, want 0.5", m.Estimate)
+	}
+	if m.PlannedSamples != 100 {
+		t.Errorf("planned = %d, want 100", m.PlannedSamples)
+	}
+	if m.Terminations["decided"] != 1 || m.Terminations["timelock"] != 1 {
+		t.Errorf("terminations = %v", m.Terminations)
+	}
+	if m.TotalSteps != 8 {
+		t.Errorf("totalSteps = %d, want 8", m.TotalSteps)
+	}
+	if m.Decisions != (Decisions{Total: 8, Fired: 3, DelayOnly: 5, TimedSteps: 6}) {
+		t.Errorf("decisions = %+v", m.Decisions)
+	}
+	if m.Transitions["a"] != 2 || m.Transitions["b"] != 1 {
+		t.Errorf("transitions = %v", m.Transitions)
+	}
+	if m.PathSteps.Min != 3 || m.PathSteps.Max != 5 || m.PathSteps.Mean != 4 {
+		t.Errorf("pathSteps = %+v", m.PathSteps)
+	}
+	if m.PathTime.Min != 2.5 || m.PathTime.Max != 11 {
+		t.Errorf("pathTime = %+v", m.PathTime)
+	}
+	// EndTime 11 exceeds the bound: it must land in the overflow bucket.
+	last := m.PathTime.Histogram[len(m.PathTime.Histogram)-1]
+	if last.Lo != 10 || last.Hi != 0 || last.Count != 1 {
+		t.Errorf("overflow bucket = %+v", last)
+	}
+	ci := m.ConfidenceInterval
+	if ci == nil || ci.Level != 0.95 || ci.Lower < 0 || ci.Upper > 1 || ci.Lower >= ci.Upper {
+		t.Errorf("confidence interval = %+v", ci)
+	}
+}
+
+func TestCommitWithoutRecordStillCounts(t *testing.T) {
+	c := New(RunInfo{})
+	c.Begin(0)
+	c.Commit(0, 0, true)
+	c.Commit(0, 1, false)
+	s := c.Snapshot()
+	if s.Samples != 2 || s.Successes != 1 {
+		t.Errorf("snapshot = %+v, want 2 samples, 1 success", s)
+	}
+}
+
+func TestUnconsumedPathsAreExcluded(t *testing.T) {
+	c := New(RunInfo{Bound: 10})
+	c.Begin(0)
+	commitPath(c, 0, 0, &PathStats{Steps: 1, EndTime: 1, Termination: "decided", Satisfied: true})
+	// An overdrawn path is recorded but never consumed: it must not leak
+	// into the aggregates.
+	c.RecordPath(1, 0, &PathStats{Steps: 100, EndTime: 9, Termination: "decided", Satisfied: true})
+	m := c.Report().Sampling
+	if m.Samples != 1 || m.TotalSteps != 1 {
+		t.Errorf("samples=%d totalSteps=%d, want 1/1 (overdrawn path leaked in)", m.Samples, m.TotalSteps)
+	}
+}
+
+func TestLog2Bucket(t *testing.T) {
+	for _, tc := range []struct{ steps, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1024, 10},
+	} {
+		if got := log2Bucket(tc.steps); got != tc.want {
+			t.Errorf("log2Bucket(%d) = %d, want %d", tc.steps, got, tc.want)
+		}
+	}
+}
+
+func TestTimeBuckets(t *testing.T) {
+	edges := timeBucketEdges(100)
+	if len(edges) != timeBucketCount+1 {
+		t.Fatalf("len(edges) = %d", len(edges))
+	}
+	if got := timeBucket(edges, 0); got != 0 {
+		t.Errorf("bucket(0) = %d", got)
+	}
+	if got := timeBucket(edges, 99.9); got != timeBucketCount-1 {
+		t.Errorf("bucket(99.9) = %d, want %d", got, timeBucketCount-1)
+	}
+	if got := timeBucket(edges, 250); got != timeBucketCount {
+		t.Errorf("bucket(250) = %d, want overflow %d", got, timeBucketCount)
+	}
+	if edges := timeBucketEdges(0); len(edges) != 1 {
+		t.Errorf("degenerate bound edges = %v", edges)
+	}
+}
+
+func TestFormatProgress(t *testing.T) {
+	s := Snapshot{Samples: 500, Planned: 1000, Successes: 250, Estimate: 0.5,
+		Lo: 0.45, Hi: 0.55, Rate: 100, Running: true, Elapsed: 5 * time.Second}
+	line := FormatProgress(s)
+	for _, want := range []string{"500/1000", "50.0%", "p̂=0.5000", "[0.4500, 0.5500]", "100/s", "ETA 5s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line %q misses %q", line, want)
+		}
+	}
+	// Sequential generators have no planned count: no percentage, no ETA.
+	s.Planned = 0
+	line = FormatProgress(s)
+	if strings.Contains(line, "%") || strings.Contains(line, "ETA") {
+		t.Errorf("sequential progress line %q must not show %% or ETA", line)
+	}
+}
+
+func TestStartProgressWritesAndStops(t *testing.T) {
+	c := New(RunInfo{})
+	c.Begin(10)
+	c.Commit(0, 0, true)
+	var buf syncBuffer
+	stop := c.StartProgress(&buf, time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	out := buf.String()
+	if !strings.Contains(out, "1/10 paths") {
+		t.Errorf("progress output %q misses sample count", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("progress output must end with a newline, got %q", out)
+	}
+}
+
+// syncBuffer is a goroutine-safe string builder for the progress test.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestSetRunMergesNonZero(t *testing.T) {
+	c := New(RunInfo{Tool: "slimsim", Model: "m.slim"})
+	c.SetRun(RunInfo{Strategy: "asap", Workers: 4})
+	c.SetRun(RunInfo{Method: "chernoff"})
+	rep := c.Report()
+	if rep.Tool != "slimsim" || rep.Model != "m.slim" || rep.Strategy != "asap" ||
+		rep.Method != "chernoff" || rep.Workers != 4 {
+		t.Errorf("merged report header = %+v", rep)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"slimsim/internal/slim"
 	"slimsim/internal/stats"
 	"slimsim/internal/strategy"
+	"slimsim/internal/telemetry"
 	"slimsim/internal/trace"
 )
 
@@ -139,6 +140,25 @@ type Options struct {
 	OnLock string
 	// MaxSteps bounds steps per path (default 1e6).
 	MaxSteps int
+	// Telemetry, when non-nil, aggregates run metrics (sample counts,
+	// histograms, the running estimate) and can render them as a JSON
+	// run report or a progress line. Create one per run with
+	// NewTelemetry. Nil telemetry adds no overhead to the sampling loop.
+	Telemetry *Telemetry
+}
+
+// Telemetry is the run-metrics collector of the observability layer; see
+// internal/telemetry for the full API (reports, progress, debug server).
+type Telemetry = telemetry.Collector
+
+// TelemetryInfo describes a run in telemetry reports.
+type TelemetryInfo = telemetry.RunInfo
+
+// NewTelemetry returns a collector for a single analysis run. The info
+// fields the analysis itself knows (strategy, method, δ, ε, seed, workers,
+// bound) are filled in by Analyze; callers typically set Tool and Model.
+func NewTelemetry(info TelemetryInfo) *Telemetry {
+	return telemetry.New(info)
 }
 
 // Report is the outcome of a statistical analysis; see sim.Report.
@@ -236,6 +256,9 @@ func (m *Model) Analyze(opts Options) (Report, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	if opts.Telemetry != nil {
+		opts.Telemetry.SetRun(telemetry.RunInfo{Property: propertyText(opts)})
+	}
 	return sim.Analyze(m.rt, sim.AnalysisConfig{
 		Config: sim.Config{
 			Strategy: strat,
@@ -243,11 +266,28 @@ func (m *Model) Analyze(opts Options) (Report, error) {
 			Locks:    locks,
 			MaxSteps: opts.MaxSteps,
 		},
-		Params:  stats.Params{Delta: delta, Epsilon: eps},
-		Method:  method,
-		Workers: opts.Workers,
-		Seed:    seed,
+		Params:    stats.Params{Delta: delta, Epsilon: eps},
+		Method:    method,
+		Workers:   opts.Workers,
+		Seed:      seed,
+		Telemetry: opts.Telemetry,
 	})
+}
+
+// propertyText renders the analyzed property in the pattern notation used
+// by reports and logs.
+func propertyText(opts Options) string {
+	if opts.Pattern != "" {
+		return opts.Pattern
+	}
+	switch opts.Kind {
+	case Invariance:
+		return fmt.Sprintf("P([] [0,%g] %s)", opts.Bound, opts.Goal)
+	case Until:
+		return fmt.Sprintf("P(%s U [0,%g] %s)", opts.Constraint, opts.Bound, opts.Goal)
+	default:
+		return fmt.Sprintf("P(<> [0,%g] %s)", opts.Bound, opts.Goal)
+	}
 }
 
 // CTMCReport is the outcome of the numerical baseline pipeline.
