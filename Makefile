@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmtcheck lint race verify ci bench-json
+.PHONY: build test vet fmtcheck lint race verify ci bench-json difftest fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -30,9 +30,22 @@ lint: build
 race:
 	$(GO) test -race ./internal/parallel/ ./internal/sim/
 
+# difftest pushes the committed 200+-model corpus through the full
+# differential oracle hierarchy (generator -> lint -> round-trip ->
+# strategy agreement -> exact CTMC cross-check). The non -short form also
+# explores fresh seeds; see docs/TESTING.md.
+difftest:
+	$(GO) test -count=1 ./internal/difftest/ ./internal/modelgen/
+
+# fuzz-smoke runs each native fuzz target for 30s — enough to re-cover
+# the committed corpus and take a short random walk beyond it.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s -run '^$$' ./internal/slim/
+	$(GO) test -fuzz FuzzEvalExpr -fuzztime 30s -run '^$$' ./internal/difftest/
+
 verify: build test
 
-ci: verify vet fmtcheck race lint
+ci: verify vet fmtcheck race lint difftest fuzz-smoke
 
 # bench-json regenerates the machine-readable perf trajectory: one
 # BENCH_<experiment>.json per case-study experiment, in the report schema

@@ -22,7 +22,9 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "slimcheck:", err)
-		os.Exit(1)
+		// Exit 2 flags engine-internal failures so differential harnesses
+		// can tell engine bugs from ordinary model or usage errors.
+		os.Exit(slimsim.ExitCode(err))
 	}
 }
 

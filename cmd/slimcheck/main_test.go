@@ -1,0 +1,66 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slimsim"
+)
+
+// divTrap passes every static check (the type of 1 / input is fine) but
+// evaluating the computed port at the initial state divides by zero, which
+// the engine classifies as an internal failure: validation admitted a model
+// execution cannot handle.
+const divTrap = `system Div
+features
+  input: in data port int default 0;
+  output: out data port int := 1 / input;
+end Div;
+
+system implementation Div.Imp
+modes
+  run: initial mode;
+end Div.Imp;
+
+system Main
+end Main;
+
+system implementation Main.Imp
+subcomponents
+  d: system Div.Imp;
+end Main.Imp;
+
+root Main.Imp;
+`
+
+// TestEngineErrorExitCode checks that a model tripping an engine-internal
+// error maps to exit code 2, distinguishable from ordinary failures.
+func TestEngineErrorExitCode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.slim")
+	if err := os.WriteFile(path, []byte(divTrap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-model", path, "-goal", "d.output > 0", "-bound", "10", "-q"})
+	if err == nil {
+		t.Fatal("run succeeded on a model whose flow divides by zero")
+	}
+	if !errors.Is(err, slimsim.ErrEngine) {
+		t.Fatalf("error %v is not ErrEngine", err)
+	}
+	if got := slimsim.ExitCode(err); got != 2 {
+		t.Fatalf("ExitCode = %d, want 2 for %v", got, err)
+	}
+}
+
+// TestUsageErrorExitCode checks that ordinary failures keep exit code 1.
+func TestUsageErrorExitCode(t *testing.T) {
+	err := run([]string{"-model", "does-not-exist.slim"})
+	if err == nil {
+		t.Fatal("run succeeded without -goal/-bound")
+	}
+	if got := slimsim.ExitCode(err); got != 1 {
+		t.Fatalf("ExitCode = %d, want 1 for %v", got, err)
+	}
+}

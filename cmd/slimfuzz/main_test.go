@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCleanSweep runs a small deterministic sweep: generated models must
+// sail through every oracle, leaving the corpus untouched and reporting
+// zero discrepancies.
+func TestCleanSweep(t *testing.T) {
+	dir := t.TempDir()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	found, err := run([]string{
+		"-class", "deterministic", "-n", "5", "-base", "1", "-corpus", dir,
+	}, out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if found != 0 {
+		t.Fatalf("found %d discrepancies on healthy models", found)
+	}
+	repros, err := filepath.Glob(filepath.Join(dir, "*.slim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repros) != 0 {
+		t.Fatalf("clean sweep wrote reproducers: %v", repros)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "5 models checked") {
+		t.Fatalf("summary missing from output: %q", data)
+	}
+}
+
+// TestExplicitSeeds checks the -seeds form and the all-classes sweep.
+func TestExplicitSeeds(t *testing.T) {
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	found, err := run([]string{
+		"-class", "all", "-seeds", "3, 7", "-corpus", t.TempDir(),
+	}, out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if found != 0 {
+		t.Fatalf("found %d discrepancies on healthy models", found)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 seeds across 3 classes.
+	if !strings.Contains(string(data), "6 models checked") {
+		t.Fatalf("summary missing from output: %q", data)
+	}
+}
+
+// TestUsageErrors pins the error paths: unknown class, bad seed, bad n.
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-class", "quantum"},
+		{"-seeds", "banana"},
+		{"-n", "0"},
+	} {
+		if _, err := run(args, os.Stdout); err == nil {
+			t.Fatalf("run(%v) succeeded, want usage error", args)
+		}
+	}
+}

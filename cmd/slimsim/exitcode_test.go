@@ -1,0 +1,59 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slimsim"
+)
+
+// invariantTrap instantiates and passes lint with warnings only, but its
+// initial mode's invariant is already false at time zero, so the first
+// simulation step trips the engine's internal-invariant check.
+const invariantTrap = `system Main
+end Main;
+
+system implementation Main.Imp
+subcomponents
+  x: data clock;
+modes
+  m0: initial mode while x >= 1;
+end Main.Imp;
+
+root Main.Imp;
+`
+
+// TestEngineErrorExitCode checks that a model tripping an internal engine
+// invariant maps to exit code 2, distinguishable from ordinary failures.
+func TestEngineErrorExitCode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trap.slim")
+	if err := os.WriteFile(path, []byte(invariantTrap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-model", path, "-goal", "x >= 5", "-bound", "10", "-q"})
+	if err == nil {
+		t.Fatal("run succeeded on a model with an unsatisfiable initial invariant")
+	}
+	if !errors.Is(err, slimsim.ErrEngine) {
+		t.Fatalf("error %v is not ErrEngine", err)
+	}
+	if got := slimsim.ExitCode(err); got != 2 {
+		t.Fatalf("ExitCode = %d, want 2 for %v", got, err)
+	}
+}
+
+// TestUsageErrorExitCode checks that ordinary failures keep exit code 1.
+func TestUsageErrorExitCode(t *testing.T) {
+	err := run([]string{"-model", "does-not-exist.slim"})
+	if err == nil {
+		t.Fatal("run succeeded without -goal/-bound")
+	}
+	if got := slimsim.ExitCode(err); got != 1 {
+		t.Fatalf("ExitCode = %d, want 1 for %v", got, err)
+	}
+	if got := slimsim.ExitCode(nil); got != 0 {
+		t.Fatalf("ExitCode(nil) = %d, want 0", got)
+	}
+}

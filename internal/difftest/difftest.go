@@ -1,0 +1,301 @@
+// Package difftest is the differential-testing harness: it pushes models
+// from modelgen through a hierarchy of oracles of increasing strength and
+// reports any disagreement as a Discrepancy.
+//
+// The oracle hierarchy, in the order Check runs it:
+//
+//  1. lint        — generated models carry no diagnostics, warnings
+//     included; a diagnostic means generator and analyzer disagree about
+//     well-formedness.
+//  2. roundtrip   — print -> parse -> print is a fixed point, so the
+//     surface syntax, parser and printer agree on every construct the
+//     generator emits.
+//  3. strategies  — on the deterministic class every scheduling strategy
+//     must realize the same behavior: ASAP, MaxTime and Progressive
+//     produce the identical trace, Local reaches the same verdict, the
+//     verdict equals the one computed at generation time, and replaying
+//     the schedule decision-by-decision through the Input strategy
+//     reproduces the trace.
+//  4. exact       — on the Markovian class the Monte Carlo estimate must
+//     fall inside the Chernoff band around the exact CTMC transient
+//     probability, and the unlumped chain, the bisimulation quotient and
+//     the public CheckCTMC pipeline must agree to solver precision.
+//
+// The timed class has no exact reference; there the engine itself is the
+// oracle: no strategy may trip an internal engine invariant (ErrEngine)
+// on any sampled path.
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"slimsim"
+	"slimsim/internal/bisim"
+	"slimsim/internal/ctmc"
+	"slimsim/internal/lint"
+	"slimsim/internal/model"
+	"slimsim/internal/modelgen"
+	"slimsim/internal/network"
+	"slimsim/internal/slim"
+)
+
+// Tolerances and sampling parameters of the exact-analysis oracle.
+const (
+	// mcEpsilon / mcDelta parameterize the Chernoff bound of the Monte
+	// Carlo run; the estimate must land within mcEpsilon of the exact
+	// probability except with probability mcDelta. Runs are seeded and
+	// single-worker, so a passing (class, seed) pair passes forever.
+	mcEpsilon = 0.05
+	mcDelta   = 1e-3
+	// solverTol bounds the disagreement allowed between the unlumped
+	// chain, the lumped quotient and the CheckCTMC pipeline, all of
+	// which truncate uniformization at a 1e-10 tail.
+	solverTol = 1e-7
+	// maxStates caps explicit state-space construction.
+	maxStates = 1 << 18
+	// timedPaths is the number of paths sampled per strategy on the
+	// timed class.
+	timedPaths = 4
+)
+
+// Strategies lists every automated scheduling strategy, in the order the
+// oracles exercise them.
+var Strategies = []string{"asap", "maxtime", "progressive", "local"}
+
+// Discrepancy reports one oracle failure on one generated model.
+type Discrepancy struct {
+	// Class and Seed identify the failing model: Generate(Class, Seed)
+	// reproduces it.
+	Class modelgen.Class
+	Seed  uint64
+	// Oracle names the oracle that failed: load, lint, roundtrip,
+	// strategies, exact or engine.
+	Oracle string
+	// Detail describes the disagreement.
+	Detail string
+	// Source is the failing model's source (possibly shrunk).
+	Source string
+	// Goal and Bound are the property under which the oracle failed.
+	Goal  string
+	Bound float64
+	// KnownVerdict and Satisfied carry the generation-time verdict of
+	// the deterministic class through shrinking.
+	KnownVerdict bool
+	Satisfied    bool
+	// ReproPath is set by the harness once a shrunk reproducer has been
+	// written to the regression corpus.
+	ReproPath string
+}
+
+// Error implements error, naming seed and oracle as the report header.
+func (d *Discrepancy) Error() string {
+	s := fmt.Sprintf("difftest: %s/%d: oracle %s: %s", d.Class, d.Seed, d.Oracle, d.Detail)
+	if d.ReproPath != "" {
+		s += " (reproducer: " + d.ReproPath + ")"
+	}
+	return s
+}
+
+// Check runs every oracle applicable to g's class and returns the first
+// discrepancy, or nil when all oracles agree.
+func Check(g *modelgen.Generated) *Discrepancy {
+	fail := func(oracle, format string, args ...any) *Discrepancy {
+		return &Discrepancy{
+			Class: g.Class, Seed: g.Seed,
+			Oracle: oracle, Detail: fmt.Sprintf(format, args...),
+			Source: g.Source, Goal: g.Goal, Bound: g.Bound,
+			KnownVerdict: g.KnownVerdict, Satisfied: g.Satisfied,
+		}
+	}
+	if diags := lint.RunSource(g.Source); len(diags) != 0 {
+		return fail("lint", "%d diagnostics, first: %s", len(diags), diags[0].Render("model"))
+	}
+	parsed, err := slim.Parse(g.Source)
+	if err != nil {
+		return fail("roundtrip", "source does not parse: %v", err)
+	}
+	if again := slim.Print(parsed); again != g.Source {
+		return fail("roundtrip", "print/parse/print is not a fixed point")
+	}
+	m, err := slimsim.LoadModel(g.Source)
+	if err != nil {
+		return fail("load", "lint-clean model fails to load: %v", err)
+	}
+	switch g.Class {
+	case modelgen.Deterministic:
+		return checkStrategies(g, m, fail)
+	case modelgen.Markovian:
+		return checkExact(g, m, fail)
+	default:
+		return checkEngine(g, m, fail)
+	}
+}
+
+// opts returns the base analysis options for g under the given strategy.
+func opts(g *modelgen.Generated, strat string, seed uint64) slimsim.Options {
+	return slimsim.Options{
+		Goal:     g.Goal,
+		Bound:    g.Bound,
+		Strategy: strat,
+		Seed:     seed,
+	}
+}
+
+// checkStrategies is oracle level 3: on the deterministic class every
+// strategy must agree with the known verdict, the three deadline-driven
+// strategies must produce the identical trace, and replaying the schedule
+// through the Input strategy must reproduce it.
+func checkStrategies(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepancy {
+	traces := map[string]slimsim.PathTrace{}
+	for _, strat := range Strategies {
+		tr, err := m.Simulate(opts(g, strat, 1), 1)
+		if err != nil {
+			return engineOr(fail, "strategies", "%s: %v", strat, err)
+		}
+		traces[strat] = tr[0]
+		if tr[0].Satisfied != g.Satisfied {
+			return fail("strategies", "%s verdict %v, generation-time verdict %v",
+				strat, tr[0].Satisfied, g.Satisfied)
+		}
+	}
+	for _, strat := range []string{"maxtime", "progressive"} {
+		if !sameTrace(traces["asap"], traces[strat]) {
+			return fail("strategies", "asap and %s traces differ:\nasap:\n%s\n%s:\n%s",
+				strat, renderTrace(traces["asap"]), strat, renderTrace(traces[strat]))
+		}
+	}
+	// Replay: feed every decision explicitly — wait out the invariant
+	// deadline, then fire whatever is enabled. On this class that is the
+	// unique schedule, so the Input strategy must recover the same trace
+	// through a different code path.
+	replay, err := m.SimulateInteractive(opts(g, "", 1), func(p slimsim.Prompt) (slimsim.Decision, error) {
+		if math.IsInf(p.MaxDelay, 1) {
+			return slimsim.Decision{}, fmt.Errorf("unbounded delay before the property decided")
+		}
+		return slimsim.Decision{Delay: p.MaxDelay, Move: -1}, nil
+	})
+	if err != nil {
+		return engineOr(fail, "strategies", "replay: %v", err)
+	}
+	if !sameTrace(traces["asap"], replay) {
+		return fail("strategies", "replayed trace differs from asap:\nasap:\n%s\nreplay:\n%s",
+			renderTrace(traces["asap"]), renderTrace(replay))
+	}
+	return nil
+}
+
+// checkExact is oracle level 4: on the Markovian class the exact CTMC
+// pipeline is the reference. The unlumped chain and its bisimulation
+// quotient must agree to solver precision with CheckCTMC, and the Monte
+// Carlo estimate must fall inside the Chernoff band around the exact
+// probability.
+func checkExact(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepancy {
+	exact, err := m.CheckCTMC(g.Goal, g.Bound, maxStates)
+	if err != nil {
+		return engineOr(fail, "exact", "CheckCTMC: %v", err)
+	}
+	// Rebuild the chain through the internal pipeline to compare the
+	// unlumped and lumped answers independently of CheckCTMC.
+	parsed, err := slim.Parse(g.Source)
+	if err != nil {
+		return fail("exact", "reparse: %v", err)
+	}
+	built, err := model.Instantiate(parsed)
+	if err != nil {
+		return fail("exact", "instantiate: %v", err)
+	}
+	rt, err := network.New(built.Net)
+	if err != nil {
+		return fail("exact", "network: %v", err)
+	}
+	goal, err := built.CompileExpr(g.Goal)
+	if err != nil {
+		return fail("exact", "goal %q: %v", g.Goal, err)
+	}
+	br, err := ctmc.Build(rt, goal, maxStates)
+	if err != nil {
+		return engineOr(fail, "exact", "ctmc build: %v", err)
+	}
+	praw, err := br.Chain.ReachWithin(g.Bound, 1e-10)
+	if err != nil {
+		return fail("exact", "unlumped solve: %v", err)
+	}
+	lumped, err := bisim.Lump(br.Chain)
+	if err != nil {
+		return fail("exact", "lump: %v", err)
+	}
+	plump, err := lumped.Quotient.ReachWithin(g.Bound, 1e-10)
+	if err != nil {
+		return fail("exact", "lumped solve: %v", err)
+	}
+	if diff := math.Abs(praw - plump); diff > solverTol {
+		return fail("exact", "unlumped chain (%d states) gives %.10f, quotient (%d blocks) gives %.10f (diff %.2e)",
+			br.Chain.NumStates(), praw, lumped.Blocks, plump, diff)
+	}
+	if diff := math.Abs(plump - exact.Probability); diff > solverTol {
+		return fail("exact", "internal pipeline gives %.10f, CheckCTMC gives %.10f (diff %.2e)",
+			plump, exact.Probability, diff)
+	}
+	mcOpts := opts(g, "asap", g.Seed+1)
+	mcOpts.Delta = mcDelta
+	mcOpts.Epsilon = mcEpsilon
+	mcOpts.Workers = 1
+	rep, err := m.Analyze(mcOpts)
+	if err != nil {
+		return engineOr(fail, "exact", "monte carlo: %v", err)
+	}
+	if diff := math.Abs(rep.Probability - exact.Probability); diff > mcEpsilon {
+		return fail("exact", "monte carlo estimate %.6f (%d paths, asap) outside the ±%g band around exact %.10f (diff %.4f)",
+			rep.Probability, rep.Paths, mcEpsilon, exact.Probability, diff)
+	}
+	return nil
+}
+
+// checkEngine is the timed-class oracle: no exact reference exists, so
+// the engine's own invariants are the oracle — every strategy must sample
+// paths without tripping ErrEngine or any other failure.
+func checkEngine(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepancy {
+	for _, strat := range Strategies {
+		if _, err := m.Simulate(opts(g, strat, g.Seed+1), timedPaths); err != nil {
+			return engineOr(fail, "engine", "%s: %v", strat, err)
+		}
+	}
+	return nil
+}
+
+type failf func(oracle, format string, args ...any) *Discrepancy
+
+// engineOr classifies err: engine-internal failures surface under the
+// dedicated "engine" oracle regardless of which check hit them.
+func engineOr(fail failf, oracle, format string, args ...any) *Discrepancy {
+	for _, a := range args {
+		if err, ok := a.(error); ok && errors.Is(err, slimsim.ErrEngine) {
+			return fail("engine", format, args...)
+		}
+	}
+	return fail(oracle, format, args...)
+}
+
+// sameTrace compares two path traces event-by-event.
+func sameTrace(a, b slimsim.PathTrace) bool {
+	if a.Satisfied != b.Satisfied || a.Termination != b.Termination || len(a.Events) != len(b.Events) {
+		return false
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// renderTrace formats a trace for discrepancy reports.
+func renderTrace(tr slimsim.PathTrace) string {
+	s := fmt.Sprintf("  %v at t=%g (%s)", tr.Satisfied, tr.EndTime, tr.Termination)
+	for _, e := range tr.Events {
+		s += "\n  " + e
+	}
+	return s
+}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"slimsim/internal/slim"
+)
+
+// This file implements the cross-component data-flow cycle pass. Data
+// connections and computed out ports together define the instantaneous flow
+// relation: the value of a connection target is the value of its source at
+// the same instant, and a computed port re-evaluates from the ports it
+// reads. The runtime orders flow variables topologically and refuses cyclic
+// models deep inside network construction ("cyclic data-port dependency"),
+// long after lint and instantiation have both passed. This pass finds the
+// same cycles statically on the instance tree and reports the exact
+// connections and computed ports that form them.
+
+// flowEdge is one instantaneous dependency: the value at to is computed
+// from the value at from, established by a data connection or a computed
+// port declaration at pos.
+type flowEdge struct {
+	from, to string
+	pos      slim.Pos
+	conn     bool // data connection (true) or computed port (false)
+}
+
+func (e flowEdge) describe() string {
+	what := "computed port reads it here"
+	if e.conn {
+		what = "data connection here"
+	}
+	return fmt.Sprintf("%s -> %s: %s", e.from, e.to, what)
+}
+
+// checkDataFlowAST reports instantaneous data-flow cycles (SL207): chains
+// of data connections and computed ports on the instance tree that feed a
+// port's value back into itself with no delay. Such models have no
+// consistent flow semantics and are rejected by the runtime with an
+// unpositioned error; this pass names the exact edges instead.
+func checkDataFlowAST(m *slim.Model, rep *Reporter) {
+	r := resolver{m}
+	root := r.implOf(m.Root)
+	if root == nil {
+		return
+	}
+	var edges []flowEdge
+	collectFlowEdges(r, root, "", map[string]bool{}, &edges)
+	reportFlowCycles(edges, rep)
+}
+
+// qualify prefixes a port reference with the instance path of the component
+// that owns it.
+func qualify(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "." + name
+}
+
+// collectFlowEdges walks the instance tree rooted at impl (reached at
+// instance path prefix) and appends every instantaneous flow edge. Name
+// resolution failures stay silent: the connections pass already reports
+// them, and a dangling endpoint cannot close a cycle. onPath guards against
+// self-instantiating component hierarchies.
+func collectFlowEdges(r resolver, impl *slim.ComponentImpl, prefix string, onPath map[string]bool, edges *[]flowEdge) {
+	ref := impl.TypeName + "." + impl.ImplName
+	if onPath[ref] {
+		return
+	}
+	onPath[ref] = true
+	defer delete(onPath, ref)
+
+	node := func(pref []string) (string, bool) {
+		switch len(pref) {
+		case 1:
+			if feature(r.typeOf(impl), pref[0]) == nil {
+				return "", false
+			}
+			return qualify(prefix, pref[0]), true
+		case 2:
+			sub := subcomponent(impl, pref[0])
+			if sub == nil || sub.Data != nil {
+				return "", false
+			}
+			if feature(r.typeOf(r.implOf(sub.ImplRef)), pref[1]) == nil {
+				return "", false
+			}
+			return qualify(prefix, pref[0]+"."+pref[1]), true
+		default:
+			return "", false
+		}
+	}
+
+	for _, c := range impl.Connections {
+		if c.Event {
+			continue
+		}
+		from, fromOK := node(c.From)
+		to, toOK := node(c.To)
+		if fromOK && toOK {
+			*edges = append(*edges, flowEdge{from: from, to: to, pos: c.Pos, conn: true})
+		}
+	}
+
+	if t := r.typeOf(impl); t != nil {
+		for _, f := range t.Features {
+			if f.Compute == nil {
+				continue
+			}
+			walkSurface(f.Compute, func(e slim.Expr) {
+				re, ok := e.(*slim.RefExpr)
+				if !ok || len(re.Path) != 1 {
+					return
+				}
+				if feature(t, re.Path[0]) == nil {
+					return // a data subcomponent: state, not instantaneous flow
+				}
+				*edges = append(*edges, flowEdge{
+					from: qualify(prefix, re.Path[0]),
+					to:   qualify(prefix, f.Name),
+					pos:  f.Pos,
+				})
+			})
+		}
+	}
+
+	for _, s := range impl.Subcomponents {
+		if s.Data != nil {
+			continue
+		}
+		if sub := r.implOf(s.ImplRef); sub != nil {
+			collectFlowEdges(r, sub, qualify(prefix, s.Name), onPath, edges)
+		}
+	}
+}
+
+// reportFlowCycles runs a depth-first search over the flow graph and
+// reports one SL207 diagnostic per back edge found, naming the full cycle.
+// Nodes are visited in name order and edges in declaration order, so the
+// reported cycles are deterministic.
+func reportFlowCycles(edges []flowEdge, rep *Reporter) {
+	adj := make(map[string][]int)
+	for i, e := range edges {
+		adj[e.from] = append(adj[e.from], i)
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := make(map[string]int, len(nodes))
+	var stack []int // edge indices on the current DFS path
+
+	var dfs func(n string)
+	dfs = func(n string) {
+		color[n] = gray
+		for _, ei := range adj[n] {
+			next := edges[ei].to
+			switch color[next] {
+			case white:
+				stack = append(stack, ei)
+				dfs(next)
+				stack = stack[:len(stack)-1]
+			case gray:
+				cycle := append([]int{}, stack...)
+				// Keep only the part of the path from next onward, then
+				// close it with the back edge.
+				for len(cycle) > 0 && edges[cycle[0]].from != next {
+					cycle = cycle[1:]
+				}
+				cycle = append(cycle, ei)
+				reportCycle(edges, cycle, rep)
+			}
+		}
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			dfs(n)
+		}
+	}
+}
+
+// reportCycle emits one SL207 diagnostic for the cycle formed by the given
+// edge indices. The cycle is rotated to start at its lexicographically
+// smallest node so equal cycles found from different DFS roots render
+// identically, the primary position is the first edge in source order, and
+// every edge gets a related note.
+func reportCycle(edges []flowEdge, cycle []int, rep *Reporter) {
+	start := 0
+	for i := range cycle {
+		if edges[cycle[i]].from < edges[cycle[start]].from {
+			start = i
+		}
+	}
+	rotated := append(append([]int{}, cycle[start:]...), cycle[:start]...)
+
+	names := make([]string, 0, len(rotated)+1)
+	pos := edges[rotated[0]].pos
+	related := make([]Related, 0, len(rotated))
+	for _, ei := range rotated {
+		e := edges[ei]
+		names = append(names, e.from)
+		if before(e.pos, pos) {
+			pos = e.pos
+		}
+		related = append(related, Related{Pos: e.pos, Msg: e.describe()})
+	}
+	names = append(names, edges[rotated[0]].from)
+
+	rep.Report(Diag{
+		Code: "SL207", Severity: SevError, Pos: pos,
+		Msg:     "instantaneous data-flow cycle: " + strings.Join(names, " -> "),
+		Related: related,
+	})
+}

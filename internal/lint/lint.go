@@ -190,6 +190,11 @@ var Passes = []Pass{
 		Built: checkPortsBuilt,
 	},
 	{
+		Name: "dataflow",
+		Doc:  "instantaneous data-flow cycles through data connections and computed ports",
+		AST:  checkDataFlowAST,
+	},
+	{
 		Name: "modes",
 		Doc:  "mode-graph sanity: dangling in-modes refs, unknown modes, triggers, reachability",
 		AST:  checkModesAST,

@@ -32,6 +32,7 @@ func TestExactPositions(t *testing.T) {
 		{"sl204.slim", "SL204", SevWarning, 28, 3}, // the second (duplicate) connection
 		{"sl205.slim", "SL205", SevError, 27, 3},   // the connection
 		{"sl206.slim", "SL206", SevError, 27, 3},   // the connection
+		{"sl207.slim", "SL207", SevError, 7, 3},    // the computed port closing the cycle
 		{"sl301.slim", "SL301", SevError, 14, 3},   // the subcomponent
 		{"sl302.slim", "SL302", SevWarning, 9, 3},  // the unreachable mode
 		{"sl303.slim", "SL303", SevError, 10, 3},   // the transition

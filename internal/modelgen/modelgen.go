@@ -1,0 +1,586 @@
+// Package modelgen generates seeded random SLIM models for differential
+// testing. Every generated model is well-typed by construction: it parses,
+// lints without diagnostics, instantiates, and composes into a runnable
+// network. The generator produces three classes with decreasing analytic
+// tractability — Markovian models the exact CTMC pipeline can solve,
+// deterministic clock chains every strategy must traverse identically, and
+// unrestricted timed models that exercise the full surface language — and
+// pairs each model with a reachability property worth checking on it.
+//
+// The same seed always yields the same model: generation draws from a
+// single rng.Source in a fixed order and the printer sorts declarations,
+// so corpus runs are reproducible from recorded (class, seed) pairs alone.
+package modelgen
+
+import (
+	"fmt"
+
+	"slimsim/internal/rng"
+	"slimsim/internal/slim"
+)
+
+// Class selects a generator family.
+type Class string
+
+// Generator classes.
+const (
+	// Markovian models live in the untimed fragment: all stochastic
+	// timing comes from Poisson error events, nominal transitions are
+	// immediate and acyclic, and there are no clocks or continuous
+	// variables — exactly what ctmc.Build accepts.
+	Markovian Class = "markovian"
+	// Deterministic models are clock chains whose guards and invariants
+	// meet in single-point enabling windows with globally distinct firing
+	// times, so every strategy schedules the same trace and the verdict
+	// is known at generation time.
+	Deterministic Class = "deterministic"
+	// Timed models use the whole surface: nondeterministic enabling
+	// windows, continuous variables with trajectory equations, urgent
+	// modes, event synchronization, and error models mixing Poisson
+	// rates with timed windows.
+	Timed Class = "timed"
+)
+
+// Classes lists every generator class.
+var Classes = []Class{Markovian, Deterministic, Timed}
+
+// Generated is one random model plus the property the harness checks.
+type Generated struct {
+	// Class and Seed reproduce the model via Generate.
+	Class Class
+	Seed  uint64
+	// Model is the generated AST; Source is its printed form.
+	Model  *slim.Model
+	Source string
+	// Goal and Bound describe the recommended time-bounded reachability
+	// property P(<> [0,Bound] Goal), with Goal in root scope.
+	Goal  string
+	Bound float64
+	// KnownVerdict marks models whose unique behavior decides the
+	// property at generation time; Satisfied then holds the verdict.
+	KnownVerdict bool
+	Satisfied    bool
+}
+
+// Generate builds the model of the given class determined by seed.
+func Generate(class Class, seed uint64) (*Generated, error) {
+	r := rng.New(seed)
+	var g *Generated
+	switch class {
+	case Markovian:
+		g = genMarkovian(r)
+	case Deterministic:
+		g = genDeterministic(r)
+	case Timed:
+		g = genTimed(r)
+	default:
+		return nil, fmt.Errorf("modelgen: unknown class %q", class)
+	}
+	g.Class = class
+	g.Seed = seed
+	g.Source = slim.Print(g.Model)
+	return g, nil
+}
+
+// Expression and declaration shorthands. Positions stay zero: generated
+// models are rendered through slim.Print before anything consumes them.
+
+func intLit(v int64) slim.Expr { return &slim.NumLit{Value: float64(v), IsInt: true} }
+
+// realLit mirrors how the parser reads negative literals (unary minus on a
+// positive literal), so the first printing is already a round-trip fixed
+// point.
+func realLit(v float64) slim.Expr {
+	if v < 0 {
+		return &slim.UnaryExpr{Op: "-", X: &slim.NumLit{Value: -v}}
+	}
+	return &slim.NumLit{Value: v}
+}
+func boolLit(v bool) slim.Expr     { return &slim.BoolLit{Value: v} }
+func ref(path ...string) slim.Expr { return &slim.RefExpr{Path: path} }
+
+func bin(op string, l, r slim.Expr) slim.Expr { return &slim.BinExpr{Op: op, L: l, R: r} }
+
+// fold combines xs with a boolean operator ("or"/"and").
+func fold(op string, xs []slim.Expr) slim.Expr {
+	out := xs[0]
+	for _, x := range xs[1:] {
+		out = bin(op, out, x)
+	}
+	return out
+}
+
+func intType(lo, hi int64) *slim.DataType {
+	return &slim.DataType{Name: "int", HasRange: true, Lo: lo, Hi: hi}
+}
+
+func boolPort(name string, out bool) *slim.Feature {
+	return &slim.Feature{Name: name, Out: out, Type: &slim.DataType{Name: "bool"}, Default: boolLit(false)}
+}
+
+func newModel() *slim.Model {
+	return &slim.Model{
+		ComponentTypes: map[string]*slim.ComponentType{},
+		ComponentImpls: map[string]*slim.ComponentImpl{},
+		ErrorTypes:     map[string]*slim.ErrorType{},
+		ErrorImpls:     map[string]*slim.ErrorImpl{},
+	}
+}
+
+func addComponent(m *slim.Model, ct *slim.ComponentType, ci *slim.ComponentImpl) {
+	ct.Category = "system"
+	m.ComponentTypes[ct.Name] = ct
+	m.ComponentImpls[ci.Name()] = ci
+}
+
+func dataConn(from, to string) *slim.Connection {
+	return &slim.Connection{From: splitRef(from), To: splitRef(to)}
+}
+
+func eventConn(from, to string) *slim.Connection {
+	return &slim.Connection{Event: true, From: splitRef(from), To: splitRef(to)}
+}
+
+func splitRef(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// genDeterministic builds clock-chain leaves: leaf i cycles through modes
+// m0..m_{k-1}, each with invariant x <= c and exit guard x >= c, bumping an
+// output level, then parks in a terminal mode. Dwell constants are
+// multiples of 0.5 (exact in binary floating point) chosen so that no two
+// firing instants coincide anywhere in the model — at every decision point
+// exactly one move is enabled in a single-point window, so ASAP, MaxTime,
+// Progressive and Local must all realize the same behavior. The goal's
+// reach time is a known prefix sum, and the bound is offset by a quarter
+// unit so it never ties with an event.
+func genDeterministic(r *rng.Source) *Generated {
+	m := newModel()
+	nLeaves := 1 + r.IntN(3)
+	fired := map[int64]bool{} // absolute firing instants, in half-units
+	steps := make([]int, nLeaves)
+	fireAt := make([][]int64, nLeaves)
+
+	root := &slim.ComponentImpl{TypeName: "Main", ImplName: "Imp"}
+	for i := 0; i < nLeaves; i++ {
+		k := 1 + r.IntN(3)
+		steps[i] = k
+		var cum int64
+		dwell := make([]int64, k)
+		for j := 0; j < k; j++ {
+			c := int64(2 + r.IntN(9)) // 1.0 .. 5.0 time units
+			for fired[cum+c] {
+				c++
+			}
+			cum += c
+			fired[cum] = true
+			dwell[j] = c
+			fireAt[i] = append(fireAt[i], cum)
+		}
+
+		name := fmt.Sprintf("Leaf%d", i)
+		ct := &slim.ComponentType{Name: name, Features: []*slim.Feature{
+			{Name: "level", Out: true, Type: intType(0, int64(k)), Default: intLit(0)},
+		}}
+		ci := &slim.ComponentImpl{TypeName: name, ImplName: "Imp",
+			Subcomponents: []*slim.Subcomponent{
+				{Name: "x", Data: &slim.DataType{Name: "clock"}},
+			},
+		}
+		for j := 0; j < k; j++ {
+			c := float64(dwell[j]) / 2
+			ci.Modes = append(ci.Modes, &slim.Mode{
+				Name: fmt.Sprintf("m%d", j), Initial: j == 0,
+				Invariant: bin("<=", ref("x"), realLit(c)),
+			})
+			to := fmt.Sprintf("m%d", j+1)
+			if j == k-1 {
+				to = "done"
+			}
+			ci.Transitions = append(ci.Transitions, &slim.Transition{
+				From: fmt.Sprintf("m%d", j), To: to,
+				Guard: bin(">=", ref("x"), realLit(c)),
+				Effects: []slim.Assign{
+					{Target: []string{"x"}, Value: intLit(0)},
+					{Target: []string{"level"}, Value: intLit(int64(j + 1))},
+				},
+			})
+		}
+		ci.Modes = append(ci.Modes, &slim.Mode{Name: "done"})
+		addComponent(m, ct, ci)
+		root.Subcomponents = append(root.Subcomponents,
+			&slim.Subcomponent{Name: fmt.Sprintf("l%d", i), ImplRef: name + ".Imp"})
+	}
+
+	// Optionally, a passive watcher whose computed port folds the leaf
+	// levels — it adds data connections and flow evaluation without
+	// influencing behavior.
+	if r.Bernoulli(0.5) {
+		var ins []*slim.Feature
+		var terms []slim.Expr
+		for i := 0; i < nLeaves; i++ {
+			in := fmt.Sprintf("in%d", i)
+			ins = append(ins, &slim.Feature{Name: in, Type: intType(0, int64(steps[i])), Default: intLit(0)})
+			terms = append(terms, bin(">=", ref(in), intLit(int64(1+r.IntN(steps[i])))))
+			root.Connections = append(root.Connections,
+				dataConn(fmt.Sprintf("l%d.level", i), "w."+in))
+		}
+		ct := &slim.ComponentType{Name: "Watch", Features: append(ins,
+			&slim.Feature{Name: "any", Out: true, Type: &slim.DataType{Name: "bool"}, Compute: fold("or", terms)})}
+		addComponent(m, ct, &slim.ComponentImpl{TypeName: "Watch", ImplName: "Imp"})
+		root.Subcomponents = append(root.Subcomponents, &slim.Subcomponent{Name: "w", ImplRef: "Watch.Imp"})
+	}
+
+	m.ComponentTypes["Main"] = &slim.ComponentType{Name: "Main", Category: "system"}
+	m.ComponentImpls["Main.Imp"] = root
+	m.Root = "Main.Imp"
+
+	gi := r.IntN(nLeaves)
+	v := 1 + r.IntN(steps[gi])
+	reach := float64(fireAt[gi][v-1]) / 2
+	satisfied := r.Bernoulli(0.6)
+	bound := reach - 0.25
+	if satisfied {
+		bound = reach + 0.25
+	}
+	return &Generated{
+		Model: m,
+		Goal:  fmt.Sprintf("l%d.level >= %d", gi, v),
+		Bound: bound, KnownVerdict: true, Satisfied: satisfied,
+	}
+}
+
+// genMarkovian builds units that fail (and possibly degrade or get
+// repaired) through Poisson error events injected into a health port, plus
+// an alarm monitor whose immediate guarded transition latches when the
+// health pattern it watches appears. Nominal transitions strictly advance
+// mode indices, so vanishing states cannot cycle and ctmc.Build's maximal
+// progress resolution terminates.
+func genMarkovian(r *rng.Source) *Generated {
+	m := newModel()
+	nUnits := 1 + r.IntN(3)
+	rate := func() float64 { return float64(1+r.IntN(40)) * 0.05 } // 0.05 .. 2.0
+
+	root := &slim.ComponentImpl{TypeName: "Main", ImplName: "Imp"}
+	for i := 0; i < nUnits; i++ {
+		name := fmt.Sprintf("Unit%d", i)
+		ct := &slim.ComponentType{Name: name, Features: []*slim.Feature{
+			{Name: "health", Out: true, Type: intType(0, 2), Default: intLit(2)},
+		}}
+		ci := &slim.ComponentImpl{TypeName: name, ImplName: "Imp",
+			Modes: []*slim.Mode{{Name: "run", Initial: true}}}
+		addComponent(m, ct, ci)
+
+		failName := fmt.Sprintf("Fail%d", i)
+		threeState := r.Bernoulli(0.4)
+		repairable := r.Bernoulli(0.4)
+		et := &slim.ErrorType{Name: failName, States: []slim.ErrorState{
+			{Name: "ok", Initial: true},
+		}}
+		ei := &slim.ErrorImpl{TypeName: failName, ImplName: "Imp"}
+		ext := &slim.Extension{
+			Target:       []string{fmt.Sprintf("u%d", i)},
+			ErrorImplRef: failName + ".Imp",
+			Injections: []*slim.Injection{
+				{State: "down", Target: []string{"health"}, Value: intLit(0)},
+			},
+		}
+		if threeState {
+			et.States = append(et.States, slim.ErrorState{Name: "worn"})
+			ei.Events = append(ei.Events,
+				&slim.ErrorEvent{Name: "wear", Kind: slim.ErrEventInternal, HasRate: true, Rate: rate()})
+			ei.Transitions = append(ei.Transitions,
+				&slim.ErrorTransition{From: "ok", To: "worn", Event: "wear"},
+				&slim.ErrorTransition{From: "worn", To: "down", Event: "fail"})
+			ext.Injections = append(ext.Injections,
+				&slim.Injection{State: "worn", Target: []string{"health"}, Value: intLit(1)})
+		} else {
+			ei.Transitions = append(ei.Transitions,
+				&slim.ErrorTransition{From: "ok", To: "down", Event: "fail"})
+		}
+		et.States = append(et.States, slim.ErrorState{Name: "down"})
+		ei.Events = append(ei.Events,
+			&slim.ErrorEvent{Name: "fail", Kind: slim.ErrEventInternal, HasRate: true, Rate: rate()})
+		if repairable {
+			ei.Events = append(ei.Events,
+				&slim.ErrorEvent{Name: "mend", Kind: slim.ErrEventInternal, HasRate: true, Rate: rate()})
+			ei.Transitions = append(ei.Transitions,
+				&slim.ErrorTransition{From: "down", To: "ok", Event: "mend"})
+		}
+		m.ErrorTypes[failName] = et
+		m.ErrorImpls[ei.Name()] = ei
+		m.Extensions = append(m.Extensions, ext)
+		root.Subcomponents = append(root.Subcomponents,
+			&slim.Subcomponent{Name: fmt.Sprintf("u%d", i), ImplRef: name + ".Imp"})
+	}
+
+	// The alarm monitor: an immediate (vanishing-state) reaction to the
+	// watched health pattern.
+	var ins []*slim.Feature
+	var downTerms, degradedTerms []slim.Expr
+	for i := 0; i < nUnits; i++ {
+		in := fmt.Sprintf("h%d", i)
+		ins = append(ins, &slim.Feature{Name: in, Type: intType(0, 2), Default: intLit(2)})
+		downTerms = append(downTerms, bin("=", ref(in), intLit(0)))
+		degradedTerms = append(degradedTerms, bin("<=", ref(in), intLit(1)))
+		root.Connections = append(root.Connections,
+			dataConn(fmt.Sprintf("u%d.health", i), "mon."+in))
+	}
+	var cond slim.Expr
+	switch r.IntN(3) {
+	case 0:
+		cond = fold("or", downTerms)
+	case 1:
+		cond = fold("and", degradedTerms)
+	default:
+		cond = downTerms[r.IntN(nUnits)]
+	}
+	ct := &slim.ComponentType{Name: "Alarm", Features: append(ins, boolPort("alarm", true))}
+	ci := &slim.ComponentImpl{TypeName: "Alarm", ImplName: "Imp",
+		Modes: []*slim.Mode{{Name: "watch", Initial: true}, {Name: "tripped"}},
+		Transitions: []*slim.Transition{{
+			From: "watch", To: "tripped", Guard: cond,
+			Effects: []slim.Assign{{Target: []string{"alarm"}, Value: boolLit(true)}},
+		}},
+	}
+	addComponent(m, ct, ci)
+	root.Subcomponents = append(root.Subcomponents, &slim.Subcomponent{Name: "mon", ImplRef: "Alarm.Imp"})
+
+	m.ComponentTypes["Main"] = &slim.ComponentType{Name: "Main", Category: "system"}
+	m.ComponentImpls["Main.Imp"] = root
+	m.Root = "Main.Imp"
+
+	goal := "mon.alarm"
+	switch r.IntN(3) {
+	case 0:
+		goal = fmt.Sprintf("u%d.health = 0", r.IntN(nUnits))
+	case 1:
+		goal = fmt.Sprintf("u%d.health <= 1", r.IntN(nUnits))
+	}
+	return &Generated{
+		Model: m,
+		Goal:  goal,
+		Bound: float64(1+r.IntN(12)) * 0.25, // 0.25 .. 3.0
+	}
+}
+
+// genTimed builds leaves of three flavors — clock components with genuinely
+// nondeterministic enabling windows (and optionally an urgent flash mode or
+// an emitted event), continuous-variable components ramping between
+// thresholds under trajectory equations, and failing units mixing Poisson
+// events with timed repair windows — plus an always-ready tally that
+// receives every emitted event and a probe whose computed port folds the
+// leaf outputs. Guards keep a positive minimum dwell on every cycle, and
+// every transition into a mode resets the timed variables its invariant
+// bounds, so paths are non-Zeno and invariants hold on entry.
+func genTimed(r *rng.Source) *Generated {
+	m := newModel()
+	nLeaves := 2 + r.IntN(2)
+	quarter := func(lo, hi int) float64 { return float64(lo+r.IntN(hi-lo+1)) * 0.25 }
+
+	root := &slim.ComponentImpl{TypeName: "Main", ImplName: "Imp"}
+	var pings []string     // instance names that emit events
+	var probeFrom []string // "inst.port" data sources for the probe
+	var probeBool []bool   // whether the source port is bool (else health int)
+	var goals []string
+
+	for i := 0; i < nLeaves; i++ {
+		inst := fmt.Sprintf("c%d", i)
+		var implRef string
+		switch r.IntN(3) {
+		case 0: // window leaf: clock with [lo, hi] enabling windows
+			name := fmt.Sprintf("Win%d", i)
+			implRef = name + ".Imp"
+			lo0, hi0 := quarter(2, 8), quarter(8, 16)
+			lo1, hi1 := quarter(2, 8), quarter(8, 16)
+			emits := r.Bernoulli(0.6)
+			urgent := r.Bernoulli(0.3)
+			feats := []*slim.Feature{boolPort("busy", true)}
+			if emits {
+				feats = append(feats, &slim.Feature{Name: "ping", Out: true, Event: true})
+				pings = append(pings, inst)
+			}
+			ci := &slim.ComponentImpl{TypeName: name, ImplName: "Imp",
+				Subcomponents: []*slim.Subcomponent{{Name: "x", Data: &slim.DataType{Name: "clock"}}},
+				Modes: []*slim.Mode{
+					{Name: "idle", Initial: true, Invariant: bin("<=", ref("x"), realLit(hi0))},
+					{Name: "work", Invariant: bin("<=", ref("x"), realLit(hi1))},
+				},
+			}
+			var emit []string
+			if emits {
+				emit = []string{"ping"}
+			}
+			ci.Transitions = append(ci.Transitions, &slim.Transition{
+				From: "idle", To: "work", Event: emit,
+				Guard: bin(">=", ref("x"), realLit(lo0)),
+				Effects: []slim.Assign{
+					{Target: []string{"x"}, Value: intLit(0)},
+					{Target: []string{"busy"}, Value: boolLit(true)},
+				},
+			})
+			back := &slim.Transition{
+				From: "work", To: "idle",
+				Guard: bin(">=", ref("x"), realLit(lo1)),
+				Effects: []slim.Assign{
+					{Target: []string{"x"}, Value: intLit(0)},
+					{Target: []string{"busy"}, Value: boolLit(false)},
+				},
+			}
+			if urgent {
+				// Route the way back through an urgent mode with an
+				// unguarded immediate exit.
+				ci.Modes = append(ci.Modes, &slim.Mode{Name: "flash", Urgent: true})
+				back.To = "flash"
+				ci.Transitions = append(ci.Transitions, back, &slim.Transition{
+					From: "flash", To: "idle",
+					Effects: []slim.Assign{{Target: []string{"x"}, Value: intLit(0)}},
+				})
+			} else {
+				ci.Transitions = append(ci.Transitions, back)
+			}
+			addComponent(m, &slim.ComponentType{Name: name, Features: feats}, ci)
+			probeFrom, probeBool = append(probeFrom, inst+".busy"), append(probeBool, true)
+			goals = append(goals, inst+".busy")
+
+		case 1: // ramp leaf: continuous variable between thresholds
+			name := fmt.Sprintf("Ramp%d", i)
+			implRef = name + ".Imp"
+			up := quarter(2, 8)    // fill rate
+			down := -quarter(2, 8) // drain rate
+			cap := quarter(24, 40)
+			th := quarter(12, 20) // th < cap, so filling may linger
+			low := quarter(1, 8)  // drain target, low < th
+			ci := &slim.ComponentImpl{TypeName: name, ImplName: "Imp",
+				Subcomponents: []*slim.Subcomponent{{Name: "v", Data: &slim.DataType{Name: "continuous"}}},
+				Modes: []*slim.Mode{
+					{Name: "fill", Initial: true,
+						Invariant: bin("<=", ref("v"), realLit(cap)),
+						Derivs:    []slim.Deriv{{Var: "v", Rate: realLit(up)}}},
+					{Name: "drain",
+						Invariant: bin(">=", ref("v"), realLit(0)),
+						Derivs:    []slim.Deriv{{Var: "v", Rate: realLit(down)}}},
+				},
+				Transitions: []*slim.Transition{
+					{From: "fill", To: "drain",
+						Guard:   bin(">=", ref("v"), realLit(th)),
+						Effects: []slim.Assign{{Target: []string{"hot"}, Value: boolLit(true)}}},
+					{From: "drain", To: "fill",
+						Guard: bin("<=", ref("v"), realLit(low)),
+						Effects: []slim.Assign{
+							{Target: []string{"v"}, Value: intLit(0)},
+							{Target: []string{"hot"}, Value: boolLit(false)}}},
+				},
+			}
+			addComponent(m, &slim.ComponentType{Name: name, Features: []*slim.Feature{boolPort("hot", true)}}, ci)
+			probeFrom, probeBool = append(probeFrom, inst+".hot"), append(probeBool, true)
+			goals = append(goals, inst+".hot")
+
+		default: // failing unit: Poisson failure, optional timed repair
+			name := fmt.Sprintf("Unit%d", i)
+			implRef = name + ".Imp"
+			failName := fmt.Sprintf("Fail%d", i)
+			ct := &slim.ComponentType{Name: name, Features: []*slim.Feature{
+				{Name: "health", Out: true, Type: intType(0, 2), Default: intLit(2)},
+			}}
+			ci := &slim.ComponentImpl{TypeName: name, ImplName: "Imp",
+				Modes: []*slim.Mode{{Name: "run", Initial: true}}}
+			addComponent(m, ct, ci)
+			et := &slim.ErrorType{Name: failName, States: []slim.ErrorState{
+				{Name: "ok", Initial: true}, {Name: "down"},
+			}}
+			ei := &slim.ErrorImpl{TypeName: failName, ImplName: "Imp",
+				Events: []*slim.ErrorEvent{
+					{Name: "fail", Kind: slim.ErrEventInternal, HasRate: true,
+						Rate: float64(1+r.IntN(20)) * 0.05},
+				},
+				Transitions: []*slim.ErrorTransition{
+					{From: "ok", To: "down", Event: "fail"},
+				},
+			}
+			if r.Bernoulli(0.5) {
+				lo := quarter(2, 8)
+				ei.Events = append(ei.Events, &slim.ErrorEvent{Name: "mend", Kind: slim.ErrEventInternal})
+				ei.Transitions = append(ei.Transitions, &slim.ErrorTransition{
+					From: "down", To: "ok", Event: "mend",
+					HasAfter: true, Lo: lo, Hi: lo + quarter(2, 8),
+				})
+			}
+			m.ErrorTypes[failName] = et
+			m.ErrorImpls[ei.Name()] = ei
+			m.Extensions = append(m.Extensions, &slim.Extension{
+				Target:       []string{inst},
+				ErrorImplRef: failName + ".Imp",
+				Injections: []*slim.Injection{
+					{State: "down", Target: []string{"health"}, Value: intLit(0)},
+				},
+			})
+			probeFrom, probeBool = append(probeFrom, inst+".health"), append(probeBool, false)
+			goals = append(goals, inst+".health = 0")
+		}
+		root.Subcomponents = append(root.Subcomponents,
+			&slim.Subcomponent{Name: inst, ImplRef: implRef})
+	}
+
+	// Tally: always ready to receive every emitted event.
+	if len(pings) > 0 {
+		var feats []*slim.Feature
+		ci := &slim.ComponentImpl{TypeName: "Tally", ImplName: "Imp",
+			Modes: []*slim.Mode{{Name: "track", Initial: true}}}
+		for j, inst := range pings {
+			in := fmt.Sprintf("p%d", j)
+			feats = append(feats, &slim.Feature{Name: in, Event: true})
+			ci.Transitions = append(ci.Transitions, &slim.Transition{
+				From: "track", To: "track", Event: []string{in},
+				Effects: []slim.Assign{{Target: []string{"seen"}, Value: boolLit(true)}},
+			})
+			root.Connections = append(root.Connections, eventConn(inst+".ping", "t."+in))
+		}
+		feats = append(feats, boolPort("seen", true))
+		addComponent(m, &slim.ComponentType{Name: "Tally", Features: feats}, ci)
+		root.Subcomponents = append(root.Subcomponents, &slim.Subcomponent{Name: "t", ImplRef: "Tally.Imp"})
+		goals = append(goals, "t.seen")
+	}
+
+	// Probe: a computed port folding the leaf outputs through data
+	// connections.
+	if r.Bernoulli(0.7) {
+		var feats []*slim.Feature
+		var terms []slim.Expr
+		for j, from := range probeFrom {
+			in := fmt.Sprintf("s%d", j)
+			if probeBool[j] {
+				feats = append(feats, &slim.Feature{Name: in, Type: &slim.DataType{Name: "bool"}, Default: boolLit(false)})
+				terms = append(terms, ref(in))
+			} else {
+				feats = append(feats, &slim.Feature{Name: in, Type: intType(0, 2), Default: intLit(2)})
+				terms = append(terms, bin("=", ref(in), intLit(0)))
+			}
+			root.Connections = append(root.Connections, dataConn(from, "pr."+in))
+		}
+		feats = append(feats, &slim.Feature{Name: "any", Out: true,
+			Type: &slim.DataType{Name: "bool"}, Compute: fold("or", terms)})
+		addComponent(m, &slim.ComponentType{Name: "Probe", Features: feats},
+			&slim.ComponentImpl{TypeName: "Probe", ImplName: "Imp"})
+		root.Subcomponents = append(root.Subcomponents, &slim.Subcomponent{Name: "pr", ImplRef: "Probe.Imp"})
+		goals = append(goals, "pr.any")
+	}
+
+	m.ComponentTypes["Main"] = &slim.ComponentType{Name: "Main", Category: "system"}
+	m.ComponentImpls["Main.Imp"] = root
+	m.Root = "Main.Imp"
+
+	return &Generated{
+		Model: m,
+		Goal:  goals[r.IntN(len(goals))],
+		Bound: float64(8+r.IntN(25)) * 0.5, // 4 .. 16
+	}
+}

@@ -1,0 +1,32 @@
+package network
+
+import "errors"
+
+// ErrInternal classifies errors raised while executing an already-validated
+// runtime: flow propagation failures, effect evaluation failures, invariant
+// violations at delay zero, and similar conditions that New's static checks
+// were supposed to rule out. A model tripping one of these after passing
+// validation means an engine invariant is broken (or lint/instantiation let
+// a defective model through) — not that the estimate is merely noisy.
+// Callers test with errors.Is(err, ErrInternal); the CLIs map it to a
+// distinct exit code so harnesses can tell engine bugs from ordinary
+// failures.
+var ErrInternal = errors.New("engine invariant violated")
+
+// internalError wraps an execution-phase error so that errors.Is(err,
+// ErrInternal) reports true without changing the rendered message.
+type internalError struct{ err error }
+
+func (e *internalError) Error() string { return e.err.Error() }
+
+func (e *internalError) Unwrap() error { return e.err }
+
+func (e *internalError) Is(target error) bool { return target == ErrInternal }
+
+// Internal marks err as an engine-internal failure. It passes nil through.
+func Internal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &internalError{err: err}
+}

@@ -224,14 +224,14 @@ func (rt *Runtime) propagateFlows(st *State) error {
 	for _, v := range rt.flowOrder {
 		val, err := rt.net.Vars[v].FlowExpr.Eval(e)
 		if err != nil {
-			return fmt.Errorf("network: evaluating flow %s: %w", rt.net.Vars[v].Name, err)
+			return Internal(fmt.Errorf("network: evaluating flow %s: %w", rt.net.Vars[v].Name, err))
 		}
 		if k := rt.net.Vars[v].Type.Kind; k == expr.KindReal && val.Kind() == expr.KindInt {
 			val = expr.RealVal(val.AsFloat())
 		}
 		if !rt.net.Vars[v].Type.Admits(val) {
-			return fmt.Errorf("network: flow %s value %s violates type %s",
-				rt.net.Vars[v].Name, val, rt.net.Vars[v].Type)
+			return Internal(fmt.Errorf("network: flow %s value %s violates type %s",
+				rt.net.Vars[v].Name, val, rt.net.Vars[v].Type))
 		}
 		st.Vals[v] = val
 	}
@@ -258,7 +258,7 @@ func (rt *Runtime) MaxDelay(st *State) (d float64, attained, nowOK bool, err err
 		}
 		w, werr := expr.Window(loc.Invariant, e)
 		if werr != nil {
-			return 0, false, false, fmt.Errorf("network: invariant of %s.%s: %w", p.Name, loc.Name, werr)
+			return 0, false, false, Internal(fmt.Errorf("network: invariant of %s.%s: %w", p.Name, loc.Name, werr))
 		}
 		d, att, ok := prefixBound(w)
 		if !ok {
@@ -420,8 +420,8 @@ func (rt *Runtime) Window(st *State, m *Move) (intervals.Set, error) {
 		}
 		gw, err := expr.Window(tr.Guard, e)
 		if err != nil {
-			return intervals.Set{}, fmt.Errorf("network: guard of %s transition %d: %w",
-				rt.net.Processes[part.Proc].Name, part.Trans, err)
+			return intervals.Set{}, Internal(fmt.Errorf("network: guard of %s transition %d: %w",
+				rt.net.Processes[part.Proc].Name, part.Trans, err))
 		}
 		w = w.Intersect(gw)
 		if w.Empty() {
@@ -459,7 +459,7 @@ func (rt *Runtime) EnabledAt(st *State, m *Move) (bool, error) {
 // MaxDelay.
 func (rt *Runtime) Advance(st *State, d float64) (State, error) {
 	if d < 0 {
-		return State{}, fmt.Errorf("network: negative delay %g", d)
+		return State{}, Internal(fmt.Errorf("network: negative delay %g", d))
 	}
 	out := st.Clone()
 	if d == 0 {
@@ -497,15 +497,15 @@ func (rt *Runtime) Apply(st *State, m *Move) (State, error) {
 			as := &tr.Effects[ai]
 			val, err := as.Expr.Eval(e)
 			if err != nil {
-				return State{}, fmt.Errorf("network: effect %s of %s: %w", as.Name, p.Name, err)
+				return State{}, Internal(fmt.Errorf("network: effect %s of %s: %w", as.Name, p.Name, err))
 			}
 			decl := &rt.net.Vars[as.Var]
 			if decl.Type.Kind == expr.KindReal && val.Kind() == expr.KindInt {
 				val = expr.RealVal(val.AsFloat())
 			}
 			if !decl.Type.Admits(val) {
-				return State{}, fmt.Errorf("network: effect %s := %s violates type %s of %s",
-					as.Name, val, decl.Type, decl.Name)
+				return State{}, Internal(fmt.Errorf("network: effect %s := %s violates type %s of %s",
+					as.Name, val, decl.Type, decl.Name))
 			}
 			out.Vals[as.Var] = val
 		}

@@ -257,7 +257,8 @@ func (e *Engine) step(ev *prop.Evaluator, st *network.State, src *rng.Source, re
 		return 0, network.State{}, err
 	}
 	if !nowOK {
-		return 0, network.State{}, fmt.Errorf("sim: invariant violated at time %g (ill-formed model)", st.Time)
+		return 0, network.State{}, network.Internal(
+			fmt.Errorf("sim: invariant violated at time %g (ill-formed model)", st.Time))
 	}
 
 	moves := e.rt.Moves(st)

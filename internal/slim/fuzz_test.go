@@ -1,0 +1,42 @@
+package slim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse throws arbitrary text at the SLIM parser. Anything the parser
+// accepts must print, reparse and reprint to a fixed point — the
+// invariant the printer-based tooling (difftest, slimfuzz corpus files)
+// relies on. The seed corpus is every lint fixture plus the committed
+// files under testdata/fuzz/FuzzParse.
+func FuzzParse(f *testing.F) {
+	fixtures, err := filepath.Glob(filepath.Join("..", "lint", "testdata", "*.slim"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range fixtures {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("system A\nend A;\n\nsystem implementation A.I\nmodes\n  m: initial mode;\nend A.I;\n\nroot A.I;\n")
+	f.Add("-- just a comment\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := Print(m)
+		m2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed model does not reparse: %v\n%s", err, printed)
+		}
+		if again := Print(m2); again != printed {
+			t.Fatalf("print/parse/print is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", printed, again)
+		}
+	})
+}

@@ -1109,6 +1109,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 		p.next()
 		isInt := !strings.ContainsAny(t.Text, ".eE")
 		v := t.Num
+		if isInt && v >= 1<<63 {
+			// Integer literals live in int64 downstream (ranges, the
+			// printer); values past the overflow point cannot.
+			return nil, p.errf(t.Pos, "integer literal %s overflows", t.Text)
+		}
 		// Optional time-unit suffix turns the literal real.
 		if p.peek().Kind == TokIdent {
 			if scale, ok := timeUnits[p.peek().Text]; ok {

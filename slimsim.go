@@ -27,6 +27,7 @@
 package slimsim
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -80,6 +81,29 @@ func LoadModelFile(path string) (*Model, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return m, nil
+}
+
+// ErrEngine classifies errors raised by the simulation engine after the
+// model passed loading, lint and static validation: invariant violations at
+// delay zero, flow or effect evaluation failures, and similar broken engine
+// invariants. Test with errors.Is(err, ErrEngine); such an error means the
+// engine (or the validation that admitted the model) is buggy, not that an
+// estimate is merely noisy.
+var ErrEngine = network.ErrInternal
+
+// ExitCode maps an error from this package to the process exit code the
+// CLIs use: 0 for nil, 2 for engine-internal failures (ErrEngine), 1 for
+// everything else. Differential harnesses rely on the distinction to tell
+// engine bugs from ordinary usage or model errors.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, ErrEngine):
+		return 2
+	default:
+		return 1
+	}
 }
 
 // NumProcesses returns the number of STA processes in the composed
