@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmtcheck lint race verify ci bench-json difftest fuzz-smoke
+.PHONY: build test vet fmtcheck lint race verify ci bench bench-smoke bench-compare bench-json difftest fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -45,7 +45,42 @@ fuzz-smoke:
 
 verify: build test
 
-ci: verify vet fmtcheck race lint difftest fuzz-smoke
+ci: verify vet fmtcheck race lint difftest bench-smoke fuzz-smoke
+
+# BENCH_PKGS are the packages carrying the hot-path micro-benchmarks
+# (engine step, move memoization, compiled expression evaluation) and their
+# AllocsPerRun regression gates.
+BENCH_PKGS = ./internal/sim/ ./internal/network/ ./internal/expr/
+
+# bench runs the micro-benchmarks at a publishable benchtime.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count=1 $(BENCH_PKGS)
+
+# bench-smoke is the CI form: a short pass over every benchmark (so they
+# cannot rot) plus the allocation regression gates under the race detector.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 10x -count=1 $(BENCH_PKGS)
+	$(GO) test -race -run Allocs -count=1 $(BENCH_PKGS)
+
+# bench-compare measures old-vs-new: "make bench-compare BASE=<git-ref>"
+# checks out the base ref into a worktree, runs the benchmarks there and
+# here, and diffs with benchstat when installed (falls back to printing the
+# raw profiles side by side; nothing is installed on demand).
+BASE ?= HEAD~1
+bench-compare:
+	@tmp=$$(mktemp -d) && trap 'git worktree remove --force '"$$tmp"'; rm -rf '"$$tmp" EXIT && \
+	git worktree add --detach $$tmp $(BASE) >/dev/null && \
+	echo "benchmarking base $(BASE)..." && \
+	(cd $$tmp && $(GO) test -run '^$$' -bench . -benchmem -count 6 $(BENCH_PKGS) >$$tmp/old.txt 2>&1 || true) && \
+	echo "benchmarking working tree..." && \
+	$(GO) test -run '^$$' -bench . -benchmem -count 6 $(BENCH_PKGS) >/tmp/bench-new.txt && \
+	if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $$tmp/old.txt /tmp/bench-new.txt; \
+	else \
+		echo "benchstat not installed; raw results:"; \
+		echo "--- old ($(BASE)) ---"; grep Benchmark $$tmp/old.txt || true; \
+		echo "--- new ---"; grep Benchmark /tmp/bench-new.txt; \
+	fi
 
 # bench-json regenerates the machine-readable perf trajectory: one
 # BENCH_<experiment>.json per case-study experiment, in the report schema

@@ -108,16 +108,27 @@ type builder struct {
 	goalFlags []bool           // per tangible state
 	edges     [][]Edge
 	resolved  map[string][]weighted // memoized vanishing resolution
+	keyBuf    []byte                // scratch for stateKey
 	explored  int
 	vanishing int
 }
 
+// stateKey renders st's canonical key into the builder's scratch buffer.
+// The returned slice is only valid until the next stateKey call; callers
+// probe maps with map[string(buf)] (no allocation) and materialize a string
+// only when inserting.
+func (b *builder) stateKey(st *network.State) []byte {
+	b.keyBuf = st.AppendKey(b.keyBuf[:0])
+	return b.keyBuf
+}
+
 // tangible interns a tangible state and returns its index.
 func (b *builder) tangible(st *network.State) (int, error) {
-	key := st.Key()
-	if idx, ok := b.index[key]; ok {
+	buf := b.stateKey(st)
+	if idx, ok := b.index[string(buf)]; ok {
 		return idx, nil
 	}
+	key := string(buf)
 	if len(b.states) >= b.maxStates {
 		return 0, fmt.Errorf("ctmc: state space exceeds %d tangible states", b.maxStates)
 	}
@@ -158,13 +169,16 @@ func (b *builder) immediateMoves(st *network.State) ([]network.Move, []network.M
 // transitions (uniformly probable, maximal progress) until tangible states
 // are reached. onPath detects cycles of immediate transitions.
 func (b *builder) resolve(st *network.State, onPath map[string]bool) ([]weighted, error) {
-	key := st.Key()
-	if cached, ok := b.resolved[key]; ok {
+	buf := b.stateKey(st)
+	if cached, ok := b.resolved[string(buf)]; ok {
 		return cached, nil
 	}
-	if onPath[key] {
-		return nil, fmt.Errorf("ctmc: cycle of immediate transitions through state %s", key)
+	if onPath[string(buf)] {
+		return nil, fmt.Errorf("ctmc: cycle of immediate transitions through state %s", string(buf))
 	}
+	// Materialize the key once: it outlives the recursive calls below,
+	// which clobber the scratch buffer.
+	key := string(buf)
 	b.explored++
 	immediate, _, err := b.immediateMoves(st)
 	if err != nil {
@@ -179,7 +193,7 @@ func (b *builder) resolve(st *network.State, onPath map[string]bool) ([]weighted
 	onPath[key] = true
 	defer delete(onPath, key)
 
-	acc := make(map[string]weighted)
+	acc := make(map[string]*weighted)
 	share := 1 / float64(len(immediate))
 	for i := range immediate {
 		succ, err := b.rt.Apply(st, &immediate[i])
@@ -191,16 +205,17 @@ func (b *builder) resolve(st *network.State, onPath map[string]bool) ([]weighted
 			return nil, err
 		}
 		for _, w := range sub {
-			k := w.st.Key()
-			entry := acc[k]
-			entry.st = w.st
-			entry.p += share * w.p
-			acc[k] = entry
+			kb := b.stateKey(w.st)
+			if entry, ok := acc[string(kb)]; ok {
+				entry.p += share * w.p
+			} else {
+				acc[string(kb)] = &weighted{st: w.st, p: share * w.p}
+			}
 		}
 	}
 	out := make([]weighted, 0, len(acc))
 	for _, w := range acc {
-		out = append(out, w)
+		out = append(out, *w)
 	}
 	b.resolved[key] = out
 	return out, nil

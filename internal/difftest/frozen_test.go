@@ -1,0 +1,177 @@
+package difftest
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"slimsim"
+	"slimsim/internal/modelgen"
+)
+
+// updateFrozen regenerates testdata/frozen_traces.txt from the current
+// engine. Run it exactly once, before an engine change, to freeze the
+// reference behavior:
+//
+//	go test ./internal/difftest/ -run TestFrozenTraces -update-frozen
+var updateFrozen = flag.Bool("update-frozen", false, "rewrite the frozen-trace golden file")
+
+const frozenFile = "frozen_traces.txt"
+
+// frozenPaths is the number of paths hashed per (model, strategy) pair.
+const frozenPaths = 3
+
+// frozenHash digests every sampled path of every strategy on g's model
+// into one 64-bit fingerprint. The digest covers the verdict, the
+// termination reason, the bit pattern of the end time and every rendered
+// event of every path, so any change to RNG draw order, floating-point
+// evaluation, move ordering or label rendering changes the hash.
+func frozenHash(t *testing.T, g *modelgen.Generated) uint64 {
+	t.Helper()
+	m, err := slimsim.LoadModel(g.Source)
+	if err != nil {
+		t.Fatalf("%s/%d: load: %v", g.Class, g.Seed, err)
+	}
+	h := fnv.New64a()
+	var scratch [8]byte
+	for _, strat := range Strategies {
+		traces, err := m.Simulate(opts(g, strat, 1), frozenPaths)
+		if err != nil {
+			t.Fatalf("%s/%d: %s: %v", g.Class, g.Seed, strat, err)
+		}
+		for _, tr := range traces {
+			fmt.Fprintf(h, "%s|%v|%s|", strat, tr.Satisfied, tr.Termination)
+			bits := math.Float64bits(tr.EndTime)
+			for i := 0; i < 8; i++ {
+				scratch[i] = byte(bits >> (8 * i))
+			}
+			h.Write(scratch[:])
+			for _, e := range tr.Events {
+				h.Write([]byte(e))
+				h.Write([]byte{0})
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// TestFrozenTraces locks the engine's sampled behavior bit-for-bit: every
+// model of the committed seed corpus must reproduce the exact trace
+// fingerprints recorded in testdata/frozen_traces.txt. A mismatch means an
+// engine change altered observable behavior — RNG draw order, move
+// ordering, floating-point evaluation or event rendering — on a concrete
+// model, which an optimization must never do.
+func TestFrozenTraces(t *testing.T) {
+	seeds := readSeeds(t)
+	if *updateFrozen {
+		writeFrozen(t, seeds)
+		return
+	}
+	want := readFrozen(t)
+	if len(want) != len(seeds) {
+		t.Fatalf("golden file has %d entries, corpus has %d seeds; rerun with -update-frozen", len(want), len(seeds))
+	}
+	for _, s := range seeds {
+		s := s
+		key := s[0] + " " + s[1]
+		t.Run(strings.ReplaceAll(key, " ", "/"), func(t *testing.T) {
+			t.Parallel()
+			seed, err := strconv.ParseUint(s[1], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := modelgen.Generate(modelgen.Class(s[0]), seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := frozenHash(t, g)
+			exp, ok := want[key]
+			if !ok {
+				t.Fatalf("no golden entry for %s; rerun with -update-frozen", key)
+			}
+			if got != exp {
+				t.Errorf("trace fingerprint %016x, golden %016x: engine behavior changed on this model", got, exp)
+			}
+		})
+	}
+}
+
+func frozenPath() string { return filepath.Join("testdata", frozenFile) }
+
+// readFrozen parses the golden file: "class seed hash" per line.
+func readFrozen(t *testing.T) map[string]uint64 {
+	t.Helper()
+	f, err := os.Open(frozenPath())
+	if err != nil {
+		t.Fatalf("%v; generate the golden with -update-frozen", err)
+	}
+	defer f.Close()
+	out := map[string]uint64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			t.Fatalf("%s: malformed line %q", frozenFile, line)
+		}
+		h, err := strconv.ParseUint(fields[2], 16, 64)
+		if err != nil {
+			t.Fatalf("%s: bad hash in %q: %v", frozenFile, line, err)
+		}
+		out[fields[0]+" "+fields[1]] = h
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// writeFrozen recomputes every fingerprint with the current engine and
+// rewrites the golden file in deterministic order.
+func writeFrozen(t *testing.T, seeds [][2]string) {
+	t.Helper()
+	type entry struct{ class, seed, hash string }
+	entries := make([]entry, 0, len(seeds))
+	for _, s := range seeds {
+		seed, err := strconv.ParseUint(s[1], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := modelgen.Generate(modelgen.Class(s[0]), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, entry{s[0], s[1], fmt.Sprintf("%016x", frozenHash(t, g))})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].class != entries[j].class {
+			return entries[i].class < entries[j].class
+		}
+		a, _ := strconv.ParseUint(entries[i].seed, 10, 64)
+		b, _ := strconv.ParseUint(entries[j].seed, 10, 64)
+		return a < b
+	})
+	var b strings.Builder
+	b.WriteString("# Frozen trace fingerprints: one 'class seed fnv64a' line per corpus\n")
+	b.WriteString("# model, hashed over every strategy's sampled paths (see frozen_test.go).\n")
+	b.WriteString("# Regenerate ONLY when behavior is intentionally changed:\n")
+	b.WriteString("#   go test ./internal/difftest/ -run TestFrozenTraces -update-frozen\n")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%s %s %s\n", e.class, e.seed, e.hash)
+	}
+	if err := os.WriteFile(frozenPath(), []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d fingerprints to %s", len(entries), frozenPath())
+}

@@ -1,0 +1,560 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"slimsim/internal/intervals"
+)
+
+// This file implements closure compilation of expression ASTs. Compiling
+// replaces the per-evaluation AST walk — a type switch and interface
+// dispatch at every node — with a tree of closures specialized once, at
+// compile time, per node. Constant subtrees collapse to their value, and
+// the operator dispatch, reference resolution and kind checks that do not
+// depend on the environment are hoisted out of the evaluation path.
+//
+// Compiled forms are behaviorally identical to the interpreted ones: the
+// same evaluation order, the same short-circuiting, the same error
+// messages produced at the same points. Constant folding only replaces a
+// subtree whose evaluation succeeds without an environment; a constant
+// subtree that would error (e.g. a division by zero) compiles to the
+// ordinary lazy closure so the error still surfaces exactly when — and
+// only when — evaluation reaches it.
+
+// Code is a compiled expression: call it with an environment to evaluate.
+type Code func(env Env) (Value, error)
+
+// BoolCode is a compiled Boolean expression.
+type BoolCode func(env Env) (bool, error)
+
+// AffineCode is a compiled timed numeric expression; it mirrors
+// EvalAffine.
+type AffineCode func(env RateEnv) (Affine, error)
+
+// WindowCode is a compiled timed guard; it mirrors Window.
+type WindowCode func(env RateEnv) (intervals.Set, error)
+
+// Compile builds the closure form of e. The result is immutable and safe
+// for concurrent use (assuming, like Eval, that e is not mutated).
+func Compile(e Expr) Code {
+	code, _ := compile(e)
+	return code
+}
+
+// compile returns e's code plus whether e is a constant subtree whose
+// value the code returns without consulting the environment.
+func compile(e Expr) (Code, bool) {
+	switch n := e.(type) {
+	case *Lit:
+		v := n.Val
+		return func(Env) (Value, error) { return v, nil }, true
+	case *Ref:
+		if n.ID == NoVar {
+			name := n.Name
+			return func(Env) (Value, error) {
+				return Value{}, fmt.Errorf("expr: unresolved reference %q", name)
+			}, false
+		}
+		id := n.ID
+		return func(env Env) (Value, error) { return env.VarValue(id), nil }, false
+	case *Unary:
+		return compileUnary(n)
+	case *Binary:
+		return compileBinary(n)
+	case *Cond:
+		return compileCond(n)
+	default:
+		return func(env Env) (Value, error) { return e.Eval(env) }, false
+	}
+}
+
+// tryFold replaces a closed subtree by its value when evaluation succeeds.
+// code must be the compiled form of a subtree whose children are all
+// constant; env-free evaluation is then well-defined.
+func tryFold(code Code) (Code, bool) {
+	v, err := code(nil)
+	if err != nil {
+		return code, false
+	}
+	return func(Env) (Value, error) { return v, nil }, true
+}
+
+func compileUnary(n *Unary) (Code, bool) {
+	x, xConst := compile(n.X)
+	var code Code
+	switch n.Op {
+	case OpNot:
+		code = func(env Env) (Value, error) {
+			v, err := x(env)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.Kind() != KindBool {
+				return Value{}, fmt.Errorf("expr: not applied to %s", v.Kind())
+			}
+			return BoolVal(!v.Bool()), nil
+		}
+	case OpNeg:
+		code = func(env Env) (Value, error) {
+			v, err := x(env)
+			if err != nil {
+				return Value{}, err
+			}
+			switch v.Kind() {
+			case KindInt:
+				return IntVal(-v.Int()), nil
+			case KindReal:
+				return RealVal(-v.Real()), nil
+			default:
+				return Value{}, fmt.Errorf("expr: negation applied to %s", v.Kind())
+			}
+		}
+	default:
+		op := n.Op
+		code = func(env Env) (Value, error) {
+			// Match Eval: the operand is evaluated before the operator is
+			// rejected.
+			if _, err := x(env); err != nil {
+				return Value{}, err
+			}
+			return Value{}, fmt.Errorf("expr: invalid unary operator %v", op)
+		}
+	}
+	if xConst {
+		return tryFold(code)
+	}
+	return code, false
+}
+
+func compileBinary(n *Binary) (Code, bool) {
+	l, lConst := compile(n.L)
+	r, rConst := compile(n.R)
+	op := n.Op
+	var code Code
+	switch op {
+	case OpAnd, OpOr:
+		isAnd := op == OpAnd
+		code = func(env Env) (Value, error) {
+			lv, err := l(env)
+			if err != nil {
+				return Value{}, err
+			}
+			if lv.Kind() != KindBool {
+				return Value{}, fmt.Errorf("expr: %v applied to %s", op, lv.Kind())
+			}
+			if isAnd && !lv.Bool() {
+				return BoolVal(false), nil
+			}
+			if !isAnd && lv.Bool() {
+				return BoolVal(true), nil
+			}
+			rv, err := r(env)
+			if err != nil {
+				return Value{}, err
+			}
+			if rv.Kind() != KindBool {
+				return Value{}, fmt.Errorf("expr: %v applied to %s", op, rv.Kind())
+			}
+			return rv, nil
+		}
+	case OpEq:
+		code = func(env Env) (Value, error) {
+			lv, rv, err := evalPair(l, r, env)
+			if err != nil {
+				return Value{}, err
+			}
+			return BoolVal(lv.Equal(rv)), nil
+		}
+	case OpNe:
+		code = func(env Env) (Value, error) {
+			lv, rv, err := evalPair(l, r, env)
+			if err != nil {
+				return Value{}, err
+			}
+			return BoolVal(!lv.Equal(rv)), nil
+		}
+	case OpLt, OpLe, OpGt, OpGe:
+		var cmp func(lf, rf float64) bool
+		switch op {
+		case OpLt:
+			cmp = func(lf, rf float64) bool { return lf < rf }
+		case OpLe:
+			cmp = func(lf, rf float64) bool { return lf <= rf }
+		case OpGt:
+			cmp = func(lf, rf float64) bool { return lf > rf }
+		default:
+			cmp = func(lf, rf float64) bool { return lf >= rf }
+		}
+		code = func(env Env) (Value, error) {
+			lv, rv, err := evalPair(l, r, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if !lv.IsNumeric() || !rv.IsNumeric() {
+				return Value{}, fmt.Errorf("expr: %v applied to %s and %s", op, lv.Kind(), rv.Kind())
+			}
+			return BoolVal(cmp(lv.AsFloat(), rv.AsFloat())), nil
+		}
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		code = func(env Env) (Value, error) {
+			lv, rv, err := evalPair(l, r, env)
+			if err != nil {
+				return Value{}, err
+			}
+			return evalArith(op, lv, rv)
+		}
+	default:
+		code = func(env Env) (Value, error) {
+			if _, _, err := evalPair(l, r, env); err != nil {
+				return Value{}, err
+			}
+			return Value{}, fmt.Errorf("expr: invalid binary operator %v", op)
+		}
+	}
+	if lConst && rConst {
+		return tryFold(code)
+	}
+	return code, false
+}
+
+func evalPair(l, r Code, env Env) (Value, Value, error) {
+	lv, err := l(env)
+	if err != nil {
+		return Value{}, Value{}, err
+	}
+	rv, err := r(env)
+	if err != nil {
+		return Value{}, Value{}, err
+	}
+	return lv, rv, nil
+}
+
+func compileCond(n *Cond) (Code, bool) {
+	ifC := CompileBool(n.If)
+	thenC, thenConst := compile(n.Then)
+	elseC, elseConst := compile(n.Else)
+	code := func(env Env) (Value, error) {
+		b, err := ifC(env)
+		if err != nil {
+			return Value{}, err
+		}
+		if b {
+			return thenC(env)
+		}
+		return elseC(env)
+	}
+	if isConst(n.If) && thenConst && elseConst {
+		return tryFold(code)
+	}
+	return code, false
+}
+
+// isConst reports whether e contains no variable references, so its value
+// (or error) does not depend on the environment.
+func isConst(e Expr) bool {
+	ok := true
+	Walk(e, func(n Expr) {
+		if _, ref := n.(*Ref); ref {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// CompileBool builds the closure form of a Boolean expression, asserting
+// the result kind exactly as EvalBool does.
+func CompileBool(e Expr) BoolCode {
+	code, cst := compile(e)
+	if cst {
+		if v, err := code(nil); err == nil && v.Kind() == KindBool {
+			b := v.Bool()
+			return func(Env) (bool, error) { return b, nil }
+		}
+	}
+	return func(env Env) (bool, error) {
+		v, err := code(env)
+		if err != nil {
+			return false, err
+		}
+		if v.Kind() != KindBool {
+			return false, fmt.Errorf("expr: expected bool, got %s in %s", v.Kind(), e)
+		}
+		return v.Bool(), nil
+	}
+}
+
+// CompileAffine builds the closure form of a timed numeric expression,
+// mirroring EvalAffine node for node.
+func CompileAffine(e Expr) AffineCode {
+	switch n := e.(type) {
+	case *Lit:
+		if !n.Val.IsNumeric() {
+			v := n.Val
+			return func(RateEnv) (Affine, error) {
+				return Affine{}, fmt.Errorf("expr: non-numeric literal %s in timed context", v)
+			}
+		}
+		a := Affine{A: n.Val.AsFloat()}
+		return func(RateEnv) (Affine, error) { return a, nil }
+	case *Ref:
+		if n.ID == NoVar {
+			name := n.Name
+			return func(RateEnv) (Affine, error) {
+				return Affine{}, fmt.Errorf("expr: unresolved reference %q", name)
+			}
+		}
+		id, name := n.ID, n.Name
+		return func(env RateEnv) (Affine, error) {
+			v := env.VarValue(id)
+			if !v.IsNumeric() {
+				return Affine{}, fmt.Errorf("expr: non-numeric variable %s in timed context", name)
+			}
+			return Affine{A: v.AsFloat(), B: env.VarRate(id)}, nil
+		}
+	case *Unary:
+		if n.Op != OpNeg {
+			op := n.Op
+			return func(RateEnv) (Affine, error) {
+				return Affine{}, fmt.Errorf("expr: operator %v in timed numeric context", op)
+			}
+		}
+		x := CompileAffine(n.X)
+		return func(env RateEnv) (Affine, error) {
+			xv, err := x(env)
+			if err != nil {
+				return Affine{}, err
+			}
+			return Affine{A: -xv.A, B: -xv.B}, nil
+		}
+	case *Binary:
+		return compileAffineBinary(n)
+	case *Cond:
+		ifC := CompileBool(n.If)
+		thenC := CompileAffine(n.Then)
+		elseC := CompileAffine(n.Else)
+		return func(env RateEnv) (Affine, error) {
+			b, err := ifC(env)
+			if err != nil {
+				return Affine{}, err
+			}
+			if b {
+				return thenC(env)
+			}
+			return elseC(env)
+		}
+	default:
+		return func(env RateEnv) (Affine, error) { return EvalAffine(e, env) }
+	}
+}
+
+func compileAffineBinary(n *Binary) AffineCode {
+	l := CompileAffine(n.L)
+	r := CompileAffine(n.R)
+	op := n.Op
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+	default:
+		return func(env RateEnv) (Affine, error) {
+			// Match evalAffineBinary: operands evaluate before the
+			// operator is rejected.
+			if _, err := l(env); err != nil {
+				return Affine{}, err
+			}
+			if _, err := r(env); err != nil {
+				return Affine{}, err
+			}
+			return Affine{}, fmt.Errorf("expr: operator %v in timed numeric context", op)
+		}
+	}
+	return func(env RateEnv) (Affine, error) {
+		lv, err := l(env)
+		if err != nil {
+			return Affine{}, err
+		}
+		rv, err := r(env)
+		if err != nil {
+			return Affine{}, err
+		}
+		switch op {
+		case OpAdd:
+			return Affine{A: lv.A + rv.A, B: lv.B + rv.B}, nil
+		case OpSub:
+			return Affine{A: lv.A - rv.A, B: lv.B - rv.B}, nil
+		case OpMul:
+			switch {
+			case lv.Constant():
+				return Affine{A: lv.A * rv.A, B: lv.A * rv.B}, nil
+			case rv.Constant():
+				return Affine{A: lv.A * rv.A, B: rv.A * lv.B}, nil
+			default:
+				return Affine{}, &nonLinearError{expr: n}
+			}
+		case OpDiv:
+			if !rv.Constant() {
+				return Affine{}, &nonLinearError{expr: n}
+			}
+			if rv.A == 0 {
+				return Affine{}, ErrDivisionByZero
+			}
+			return Affine{A: lv.A / rv.A, B: lv.B / rv.A}, nil
+		default: // OpMod
+			if !lv.Constant() || !rv.Constant() {
+				return Affine{}, &nonLinearError{expr: n}
+			}
+			if rv.A == 0 {
+				return Affine{}, ErrDivisionByZero
+			}
+			return Affine{A: math.Mod(lv.A, rv.A)}, nil
+		}
+	}
+}
+
+// CompileWindow builds the closure form of a timed guard, mirroring Window
+// node for node. Boolean leaves evaluate to the shared full or the zero
+// empty set, and the set algebra short-circuits on both, so guards that do
+// not depend on the delay compute their window without allocating.
+func CompileWindow(e Expr) WindowCode {
+	switch n := e.(type) {
+	case *Lit:
+		if n.Val.Kind() != KindBool {
+			v := n.Val
+			return func(RateEnv) (intervals.Set, error) {
+				return intervals.Set{}, fmt.Errorf("expr: non-Boolean literal %s in guard", v)
+			}
+		}
+		s := boolSet(n.Val.Bool())
+		return func(RateEnv) (intervals.Set, error) { return s, nil }
+	case *Ref:
+		if n.ID == NoVar {
+			name := n.Name
+			return func(RateEnv) (intervals.Set, error) {
+				return intervals.Set{}, fmt.Errorf("expr: unresolved reference %q", name)
+			}
+		}
+		id, name := n.ID, n.Name
+		return func(env RateEnv) (intervals.Set, error) {
+			v := env.VarValue(id)
+			if v.Kind() != KindBool {
+				return intervals.Set{}, fmt.Errorf("expr: non-Boolean variable %s used as guard", name)
+			}
+			return boolSet(v.Bool()), nil
+		}
+	case *Unary:
+		if n.Op != OpNot {
+			op := n.Op
+			return func(RateEnv) (intervals.Set, error) {
+				return intervals.Set{}, fmt.Errorf("expr: operator %v used as guard", op)
+			}
+		}
+		x := CompileWindow(n.X)
+		return func(env RateEnv) (intervals.Set, error) {
+			inner, err := x(env)
+			if err != nil {
+				return intervals.Set{}, err
+			}
+			return inner.Complement(), nil
+		}
+	case *Binary:
+		return compileWindowBinary(n)
+	case *Cond:
+		ifC := CompileWindow(n.If)
+		thenC := CompileWindow(n.Then)
+		elseC := CompileWindow(n.Else)
+		return func(env RateEnv) (intervals.Set, error) {
+			wIf, err := ifC(env)
+			if err != nil {
+				return intervals.Set{}, err
+			}
+			wThen, err := thenC(env)
+			if err != nil {
+				return intervals.Set{}, err
+			}
+			wElse, err := elseC(env)
+			if err != nil {
+				return intervals.Set{}, err
+			}
+			return wIf.Intersect(wThen).Union(wIf.Complement().Intersect(wElse)), nil
+		}
+	default:
+		return func(env RateEnv) (intervals.Set, error) { return Window(e, env) }
+	}
+}
+
+func compileWindowBinary(n *Binary) WindowCode {
+	op := n.Op
+	switch op {
+	case OpAnd, OpOr:
+		l := CompileWindow(n.L)
+		r := CompileWindow(n.R)
+		isAnd := op == OpAnd
+		return func(env RateEnv) (intervals.Set, error) {
+			lv, err := l(env)
+			if err != nil {
+				return intervals.Set{}, err
+			}
+			rv, err := r(env)
+			if err != nil {
+				return intervals.Set{}, err
+			}
+			if isAnd {
+				return lv.Intersect(rv), nil
+			}
+			return lv.Union(rv), nil
+		}
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		lAff := CompileAffine(n.L)
+		rAff := CompileAffine(n.R)
+		// The Boolean-comparison probe needs plain value evaluation of
+		// both operands; compile those too when the operator admits it.
+		var lVal, rVal Code
+		if op == OpEq || op == OpNe {
+			lVal = Compile(n.L)
+			rVal = Compile(n.R)
+		}
+		return func(env RateEnv) (intervals.Set, error) {
+			if lVal != nil {
+				if s, ok, err := tryBoolComparisonCode(op, lVal, rVal, env); err != nil {
+					return intervals.Set{}, err
+				} else if ok {
+					return s, nil
+				}
+			}
+			lv, err := lAff(env)
+			if err != nil {
+				return intervals.Set{}, err
+			}
+			rv, err := rAff(env)
+			if err != nil {
+				return intervals.Set{}, err
+			}
+			diff := Affine{A: lv.A - rv.A, B: lv.B - rv.B}
+			return solveSign(diff, op), nil
+		}
+	default:
+		return func(RateEnv) (intervals.Set, error) {
+			return intervals.Set{}, fmt.Errorf("expr: operator %v used as guard", op)
+		}
+	}
+}
+
+// tryBoolComparisonCode is tryBoolComparison over compiled operands.
+func tryBoolComparisonCode(op Op, l, r Code, env Env) (intervals.Set, bool, error) {
+	lv, lerr := l(env)
+	rv, rerr := r(env)
+	if lerr != nil || rerr != nil {
+		// Defer errors to the affine path for numeric operands.
+		return intervals.Set{}, false, nil
+	}
+	if lv.Kind() != KindBool && rv.Kind() != KindBool {
+		return intervals.Set{}, false, nil
+	}
+	if lv.Kind() != rv.Kind() {
+		return intervals.Set{}, false, fmt.Errorf("expr: comparing %s with %s", lv.Kind(), rv.Kind())
+	}
+	eq := lv.Equal(rv)
+	if op == OpNe {
+		eq = !eq
+	}
+	return boolSet(eq), true, nil
+}

@@ -182,11 +182,20 @@ func FromInterval(iv Interval) Set {
 // EmptySet returns the empty set.
 func EmptySet() Set { return Set{} }
 
+// fullIvs is the shared backing of every FullSet. Set operations never
+// mutate their receivers' interval slices, so sharing is safe and makes
+// FullSet allocation-free — important because guards over discrete
+// variables reduce to full/empty sets on the simulation hot path.
+var fullIvs = []Interval{All()}
+
 // FullSet returns the set covering the whole real line.
-func FullSet() Set { return FromInterval(All()) }
+func FullSet() Set { return Set{ivs: fullIvs} }
 
 // Empty reports whether the set has no points.
 func (s Set) Empty() bool { return len(s.ivs) == 0 }
+
+// Full reports whether the set covers the whole real line.
+func (s Set) Full() bool { return len(s.ivs) == 1 && s.ivs[0] == All() }
 
 // Intervals returns a copy of the set's constituent intervals in ascending
 // order.
@@ -239,12 +248,33 @@ func (s Set) Sup() (float64, bool) {
 	return last.Hi, !last.HiOpen && !math.IsInf(last.Hi, 0)
 }
 
+// MinIn returns the infimum of s ∩ [lo, hi] without materializing the
+// intersection, and whether that intersection is non-empty. It is the
+// allocation-free equivalent of s.Intersect(FromInterval(Closed(lo,
+// hi))).Inf() used on the simulation hot path.
+func (s Set) MinIn(lo, hi float64) (float64, bool) {
+	clip := Closed(lo, hi)
+	if clip.Empty() {
+		return 0, false
+	}
+	for _, iv := range s.ivs {
+		x := iv.Intersect(clip)
+		if !x.Empty() {
+			return x.Lo, true
+		}
+		if iv.Lo > hi {
+			break
+		}
+	}
+	return 0, false
+}
+
 // Union returns the union of two sets.
 func (s Set) Union(other Set) Set {
-	if s.Empty() {
+	if s.Empty() || other.Full() {
 		return other
 	}
-	if other.Empty() {
+	if other.Empty() || s.Full() {
 		return s
 	}
 	merged := make([]Interval, 0, len(s.ivs)+len(other.ivs))
@@ -291,6 +321,12 @@ func join(a, b Interval) Interval {
 
 // Intersect returns the intersection of two sets.
 func (s Set) Intersect(other Set) Set {
+	if s.Empty() || other.Full() {
+		return s
+	}
+	if other.Empty() || s.Full() {
+		return other
+	}
 	var out []Interval
 	i, j := 0, 0
 	for i < len(s.ivs) && j < len(other.ivs) {
@@ -321,6 +357,9 @@ func endsBefore(a, b Interval) bool {
 func (s Set) Complement() Set {
 	if s.Empty() {
 		return FullSet()
+	}
+	if s.Full() {
+		return Set{}
 	}
 	out := make([]Interval, 0, len(s.ivs)+1)
 	cursorLo := math.Inf(-1)

@@ -372,11 +372,13 @@ func genMarkovian(r *rng.Source) *Generated {
 	}
 }
 
-// genTimed builds leaves of three flavors — clock components with genuinely
+// genTimed builds leaves of four flavors — clock components with genuinely
 // nondeterministic enabling windows (and optionally an urgent flash mode or
 // an emitted event), continuous-variable components ramping between
-// thresholds under trajectory equations, and failing units mixing Poisson
-// events with timed repair windows — plus an always-ready tally that
+// thresholds under trajectory equations, mode-dependent muxes whose output
+// connection topology reconfigures with the current mode ("in modes"
+// clauses), and failing units mixing Poisson events with timed repair
+// windows — plus an always-ready tally that
 // receives every emitted event and a probe whose computed port folds the
 // leaf outputs. Guards keep a positive minimum dwell on every cycle, and
 // every transition into a mode resets the timed variables its invariant
@@ -395,7 +397,7 @@ func genTimed(r *rng.Source) *Generated {
 	for i := 0; i < nLeaves; i++ {
 		inst := fmt.Sprintf("c%d", i)
 		var implRef string
-		switch r.IntN(3) {
+		switch r.IntN(4) {
 		case 0: // window leaf: clock with [lo, hi] enabling windows
 			name := fmt.Sprintf("Win%d", i)
 			implRef = name + ".Imp"
@@ -483,6 +485,56 @@ func genTimed(r *rng.Source) *Generated {
 			addComponent(m, &slim.ComponentType{Name: name, Features: []*slim.Feature{boolPort("hot", true)}}, ci)
 			probeFrom, probeBool = append(probeFrom, inst+".hot"), append(probeBool, true)
 			goals = append(goals, inst+".hot")
+
+		case 2: // mux leaf: mode-dependent connection topology ("in modes")
+			name := fmt.Sprintf("Mux%d", i)
+			implRef = name + ".Imp"
+			loA, hiA := quarter(2, 8), quarter(8, 16)
+			loB, hiB := quarter(2, 8), quarter(8, 16)
+			// pick is driven by a different own in port depending on the
+			// current mode; the in ports carry explicit defaults, so one of
+			// them may stay a deliberate parameter while the other is
+			// optionally wired from an earlier leaf below.
+			feats := []*slim.Feature{
+				boolPort("pick", true),
+				boolPort("a", false),
+				{Name: "b", Type: &slim.DataType{Name: "bool"}, Default: boolLit(true)},
+			}
+			ci := &slim.ComponentImpl{TypeName: name, ImplName: "Imp",
+				Subcomponents: []*slim.Subcomponent{{Name: "x", Data: &slim.DataType{Name: "clock"}}},
+				Modes: []*slim.Mode{
+					{Name: "ma", Initial: true, Invariant: bin("<=", ref("x"), realLit(hiA))},
+					{Name: "mb", Invariant: bin("<=", ref("x"), realLit(hiB))},
+				},
+				Transitions: []*slim.Transition{
+					{From: "ma", To: "mb",
+						Guard:   bin(">=", ref("x"), realLit(loA)),
+						Effects: []slim.Assign{{Target: []string{"x"}, Value: intLit(0)}}},
+					{From: "mb", To: "ma",
+						Guard:   bin(">=", ref("x"), realLit(loB)),
+						Effects: []slim.Assign{{Target: []string{"x"}, Value: intLit(0)}}},
+				},
+				Connections: []*slim.Connection{
+					{From: []string{"a"}, To: []string{"pick"}, InModes: []string{"ma"}},
+					{From: []string{"b"}, To: []string{"pick"}, InModes: []string{"mb"}},
+				},
+			}
+			addComponent(m, &slim.ComponentType{Name: name, Features: feats}, ci)
+			// Optionally route an earlier leaf's boolean output into the
+			// mux, so the selected topology carries a live signal.
+			var priors []int
+			for j := range probeFrom {
+				if probeBool[j] {
+					priors = append(priors, j)
+				}
+			}
+			if len(priors) > 0 && r.Bernoulli(0.6) {
+				j := priors[r.IntN(len(priors))]
+				root.Connections = append(root.Connections,
+					dataConn(probeFrom[j], inst+".a"))
+			}
+			probeFrom, probeBool = append(probeFrom, inst+".pick"), append(probeBool, true)
+			goals = append(goals, inst+".pick")
 
 		default: // failing unit: Poisson failure, optional timed repair
 			name := fmt.Sprintf("Unit%d", i)

@@ -1,0 +1,381 @@
+// Compiled evaluation programs: at construction the runtime compiles every
+// flow, invariant, guard and effect expression of the network into expr
+// closures (see expr.Compile), so the per-step hot path of the simulator
+// never walks an AST. The compiled forms replicate interpreted evaluation
+// exactly — same values, same short-circuiting, same error messages — which
+// keeps optimized traces bit-identical to the interpreter's.
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/intervals"
+	"slimsim/internal/sta"
+)
+
+// flowProg is the compiled defining expression of one flow variable.
+type flowProg struct {
+	id   expr.VarID
+	code expr.Code
+}
+
+// transProg holds the compiled guard and effects of one transition.
+type transProg struct {
+	// guardBool and guardWin are nil when the transition has no guard.
+	guardBool expr.BoolCode
+	guardWin  expr.WindowCode
+	// effects holds one compiled right-hand side per effect, parallel to
+	// the transition's Effects.
+	effects []expr.Code
+}
+
+// procProg holds the compiled programs of one process.
+type procProg struct {
+	// invWin holds the compiled invariant window per location (nil when
+	// the location has no invariant).
+	invWin []expr.WindowCode
+	trans  []transProg
+}
+
+// timedVar is one non-flow timed variable together with its rate source,
+// precomputed for Advance. Continuous variables without trajectory
+// equations always have rate 0 and are omitted.
+type timedVar struct {
+	id expr.VarID
+	// cr resolves the rate from the owning process's location; when nil
+	// the rate is the constant below (1 for clocks).
+	cr   *contRate
+	rate float64
+}
+
+// buildPrograms compiles every expression of the network. Called once from
+// New, after static checking.
+func (rt *Runtime) buildPrograms() {
+	rt.flowProgs = make([]flowProg, 0, len(rt.flowOrder))
+	rt.flowRate = make([]expr.AffineCode, len(rt.net.Vars))
+	for _, v := range rt.flowOrder {
+		rt.flowProgs = append(rt.flowProgs, flowProg{id: v, code: expr.Compile(rt.net.Vars[v].FlowExpr)})
+		rt.flowRate[v] = expr.CompileAffine(rt.net.Vars[v].FlowExpr)
+	}
+	rt.procProgs = make([]procProg, len(rt.net.Processes))
+	for pi := range rt.net.Processes {
+		p := rt.net.Processes[pi]
+		pp := &rt.procProgs[pi]
+		pp.invWin = make([]expr.WindowCode, len(p.Locations))
+		for li := range p.Locations {
+			if inv := p.Locations[li].Invariant; inv != nil {
+				pp.invWin[li] = expr.CompileWindow(inv)
+			}
+		}
+		pp.trans = make([]transProg, len(p.Transitions))
+		for ti := range p.Transitions {
+			tr := &p.Transitions[ti]
+			tp := &pp.trans[ti]
+			if tr.Guard != nil {
+				tp.guardBool = expr.CompileBool(tr.Guard)
+				tp.guardWin = expr.CompileWindow(tr.Guard)
+			}
+			tp.effects = make([]expr.Code, len(tr.Effects))
+			for ai := range tr.Effects {
+				tp.effects[ai] = expr.Compile(tr.Effects[ai].Expr)
+			}
+		}
+	}
+	for i := range rt.net.Vars {
+		decl := &rt.net.Vars[i]
+		if decl.Flow || !decl.Type.Timed() {
+			continue
+		}
+		id := expr.VarID(i)
+		tv := timedVar{id: id}
+		if cr, ok := rt.contRates[id]; ok {
+			tv.cr = cr
+		} else if decl.Type.Clock {
+			tv.rate = 1
+		} else {
+			// Continuous variable without trajectory equations: its
+			// rate is always 0, so Advance never updates it.
+			continue
+		}
+		rt.timedVars = append(rt.timedVars, tv)
+	}
+}
+
+// Scratch is a reusable per-worker evaluation arena: it owns one expression
+// environment, a move cache and a key buffer, letting a path run perform
+// O(1) allocations after warm-up. A Scratch must only be used by one
+// goroutine at a time; the runtime it wraps stays shared and immutable.
+type Scratch struct {
+	rt    *Runtime
+	env   env
+	cache MoveCache
+}
+
+// Move-cache capacity bounds for NewScratch's automatic sizing. The default
+// capacity is the model's own location-vector count — every reachable vector
+// fits, so steady-state paths never miss — clamped to [DefaultMoveCacheCap,
+// MaxMoveCacheCap] to give small models headroom and bound worst-case
+// memory on combinatorially large ones.
+const (
+	DefaultMoveCacheCap = 256
+	MaxMoveCacheCap     = 1 << 16
+)
+
+// autoCacheCap sizes the move cache for rt: the product of per-process
+// location counts, saturating at MaxMoveCacheCap.
+func autoCacheCap(rt *Runtime) int {
+	vectors := 1
+	for _, p := range rt.net.Processes {
+		vectors *= len(p.Locations)
+		if vectors >= MaxMoveCacheCap || vectors <= 0 {
+			return MaxMoveCacheCap
+		}
+	}
+	if vectors < DefaultMoveCacheCap {
+		return DefaultMoveCacheCap
+	}
+	return vectors
+}
+
+// NewScratch returns a fresh evaluation arena for rt. cacheCap bounds the
+// number of distinct location vectors whose moves are memoized (≤ 0 sizes
+// the cache to the model's location-vector space, see autoCacheCap).
+func (rt *Runtime) NewScratch(cacheCap int) *Scratch {
+	s := &Scratch{rt: rt}
+	s.env.rt = rt
+	if cacheCap <= 0 {
+		cacheCap = autoCacheCap(rt)
+	}
+	s.cache.init(rt, cacheCap)
+	return s
+}
+
+// NewState returns a state with backing arrays sized for rt, for use as an
+// AdvanceInto/ApplyInto destination.
+func (rt *Runtime) NewState() State {
+	return State{
+		Locs: make([]sta.LocID, len(rt.net.Processes)),
+		Vals: make([]expr.Value, len(rt.net.Vars)),
+	}
+}
+
+// Env returns an expression environment reading from st. The environment is
+// owned by the scratch and is invalidated by the next Scratch call; callers
+// must not retain it.
+func (s *Scratch) Env(st *State) expr.RateEnv {
+	s.env.st = st
+	return &s.env
+}
+
+// InitialStateInto resets st to the network's initial configuration with
+// flow variables propagated. st must have been created by NewState (or have
+// matching backing array lengths).
+func (s *Scratch) InitialStateInto(st *State) error {
+	for i := range s.rt.net.Processes {
+		st.Locs[i] = s.rt.net.Processes[i].Initial
+	}
+	for i := range s.rt.net.Vars {
+		st.Vals[i] = s.rt.net.Vars[i].Init
+	}
+	st.Time = 0
+	s.env.st = st
+	return s.rt.propagateFlowsEnv(&s.env)
+}
+
+// MaxDelay is the allocation-free form of Runtime.MaxDelay.
+func (s *Scratch) MaxDelay(st *State) (d float64, attained, nowOK bool, err error) {
+	s.env.st = st
+	return s.rt.maxDelayEnv(&s.env)
+}
+
+// Window is the allocation-free form of Runtime.Window.
+func (s *Scratch) Window(st *State, m *Move) (intervals.Set, error) {
+	s.env.st = st
+	return s.rt.windowEnv(&s.env, m)
+}
+
+// EnabledAt is the allocation-free form of Runtime.EnabledAt.
+func (s *Scratch) EnabledAt(st *State, m *Move) (bool, error) {
+	s.env.st = st
+	return s.rt.enabledAtEnv(&s.env, m)
+}
+
+// AdvanceInto writes the state after letting d time units pass from src
+// into out, which must not alias src. See Runtime.Advance.
+func (s *Scratch) AdvanceInto(out, src *State, d float64) error {
+	return s.rt.advanceInto(out, src, &s.env, d)
+}
+
+// ApplyInto writes the successor of firing m from src into out, which must
+// not alias src. See Runtime.Apply.
+func (s *Scratch) ApplyInto(out, src *State, m *Move) error {
+	return s.rt.applyInto(out, src, m, &s.env)
+}
+
+// Moves returns the memoized move set of st's location vector. The returned
+// value is cached and shared: callers must treat it as immutable.
+func (s *Scratch) Moves(st *State) *CachedMoves {
+	return s.cache.lookup(st)
+}
+
+// CacheStats returns the move cache's cumulative hit and miss counts.
+func (s *Scratch) CacheStats() (hits, misses uint64) {
+	return s.cache.hits, s.cache.misses
+}
+
+// maxDelayEnv is MaxDelay evaluated through a caller-owned environment.
+func (rt *Runtime) maxDelayEnv(e *env) (d float64, attained, nowOK bool, err error) {
+	bound := math.Inf(1)
+	boundAttained := true
+	for pi := range rt.net.Processes {
+		p := rt.net.Processes[pi]
+		loc := &p.Locations[e.st.Locs[pi]]
+		if loc.Urgent {
+			bound, boundAttained = 0, true
+			continue
+		}
+		code := rt.procProgs[pi].invWin[e.st.Locs[pi]]
+		if code == nil {
+			continue
+		}
+		w, werr := code(e)
+		if werr != nil {
+			return 0, false, false, Internal(fmt.Errorf("network: invariant of %s.%s: %w", p.Name, loc.Name, werr))
+		}
+		d, att, ok := prefixBound(w)
+		if !ok {
+			return 0, false, false, nil
+		}
+		if d < bound || (d == bound && !att) {
+			bound, boundAttained = d, att
+		}
+	}
+	if bound == 0 {
+		return 0, boundAttained, true, nil
+	}
+	return bound, boundAttained && !math.IsInf(bound, 1), true, nil
+}
+
+// windowEnv is Window evaluated through a caller-owned environment.
+func (rt *Runtime) windowEnv(e *env, m *Move) (intervals.Set, error) {
+	if m.Markovian() {
+		return intervals.FullSet(), nil
+	}
+	w := intervals.FullSet()
+	for _, part := range m.Parts {
+		code := rt.procProgs[part.Proc].trans[part.Trans].guardWin
+		if code == nil {
+			continue
+		}
+		gw, err := code(e)
+		if err != nil {
+			return intervals.Set{}, Internal(fmt.Errorf("network: guard of %s transition %d: %w",
+				rt.net.Processes[part.Proc].Name, part.Trans, err))
+		}
+		w = w.Intersect(gw)
+		if w.Empty() {
+			break
+		}
+	}
+	return w, nil
+}
+
+// enabledAtEnv is EnabledAt evaluated through a caller-owned environment.
+func (rt *Runtime) enabledAtEnv(e *env, m *Move) (bool, error) {
+	if m.Markovian() {
+		return true, nil
+	}
+	for _, part := range m.Parts {
+		code := rt.procProgs[part.Proc].trans[part.Trans].guardBool
+		if code == nil {
+			continue
+		}
+		ok, err := code(e)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// advanceInto implements Advance writing into a caller-owned destination.
+// out must not alias src; e is repointed during the call.
+func (rt *Runtime) advanceInto(out, src *State, e *env, d float64) error {
+	if d < 0 {
+		return Internal(fmt.Errorf("network: negative delay %g", d))
+	}
+	out.CopyFrom(src)
+	if d == 0 {
+		return nil
+	}
+	for i := range rt.timedVars {
+		tv := &rt.timedVars[i]
+		rate := tv.rate
+		if tv.cr != nil {
+			rate = tv.cr.rateIn(src)
+		}
+		if rate != 0 {
+			out.Vals[tv.id] = expr.RealVal(src.Vals[tv.id].Real() + rate*d)
+		}
+	}
+	out.Time += d
+	e.st = out
+	return rt.propagateFlowsEnv(e)
+}
+
+// applyInto implements Apply writing into a caller-owned destination. out
+// must not alias src; e is repointed during the call.
+func (rt *Runtime) applyInto(out, src *State, m *Move, e *env) error {
+	out.CopyFrom(src)
+	e.st = out
+	for _, part := range m.Parts {
+		p := rt.net.Processes[part.Proc]
+		tr := &p.Transitions[part.Trans]
+		codes := rt.procProgs[part.Proc].trans[part.Trans].effects
+		for ai := range tr.Effects {
+			as := &tr.Effects[ai]
+			val, err := codes[ai](e)
+			if err != nil {
+				return Internal(fmt.Errorf("network: effect %s of %s: %w", as.Name, p.Name, err))
+			}
+			decl := &rt.net.Vars[as.Var]
+			if decl.Type.Kind == expr.KindReal && val.Kind() == expr.KindInt {
+				val = expr.RealVal(val.AsFloat())
+			}
+			if !decl.Type.Admits(val) {
+				return Internal(fmt.Errorf("network: effect %s := %s violates type %s of %s",
+					as.Name, val, decl.Type, decl.Name))
+			}
+			out.Vals[as.Var] = val
+		}
+		out.Locs[part.Proc] = tr.To
+	}
+	return rt.propagateFlowsEnv(e)
+}
+
+// propagateFlowsEnv recomputes every flow variable of e.st in dependency
+// order through the compiled flow programs.
+func (rt *Runtime) propagateFlowsEnv(e *env) error {
+	for i := range rt.flowProgs {
+		fp := &rt.flowProgs[i]
+		decl := &rt.net.Vars[fp.id]
+		val, err := fp.code(e)
+		if err != nil {
+			return Internal(fmt.Errorf("network: evaluating flow %s: %w", decl.Name, err))
+		}
+		if decl.Type.Kind == expr.KindReal && val.Kind() == expr.KindInt {
+			val = expr.RealVal(val.AsFloat())
+		}
+		if !decl.Type.Admits(val) {
+			return Internal(fmt.Errorf("network: flow %s value %s violates type %s",
+				decl.Name, val, decl.Type))
+		}
+		e.st.Vals[fp.id] = val
+	}
+	return nil
+}

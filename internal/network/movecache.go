@@ -1,0 +1,119 @@
+package network
+
+// CachedMoves is the memoized move set of one location vector. The
+// candidate moves of a state depend only on the processes' locations (never
+// on variable values or time — guards are evaluated separately), so the
+// enumeration, its guarded/Markovian split and the rendered labels can all
+// be computed once per location vector and reused for every visit.
+//
+// All fields are shared cache state: callers must treat them as immutable.
+type CachedMoves struct {
+	// All is the full enumeration, in Runtime.Moves order.
+	All []Move
+	// Guarded and Markovian split All preserving its order; Guarded holds
+	// the non-Markovian candidates the strategy chooses among.
+	Guarded   []Move
+	Markovian []Move
+	// Labels and MarkLabels hold the rendered trace labels of Guarded and
+	// Markovian respectively.
+	Labels     []string
+	MarkLabels []string
+}
+
+// cacheEntry pairs a memoized move set with its last-use stamp.
+type cacheEntry struct {
+	cm    CachedMoves
+	stamp uint64
+}
+
+// MoveCache memoizes Runtime.Moves per location vector. It is not safe for
+// concurrent use: each worker owns its own cache (inside its Scratch), so
+// lookups are lock-free. Capacity is bounded; when full, the
+// least-recently-used entry is evicted.
+type MoveCache struct {
+	rt      *Runtime
+	entries map[string]*cacheEntry
+	keyBuf  []byte
+	stamp   uint64
+	cap     int
+
+	hits, misses uint64
+}
+
+func (c *MoveCache) init(rt *Runtime, capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultMoveCacheCap
+	}
+	c.rt = rt
+	c.cap = capacity
+	c.entries = make(map[string]*cacheEntry, capacity)
+}
+
+// lookup returns the cached move set for st's location vector, computing
+// and inserting it on a miss. The map lookup with a string(byte-slice)
+// conversion compiles to an allocation-free probe, so cache hits do not
+// allocate.
+func (c *MoveCache) lookup(st *State) *CachedMoves {
+	buf := c.keyBuf[:0]
+	for _, l := range st.Locs {
+		buf = append(buf, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	c.keyBuf = buf
+	c.stamp++
+	if e, ok := c.entries[string(buf)]; ok {
+		c.hits++
+		e.stamp = c.stamp
+		return &e.cm
+	}
+	c.misses++
+	e := &cacheEntry{cm: c.rt.movesFor(st), stamp: c.stamp}
+	if len(c.entries) >= c.cap {
+		c.evict()
+	}
+	c.entries[string(buf)] = e
+	return &e.cm
+}
+
+// evict removes roughly the least-recently-used half of the entries: one
+// pass finds the stamp range, a second deletes everything in its older
+// half. Batch eviction keeps the per-miss cost amortized O(1) even when the
+// working set exceeds the capacity, where single-entry LRU would rescan the
+// whole table on every miss.
+func (c *MoveCache) evict() {
+	if len(c.entries) == 0 {
+		return
+	}
+	lo, hi := c.stamp, uint64(0)
+	for _, e := range c.entries {
+		if e.stamp < lo {
+			lo = e.stamp
+		}
+		if e.stamp > hi {
+			hi = e.stamp
+		}
+	}
+	// Entries at the minimum stamp are always evicted, so the map shrinks
+	// even when all stamps coincide.
+	threshold := lo + (hi-lo)/2
+	for k, e := range c.entries {
+		if e.stamp <= threshold {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// movesFor enumerates and splits the moves of st, rendering labels once.
+func (rt *Runtime) movesFor(st *State) CachedMoves {
+	cm := CachedMoves{All: rt.Moves(st)}
+	for i := range cm.All {
+		m := &cm.All[i]
+		if m.Markovian() {
+			cm.Markovian = append(cm.Markovian, *m)
+			cm.MarkLabels = append(cm.MarkLabels, m.Label(rt))
+		} else {
+			cm.Guarded = append(cm.Guarded, *m)
+			cm.Labels = append(cm.Labels, m.Label(rt))
+		}
+	}
+	return cm
+}

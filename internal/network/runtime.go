@@ -18,6 +18,14 @@ type Runtime struct {
 	flowOrder []expr.VarID     // topological evaluation order of flow vars
 	actions   map[string][]int // action -> indices of participating processes
 	contRates map[expr.VarID]*contRate
+
+	// Compiled evaluation programs (see compiled.go): flows in flowOrder,
+	// per-VarID flow rate codes, per-process invariant/guard/effect codes
+	// and the precomputed non-flow timed variables for Advance.
+	flowProgs []flowProg
+	flowRate  []expr.AffineCode
+	procProgs []procProg
+	timedVars []timedVar
 }
 
 // New validates the network and prepares the runtime: flow variables are
@@ -74,6 +82,7 @@ func New(net *sta.Network) (*Runtime, error) {
 	if err := rt.checkStatic(); err != nil {
 		return nil, err
 	}
+	rt.buildPrograms()
 	return rt, nil
 }
 
@@ -220,22 +229,8 @@ func (rt *Runtime) Env(st *State) expr.RateEnv {
 
 // propagateFlows recomputes every flow variable in dependency order.
 func (rt *Runtime) propagateFlows(st *State) error {
-	e := &env{rt: rt, st: st}
-	for _, v := range rt.flowOrder {
-		val, err := rt.net.Vars[v].FlowExpr.Eval(e)
-		if err != nil {
-			return Internal(fmt.Errorf("network: evaluating flow %s: %w", rt.net.Vars[v].Name, err))
-		}
-		if k := rt.net.Vars[v].Type.Kind; k == expr.KindReal && val.Kind() == expr.KindInt {
-			val = expr.RealVal(val.AsFloat())
-		}
-		if !rt.net.Vars[v].Type.Admits(val) {
-			return Internal(fmt.Errorf("network: flow %s value %s violates type %s",
-				rt.net.Vars[v].Name, val, rt.net.Vars[v].Type))
-		}
-		st.Vals[v] = val
-	}
-	return nil
+	e := env{rt: rt, st: st}
+	return rt.propagateFlowsEnv(&e)
 }
 
 // MaxDelay returns the largest delay permitted by all location invariants
@@ -244,34 +239,8 @@ func (rt *Runtime) propagateFlows(st *State) error {
 // bound is closed); D may be +inf. If an invariant is already violated at
 // d = 0, MaxDelay returns (0, false, false).
 func (rt *Runtime) MaxDelay(st *State) (d float64, attained, nowOK bool, err error) {
-	e := &env{rt: rt, st: st}
-	bound := math.Inf(1)
-	boundAttained := true
-	for pi, p := range rt.net.Processes {
-		loc := &p.Locations[st.Locs[pi]]
-		if loc.Urgent {
-			bound, boundAttained = 0, true
-			continue
-		}
-		if loc.Invariant == nil {
-			continue
-		}
-		w, werr := expr.Window(loc.Invariant, e)
-		if werr != nil {
-			return 0, false, false, Internal(fmt.Errorf("network: invariant of %s.%s: %w", p.Name, loc.Name, werr))
-		}
-		d, att, ok := prefixBound(w)
-		if !ok {
-			return 0, false, false, nil
-		}
-		if d < bound || (d == bound && !att) {
-			bound, boundAttained = d, att
-		}
-	}
-	if bound == 0 {
-		return 0, boundAttained, true, nil
-	}
-	return bound, boundAttained && !math.IsInf(bound, 1), true, nil
+	e := env{rt: rt, st: st}
+	return rt.maxDelayEnv(&e)
 }
 
 // UrgentNow reports whether some process currently occupies an urgent
@@ -408,49 +377,14 @@ func (rt *Runtime) Moves(st *State) []Move {
 // Markovian moves have no guard window (they race by rate); Window returns
 // the full set for them.
 func (rt *Runtime) Window(st *State, m *Move) (intervals.Set, error) {
-	if m.Markovian() {
-		return intervals.FullSet(), nil
-	}
-	e := &env{rt: rt, st: st}
-	w := intervals.FullSet()
-	for _, part := range m.Parts {
-		tr := &rt.net.Processes[part.Proc].Transitions[part.Trans]
-		if tr.Guard == nil {
-			continue
-		}
-		gw, err := expr.Window(tr.Guard, e)
-		if err != nil {
-			return intervals.Set{}, Internal(fmt.Errorf("network: guard of %s transition %d: %w",
-				rt.net.Processes[part.Proc].Name, part.Trans, err))
-		}
-		w = w.Intersect(gw)
-		if w.Empty() {
-			break
-		}
-	}
-	return w, nil
+	e := env{rt: rt, st: st}
+	return rt.windowEnv(&e, m)
 }
 
 // EnabledAt reports whether the move's guards all hold right now (delay 0).
 func (rt *Runtime) EnabledAt(st *State, m *Move) (bool, error) {
-	if m.Markovian() {
-		return true, nil
-	}
-	e := &env{rt: rt, st: st}
-	for _, part := range m.Parts {
-		tr := &rt.net.Processes[part.Proc].Transitions[part.Trans]
-		if tr.Guard == nil {
-			continue
-		}
-		ok, err := expr.EvalBool(tr.Guard, e)
-		if err != nil {
-			return false, err
-		}
-		if !ok {
-			return false, nil
-		}
-	}
-	return true, nil
+	e := env{rt: rt, st: st}
+	return rt.enabledAtEnv(&e, m)
 }
 
 // Advance returns the state after letting d time units pass: timed
@@ -458,27 +392,9 @@ func (rt *Runtime) EnabledAt(st *State, m *Move) (bool, error) {
 // Time increases. It does not check invariants; callers bound d by
 // MaxDelay.
 func (rt *Runtime) Advance(st *State, d float64) (State, error) {
-	if d < 0 {
-		return State{}, Internal(fmt.Errorf("network: negative delay %g", d))
-	}
-	out := st.Clone()
-	if d == 0 {
-		return out, nil
-	}
-	e := &env{rt: rt, st: st}
-	for i := range rt.net.Vars {
-		decl := &rt.net.Vars[i]
-		if decl.Flow || !decl.Type.Timed() {
-			continue
-		}
-		id := expr.VarID(i)
-		rate := e.VarRate(id)
-		if rate != 0 {
-			out.Vals[id] = expr.RealVal(st.Vals[id].Real() + rate*d)
-		}
-	}
-	out.Time += d
-	if err := rt.propagateFlows(&out); err != nil {
+	out := rt.NewState()
+	e := env{rt: rt}
+	if err := rt.advanceInto(&out, st, &e, d); err != nil {
 		return State{}, err
 	}
 	return out, nil
@@ -488,30 +404,9 @@ func (rt *Runtime) Advance(st *State, d float64) (State, error) {
 // returns the successor. Effects of the participating processes apply
 // sequentially in ascending process order; flows re-propagate afterwards.
 func (rt *Runtime) Apply(st *State, m *Move) (State, error) {
-	out := st.Clone()
-	for _, part := range m.Parts {
-		p := rt.net.Processes[part.Proc]
-		tr := &p.Transitions[part.Trans]
-		e := &env{rt: rt, st: &out}
-		for ai := range tr.Effects {
-			as := &tr.Effects[ai]
-			val, err := as.Expr.Eval(e)
-			if err != nil {
-				return State{}, Internal(fmt.Errorf("network: effect %s of %s: %w", as.Name, p.Name, err))
-			}
-			decl := &rt.net.Vars[as.Var]
-			if decl.Type.Kind == expr.KindReal && val.Kind() == expr.KindInt {
-				val = expr.RealVal(val.AsFloat())
-			}
-			if !decl.Type.Admits(val) {
-				return State{}, Internal(fmt.Errorf("network: effect %s := %s violates type %s of %s",
-					as.Name, val, decl.Type, decl.Name))
-			}
-			out.Vals[as.Var] = val
-		}
-		out.Locs[part.Proc] = tr.To
-	}
-	if err := rt.propagateFlows(&out); err != nil {
+	out := rt.NewState()
+	e := env{rt: rt}
+	if err := rt.applyInto(&out, st, m, &e); err != nil {
 		return State{}, err
 	}
 	return out, nil

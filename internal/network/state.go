@@ -38,11 +38,25 @@ func (s *State) Clone() State {
 	return out
 }
 
+// CopyFrom overwrites s with src without allocating. The backing arrays of
+// s must already have src's lengths (states of the same runtime).
+func (s *State) CopyFrom(src *State) {
+	copy(s.Locs, src.Locs)
+	copy(s.Vals, src.Vals)
+	s.Time = src.Time
+}
+
 // Key returns a canonical string identifying the discrete part of the state
 // (locations and variable values, not time). It is used for explicit state
 // space exploration of untimed models and for trace deduplication.
 func (s *State) Key() string {
-	buf := make([]byte, 0, 4*len(s.Locs)+8*len(s.Vals))
+	return string(s.AppendKey(make([]byte, 0, 4*len(s.Locs)+8*len(s.Vals))))
+}
+
+// AppendKey appends the canonical key of the state's discrete part to buf
+// and returns the extended buffer. Callers that probe maps with
+// map[string(buf)] avoid the per-visit string allocation Key incurs.
+func (s *State) AppendKey(buf []byte) []byte {
 	for i, l := range s.Locs {
 		if i > 0 {
 			buf = append(buf, ',')
@@ -56,7 +70,7 @@ func (s *State) Key() string {
 		}
 		buf = v.AppendText(buf)
 	}
-	return string(buf)
+	return buf
 }
 
 // env adapts a State to expr.Env / expr.RateEnv for a given runtime.
@@ -80,7 +94,7 @@ func (e *env) VarRate(id expr.VarID) float64 {
 	d := &e.rt.net.Vars[id]
 	switch {
 	case d.Flow:
-		a, err := expr.EvalAffine(d.FlowExpr, e)
+		a, err := e.rt.flowRate[id](e)
 		if err != nil {
 			// Non-numeric (e.g. Boolean) flows are constant during
 			// a delay; report rate 0.

@@ -100,10 +100,10 @@ func Run(gen stats.Generator, sampler Sampler, opts Options) (stats.Estimate, er
 	}
 
 	var runErr error
+	round := make([]sample, k)
 collect:
 	for !gen.Done() {
 		// One sample from every worker, in worker order.
-		round := make([]sample, k)
 		for w := 0; w < k; w++ {
 			round[w] = <-chans[w]
 			if round[w].err != nil {

@@ -152,14 +152,31 @@ func (v Verdict) String() string {
 	}
 }
 
-// Evaluator checks one property along one path. It is cheap to create; use
-// a fresh Evaluator per sampled path.
+// Evaluator checks one property along paths. Construction compiles the
+// goal and constraint expressions (see expr.Compile); the evaluator itself
+// is stateless, so one instance can be shared across paths and worker
+// goroutines.
 type Evaluator struct {
-	prop Property
+	prop     Property
+	goalBool expr.BoolCode
+	goalWin  expr.WindowCode
+	consBool expr.BoolCode
+	consWin  expr.WindowCode
 }
 
 // NewEvaluator returns an evaluator for p.
-func NewEvaluator(p Property) *Evaluator { return &Evaluator{prop: p} }
+func NewEvaluator(p Property) *Evaluator {
+	ev := &Evaluator{prop: p}
+	if p.Goal != nil {
+		ev.goalBool = expr.CompileBool(p.Goal)
+		ev.goalWin = expr.CompileWindow(p.Goal)
+	}
+	if p.Constraint != nil {
+		ev.consBool = expr.CompileBool(p.Constraint)
+		ev.consWin = expr.CompileWindow(p.Constraint)
+	}
+	return ev
+}
 
 // Property returns the property under evaluation.
 func (ev *Evaluator) Property() Property { return ev.prop }
@@ -168,7 +185,7 @@ func (ev *Evaluator) Property() Property { return ev.prop }
 // start or the target of a discrete transition).
 func (ev *Evaluator) AtState(env expr.Env, t float64) (Verdict, error) {
 	inBound := t <= ev.prop.Bound
-	goal, err := expr.EvalBool(ev.prop.Goal, env)
+	goal, err := ev.goalBool(env)
 	if err != nil {
 		return 0, fmt.Errorf("prop: evaluating goal: %w", err)
 	}
@@ -196,7 +213,7 @@ func (ev *Evaluator) AtState(env expr.Env, t float64) (Verdict, error) {
 		if !inBound {
 			return Violated, nil
 		}
-		cons, err := expr.EvalBool(ev.prop.Constraint, env)
+		cons, err := ev.consBool(env)
 		if err != nil {
 			return 0, fmt.Errorf("prop: evaluating constraint: %w", err)
 		}
@@ -217,52 +234,60 @@ func (ev *Evaluator) DuringDelay(env expr.RateEnv, t, d float64) (verdict Verdic
 	if d < 0 {
 		return 0, 0, fmt.Errorf("prop: negative delay %g", d)
 	}
-	// Clip the inspection window to the property bound.
+	// Clip the inspection window to the property bound. A negative horizon
+	// means the bound already expired: the inspection window is empty.
 	horizon := math.Min(d, ev.prop.Bound-t)
-	window := intervals.FromInterval(intervals.Closed(0, horizon))
-	if horizon < 0 {
-		window = intervals.EmptySet()
-	}
 
-	goalW, err := expr.Window(ev.prop.Goal, env)
+	goalW, err := ev.goalWin(env)
 	if err != nil {
 		return 0, 0, fmt.Errorf("prop: goal window: %w", err)
 	}
-	goalW = goalW.Intersect(window)
 
+	// The full/empty goal windows of delay-constant goals take the
+	// MinIn/Full fast paths below, which never materialize intersection
+	// sets — the delay-constant property check is allocation-free.
 	switch ev.prop.Kind {
 	case Reachability:
-		if !goalW.Empty() {
-			hit, _ := goalW.Inf()
-			return Satisfied, t + hit, nil
+		if horizon >= 0 {
+			if hit, ok := goalW.MinIn(0, horizon); ok {
+				return Satisfied, t + hit, nil
+			}
 		}
 		if t+d > ev.prop.Bound {
 			return Violated, ev.prop.Bound, nil
 		}
 		return Undecided, t + d, nil
 	case Invariance:
-		badW := goalW.Complement().Intersect(window)
-		if !badW.Empty() {
-			hit, _ := badW.Inf()
-			return Violated, t + hit, nil
+		if horizon >= 0 && !goalW.Full() {
+			window := intervals.FromInterval(intervals.Closed(0, horizon))
+			badW := goalW.Intersect(window).Complement().Intersect(window)
+			if !badW.Empty() {
+				hit, _ := badW.Inf()
+				return Violated, t + hit, nil
+			}
 		}
 		if t+d > ev.prop.Bound {
 			return Satisfied, ev.prop.Bound, nil
 		}
 		return Undecided, t + d, nil
 	case Until:
-		consW, cerr := expr.Window(ev.prop.Constraint, env)
+		consW, cerr := ev.consWin(env)
 		if cerr != nil {
 			return 0, 0, fmt.Errorf("prop: constraint window: %w", cerr)
 		}
-		badW := consW.Complement().Intersect(window)
 		goalT := math.Inf(1)
-		if !goalW.Empty() {
-			goalT, _ = goalW.Inf()
+		if horizon >= 0 {
+			if hit, ok := goalW.MinIn(0, horizon); ok {
+				goalT = hit
+			}
 		}
 		badT := math.Inf(1)
-		if !badW.Empty() {
-			badT, _ = badW.Inf()
+		if horizon >= 0 && !consW.Full() {
+			window := intervals.FromInterval(intervals.Closed(0, horizon))
+			badW := consW.Complement().Intersect(window)
+			if !badW.Empty() {
+				badT, _ = badW.Inf()
+			}
 		}
 		switch {
 		case goalT <= badT && !math.IsInf(goalT, 1):
@@ -289,7 +314,7 @@ func (ev *Evaluator) AtPathEnd(env expr.Env, t float64) (Verdict, error) {
 	case Reachability, Until:
 		return Violated, nil
 	case Invariance:
-		goal, err := expr.EvalBool(ev.prop.Goal, env)
+		goal, err := ev.goalBool(env)
 		if err != nil {
 			return 0, fmt.Errorf("prop: evaluating goal: %w", err)
 		}

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"slimsim/internal/network"
@@ -46,6 +45,9 @@ type Report struct {
 	Deadlocks, Timelocks int
 	// TotalSteps is the number of simulation steps over all paths.
 	TotalSteps int64
+	// CacheHits and CacheMisses are the engine's move-cache counters
+	// summed over all workers (including overdrawn paths).
+	CacheHits, CacheMisses uint64
 	// Elapsed is the wall-clock duration of the sampling phase.
 	Elapsed time.Duration
 	// Strategy and Method echo the configuration.
@@ -69,36 +71,42 @@ func Analyze(rt *network.Runtime, cfg AnalysisConfig) (Report, error) {
 		return Report{}, err
 	}
 
-	var mu sync.Mutex
-	var deadlocks, timelocks int
-	var totalSteps int64
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Per-worker state is created eagerly so the sampling hot loop is
+	// lock-free: each worker owns its RNG stream, engine view, recorder and
+	// counters, touched only from its own goroutine until Run returns.
 	type workerState struct {
 		src *rng.Source
 		eng *Engine
 		rec *telemetry.PathRecorder
+
+		deadlocks, timelocks int
+		steps                int64
 	}
-	states := make(map[int]*workerState)
+	states := make([]*workerState, workers)
 	root := rng.New(cfg.Seed)
 	tel := cfg.Telemetry
+	for w := range states {
+		ws := &workerState{src: root.Split(uint64(w)), eng: engine}
+		if tel != nil {
+			// Give the worker its own recorder as observer, preserving
+			// any caller-configured observer.
+			ws.rec = tel.Recorder(w)
+			var obs Observer = ws.rec
+			if cfg.Observer != nil {
+				obs = TeeObserver{A: cfg.Observer, B: ws.rec}
+			}
+			ws.eng = engine.WithObserver(obs)
+		}
+		states[w] = ws
+	}
 
 	sampler := func(worker, iteration int) (bool, error) {
-		mu.Lock()
-		ws, ok := states[worker]
-		if !ok {
-			ws = &workerState{src: root.Split(uint64(worker)), eng: engine}
-			if tel != nil {
-				// Give the worker its own recorder as observer,
-				// preserving any caller-configured observer.
-				ws.rec = tel.Recorder(worker)
-				var obs Observer = ws.rec
-				if cfg.Observer != nil {
-					obs = TeeObserver{A: cfg.Observer, B: ws.rec}
-				}
-				ws.eng = engine.WithObserver(obs)
-			}
-			states[worker] = ws
-		}
-		mu.Unlock()
+		ws := states[worker]
 		if ws.rec != nil {
 			ws.rec.Begin()
 		}
@@ -108,15 +116,13 @@ func Analyze(rt *network.Runtime, cfg AnalysisConfig) (Report, error) {
 		if err != nil {
 			return false, err
 		}
-		mu.Lock()
-		totalSteps += int64(res.Steps)
+		ws.steps += int64(res.Steps)
 		switch res.Termination {
 		case TermDeadlock:
-			deadlocks++
+			ws.deadlocks++
 		case TermTimelock:
-			timelocks++
+			ws.timelocks++
 		}
-		mu.Unlock()
 		if ws.rec != nil {
 			tel.RecordPath(worker, iteration,
 				ws.rec.Finish(res.Steps, res.EndTime, res.Termination.String(), res.Satisfied))
@@ -126,10 +132,6 @@ func Analyze(rt *network.Runtime, cfg AnalysisConfig) (Report, error) {
 
 	popts := parallel.Options{Workers: cfg.Workers}
 	if tel != nil {
-		workers := cfg.Workers
-		if workers < 1 {
-			workers = 1
-		}
 		tel.SetRun(telemetry.RunInfo{
 			Strategy: cfg.Strategy.Name(),
 			Method:   method.String(),
@@ -146,7 +148,16 @@ func Analyze(rt *network.Runtime, cfg AnalysisConfig) (Report, error) {
 	start := time.Now()
 	est, err := parallel.Run(gen, sampler, popts)
 	elapsed := time.Since(start)
+	var deadlocks, timelocks int
+	var totalSteps int64
+	for _, ws := range states {
+		deadlocks += ws.deadlocks
+		timelocks += ws.timelocks
+		totalSteps += ws.steps
+	}
+	engineSteps, cacheHits, cacheMisses := engine.Stats()
 	if tel != nil {
+		tel.SetEngineStats(engineSteps, cacheHits, cacheMisses)
 		tel.End(est, elapsed)
 	}
 	if err != nil {
@@ -159,6 +170,8 @@ func Analyze(rt *network.Runtime, cfg AnalysisConfig) (Report, error) {
 		Deadlocks:   deadlocks,
 		Timelocks:   timelocks,
 		TotalSteps:  totalSteps,
+		CacheHits:   cacheHits,
+		CacheMisses: cacheMisses,
 		Elapsed:     elapsed,
 		Strategy:    cfg.Strategy.Name(),
 		Method:      method,

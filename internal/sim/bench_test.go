@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/network"
+	"slimsim/internal/prop"
+	"slimsim/internal/rng"
+	"slimsim/internal/sta"
+	"slimsim/internal/strategy"
+)
+
+// cycleNet builds a model whose paths run long: a clock-driven two-location
+// cycle (fire at x ∈ [1,2], reset) racing a slow Markovian breaker. The
+// reachability goal never holds, so a path only ends at the property bound.
+func cycleNet(tb testing.TB) *network.Runtime {
+	tb.Helper()
+	xID, gID := expr.VarID(0), expr.VarID(1)
+	x := func() expr.Expr { return expr.Var("x", xID) }
+	timer := &sta.Process{
+		Name: "timer",
+		Locations: []sta.Location{
+			{Name: "a", Invariant: expr.Bin(expr.OpLe, x(), expr.Literal(expr.RealVal(2)))},
+			{Name: "b", Invariant: expr.Bin(expr.OpLe, x(), expr.Literal(expr.RealVal(2)))},
+		},
+		Initial: 0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau,
+				Guard:   expr.Bin(expr.OpGe, x(), expr.Literal(expr.RealVal(1))),
+				Effects: []sta.Assignment{{Var: xID, Name: "x", Expr: expr.Literal(expr.RealVal(0))}}},
+			{From: 1, To: 0, Action: sta.Tau,
+				Guard:   expr.Bin(expr.OpGe, x(), expr.Literal(expr.RealVal(1))),
+				Effects: []sta.Assignment{{Var: xID, Name: "x", Expr: expr.Literal(expr.RealVal(0))}}},
+		},
+		Vars: []expr.VarID{xID},
+	}
+	breaker := &sta.Process{
+		Name:        "breaker",
+		Locations:   []sta.Location{{Name: "up"}, {Name: "down"}},
+		Initial:     0,
+		Transitions: []sta.Transition{{From: 0, To: 1, Action: sta.Tau, Rate: 1e-6}},
+	}
+	net := &sta.Network{
+		Processes: []*sta.Process{timer, breaker},
+		Vars: []sta.VarDecl{
+			{Name: "x", Type: expr.ClockType(), Init: expr.RealVal(0)},
+			{Name: "goal", Type: expr.BoolType(), Init: expr.BoolVal(false)},
+		},
+	}
+	// goal is declared but never assigned: the property stays undecided
+	// until its bound.
+	_ = gID
+	rt, err := network.New(net)
+	if err != nil {
+		tb.Fatalf("network.New: %v", err)
+	}
+	return rt
+}
+
+func goalRef() expr.Expr { return expr.Var("goal", 1) }
+
+// benchEngine returns an engine plus a ready-to-step scratch on cycleNet.
+func benchEngine(tb testing.TB, bound float64) (*Engine, *pathScratch) {
+	tb.Helper()
+	rt := cycleNet(tb)
+	eng, err := NewEngine(rt, Config{
+		Strategy: strategy.ASAP{},
+		Property: prop.Reach(bound, goalRef()),
+	})
+	if err != nil {
+		tb.Fatalf("NewEngine: %v", err)
+	}
+	ps := eng.scratch.Get().(*pathScratch)
+	return eng, ps
+}
+
+// BenchmarkStep measures one engine step (MaxDelay, memoized Moves, guard
+// windows, strategy decision, property check, timed+discrete successor) in
+// steady state.
+func BenchmarkStep(b *testing.B) {
+	eng, ps := benchEngine(b, 1e18)
+	cur, nxt := &ps.stA, &ps.stB
+	if err := ps.net.InitialStateInto(cur); err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(7)
+	var res PathResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, newCur, err := eng.step(ps, cur, nxt, src, &res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if newCur != cur {
+			cur, nxt = newCur, cur
+		}
+	}
+}
+
+// BenchmarkSamplePath measures whole paths of ~1000 steps through the
+// public entry point, including scratch pool round-trips.
+func BenchmarkSamplePath(b *testing.B) {
+	rt := cycleNet(b)
+	eng, err := NewEngine(rt, Config{
+		Strategy: strategy.ASAP{},
+		Property: prop.Reach(1000, goalRef()),
+	})
+	if err != nil {
+		b.Fatalf("NewEngine: %v", err)
+	}
+	src := rng.New(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SamplePath(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// stepAllocBudget is the per-step allocation gate. The residual allocations
+// are the interval sets materialized for clock guard windows and the delay
+// clip; everything else (states, moves, labels, contexts, environments) is
+// pooled or memoized.
+const stepAllocBudget = 12
+
+func TestStepAllocs(t *testing.T) {
+	eng, ps := benchEngine(t, 1e18)
+	cur, nxt := &ps.stA, &ps.stB
+	if err := ps.net.InitialStateInto(cur); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(7)
+	var res PathResult
+	// Warm up: fill the move cache and grow the window scratch.
+	for i := 0; i < 64; i++ {
+		_, newCur, err := eng.step(ps, cur, nxt, src, &res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if newCur != cur {
+			cur, nxt = newCur, cur
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		_, newCur, err := eng.step(ps, cur, nxt, src, &res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if newCur != cur {
+			cur, nxt = newCur, cur
+		}
+	})
+	if avg > stepAllocBudget {
+		t.Errorf("engine step allocates %.1f objects per step, budget %d", avg, stepAllocBudget)
+	}
+}

@@ -10,6 +10,8 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"slimsim/internal/intervals"
 	"slimsim/internal/network"
@@ -132,11 +134,39 @@ type PathResult struct {
 
 // Engine generates paths for a fixed runtime and configuration. Engines
 // are immutable and safe for concurrent use; per-path randomness comes
-// from the caller-supplied source.
+// from the caller-supplied source and all mutable per-path storage lives
+// in pooled scratch arenas.
 type Engine struct {
 	rt  *network.Runtime
 	cfg Config
 	ev  prop.Property
+	// eval is the compiled property evaluator; it is stateless and shared
+	// by every path and worker.
+	eval *prop.Evaluator
+	// scratch pools pathScratch arenas so steady-state path generation
+	// performs O(1) allocations. A pointer so WithObserver copies share
+	// the pool.
+	scratch *sync.Pool
+	// stats aggregates hot-path counters across all paths and workers.
+	stats *engineStats
+}
+
+// engineStats holds the engine's cumulative counters, updated once per
+// path (not per step) to keep atomics off the hot path.
+type engineStats struct {
+	steps       atomic.Int64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+}
+
+// pathScratch is the per-path working set: a network evaluation arena
+// (environment + move cache), two states the step loop ping-pongs between,
+// the window slice handed to the strategy and the reused strategy context.
+type pathScratch struct {
+	net      *network.Scratch
+	stA, stB network.State
+	windows  []intervals.Set
+	ctx      strategy.Context
 }
 
 // NewEngine validates the configuration against the runtime and returns an
@@ -149,7 +179,21 @@ func NewEngine(rt *network.Runtime, cfg Config) (*Engine, error) {
 	if err := c.Property.Validate(rt.Net().DeclMap()); err != nil {
 		return nil, err
 	}
-	return &Engine{rt: rt, cfg: c, ev: c.Property}, nil
+	e := &Engine{rt: rt, cfg: c, ev: c.Property, eval: prop.NewEvaluator(c.Property), stats: &engineStats{}}
+	e.scratch = &sync.Pool{New: func() any {
+		return &pathScratch{
+			net: rt.NewScratch(0),
+			stA: rt.NewState(),
+			stB: rt.NewState(),
+		}
+	}}
+	return e, nil
+}
+
+// Stats returns the engine's cumulative hot-path counters: simulation steps
+// over all sampled paths, and the move-cache hits and misses.
+func (e *Engine) Stats() (steps int64, cacheHits, cacheMisses uint64) {
+	return e.stats.steps.Load(), e.stats.cacheHits.Load(), e.stats.cacheMisses.Load()
 }
 
 // WithObserver returns a copy of the engine whose paths report to obs.
@@ -187,99 +231,110 @@ func (t TeeObserver) OnVerdict(now float64, label string) {
 
 // SamplePath generates one path and returns its outcome.
 func (e *Engine) SamplePath(src *rng.Source) (PathResult, error) {
-	st, err := e.rt.InitialState()
-	if err != nil {
+	ps := e.scratch.Get().(*pathScratch)
+	res := PathResult{}
+	hits0, misses0 := ps.net.CacheStats()
+	defer func() {
+		hits1, misses1 := ps.net.CacheStats()
+		e.stats.steps.Add(int64(res.Steps))
+		e.stats.cacheHits.Add(hits1 - hits0)
+		e.stats.cacheMisses.Add(misses1 - misses0)
+		e.scratch.Put(ps)
+	}()
+
+	// The step loop ping-pongs between the two pooled states: each step
+	// reads cur and leaves its successor in the state it returns.
+	cur, nxt := &ps.stA, &ps.stB
+	if err := ps.net.InitialStateInto(cur); err != nil {
 		return PathResult{}, err
 	}
-	ev := prop.NewEvaluator(e.ev)
-	res := PathResult{}
 
-	verdict, err := ev.AtState(e.rt.Env(&st), st.Time)
+	verdict, err := e.eval.AtState(ps.net.Env(cur), cur.Time)
 	if err != nil {
 		return PathResult{}, err
 	}
 	for verdict == prop.Undecided {
 		if res.Steps >= e.cfg.MaxSteps {
 			res.Termination = TermMaxSteps
-			res.EndTime = st.Time
+			res.EndTime = cur.Time
 			return res, fmt.Errorf("sim: path exceeded %d steps at time %g (Zeno or divergent model?)",
-				e.cfg.MaxSteps, st.Time)
+				e.cfg.MaxSteps, cur.Time)
 		}
 		res.Steps++
 
-		var next network.State
-		verdict, next, err = e.step(ev, &st, src, &res)
+		var newCur *network.State
+		verdict, newCur, err = e.step(ps, cur, nxt, src, &res)
 		if err != nil {
 			return PathResult{}, err
 		}
-		st = next
+		if newCur != cur {
+			cur, nxt = newCur, cur
+		}
 	}
 	res.Satisfied = verdict == prop.Satisfied
 	if res.Termination == 0 {
 		res.Termination = TermDecided
 	}
-	res.EndTime = st.Time
+	res.EndTime = cur.Time
 	if e.cfg.Observer != nil {
-		e.cfg.Observer.OnVerdict(st.Time, fmt.Sprintf("%s (%s)", verdict, res.Termination))
+		e.cfg.Observer.OnVerdict(cur.Time, fmt.Sprintf("%s (%s)", verdict, res.Termination))
 	}
 	return res, nil
 }
 
-// advance wraps Runtime.Advance with the observer hook.
-func (e *Engine) advance(st *network.State, d float64) (network.State, error) {
-	next, err := e.rt.Advance(st, d)
-	if err != nil {
-		return network.State{}, err
+// advance wraps Scratch.AdvanceInto with the observer hook.
+func (e *Engine) advance(ps *pathScratch, out, src *network.State, d float64) error {
+	if err := ps.net.AdvanceInto(out, src, d); err != nil {
+		return err
 	}
 	if e.cfg.Observer != nil && d > 0 {
-		e.cfg.Observer.OnDelay(next.Time, d)
+		e.cfg.Observer.OnDelay(out.Time, d)
 	}
-	return next, nil
+	return nil
 }
 
-// apply wraps Runtime.Apply with the observer hook.
-func (e *Engine) apply(st *network.State, m *network.Move) (network.State, error) {
-	next, err := e.rt.Apply(st, m)
-	if err != nil {
-		return network.State{}, err
+// apply wraps Scratch.ApplyInto with the observer hook. label is the move's
+// cached trace label.
+func (e *Engine) apply(ps *pathScratch, out, src *network.State, m *network.Move, label string) error {
+	if err := ps.net.ApplyInto(out, src, m); err != nil {
+		return err
 	}
 	if e.cfg.Observer != nil {
-		e.cfg.Observer.OnMove(next.Time, m.Label(e.rt))
+		e.cfg.Observer.OnMove(out.Time, label)
 	}
-	return next, nil
+	return nil
 }
 
-// step performs one timed-plus-discrete step. It returns the property
-// verdict (possibly still undecided) and the successor state.
-func (e *Engine) step(ev *prop.Evaluator, st *network.State, src *rng.Source, res *PathResult) (prop.Verdict, network.State, error) {
-	maxD, attained, nowOK, err := e.rt.MaxDelay(st)
+// step performs one timed-plus-discrete step. It reads cur, uses nxt (and
+// possibly cur itself) as successor storage, and returns the property
+// verdict (possibly still undecided) together with a pointer to whichever
+// of the two states now holds the successor.
+func (e *Engine) step(ps *pathScratch, cur, nxt *network.State, src *rng.Source, res *PathResult) (prop.Verdict, *network.State, error) {
+	maxD, attained, nowOK, err := ps.net.MaxDelay(cur)
 	if err != nil {
-		return 0, network.State{}, err
+		return 0, nil, err
 	}
 	if !nowOK {
-		return 0, network.State{}, network.Internal(
-			fmt.Errorf("sim: invariant violated at time %g (ill-formed model)", st.Time))
+		return 0, nil, network.Internal(
+			fmt.Errorf("sim: invariant violated at time %g (ill-formed model)", cur.Time))
 	}
 
-	moves := e.rt.Moves(st)
-	var guarded []network.Move
-	var markovian []network.Move
-	for i := range moves {
-		if moves[i].Markovian() {
-			markovian = append(markovian, moves[i])
-		} else {
-			guarded = append(guarded, moves[i])
-		}
-	}
+	// Memoized enumeration: the guarded/Markovian split and the labels
+	// depend only on the location vector and come from the move cache.
+	cm := ps.net.Moves(cur)
+	guarded, markovian := cm.Guarded, cm.Markovian
 
 	// Enabling windows of guarded moves, clipped to the allowed delays.
-	horizonLeft := math.Max(0, e.cfg.Property.Bound-st.Time)
+	horizonLeft := math.Max(0, e.cfg.Property.Bound-cur.Time)
 	clip := delayClip(maxD, attained)
-	windows := make([]intervals.Set, len(guarded))
+	if cap(ps.windows) < len(guarded) {
+		ps.windows = make([]intervals.Set, len(guarded))
+	}
+	windows := ps.windows[:len(guarded)]
 	for i := range guarded {
-		w, werr := e.rt.Window(st, &guarded[i])
+		w, werr := ps.net.Window(cur, &guarded[i])
 		if werr != nil {
-			return 0, network.State{}, werr
+			return 0, nil, werr
 		}
 		windows[i] = w.Intersect(clip)
 	}
@@ -295,21 +350,16 @@ func (e *Engine) step(ev *prop.Evaluator, st *network.State, src *rng.Source, re
 		}
 	}
 
-	// Strategy decision for the guarded moves.
-	labels := make([]string, len(guarded))
-	for i := range guarded {
-		labels[i] = guarded[i].Label(e.rt)
-	}
-	choice, err := e.cfg.Strategy.Choose(&strategy.Context{
-		MaxDelay:    maxD,
-		MaxAttained: attained,
-		Horizon:     horizonLeft,
-		Windows:     windows,
-		Labels:      labels,
-		Rng:         src,
-	})
+	// Strategy decision for the guarded moves, through the reused context.
+	ps.ctx.MaxDelay = maxD
+	ps.ctx.MaxAttained = attained
+	ps.ctx.Horizon = horizonLeft
+	ps.ctx.Windows = windows
+	ps.ctx.Labels = cm.Labels
+	ps.ctx.Rng = src
+	choice, err := e.cfg.Strategy.Choose(&ps.ctx)
 	if err != nil {
-		return 0, network.State{}, err
+		return 0, nil, err
 	}
 
 	// Detect dead/timelocks: nothing guarded will ever fire and no
@@ -319,48 +369,46 @@ func (e *Engine) step(ev *prop.Evaluator, st *network.State, src *rng.Source, re
 		// action, time frozen by urgency); locks at an invariant
 		// boundary are timelocks.
 		lockKind := TermTimelock
-		if maxD == 0 && e.rt.UrgentNow(st) {
+		if maxD == 0 && e.rt.UrgentNow(cur) {
 			lockKind = TermDeadlock
 		}
 		if math.IsInf(maxD, 1) {
 			// Time diverges with no event: the bounded property
 			// decides at its bound.
-			v, _, derr := ev.DuringDelay(e.rt.Env(st), st.Time, horizonLeft+1)
+			v, _, derr := e.eval.DuringDelay(ps.net.Env(cur), cur.Time, horizonLeft+1)
 			if derr != nil {
-				return 0, network.State{}, derr
+				return 0, nil, derr
 			}
 			if v != prop.Undecided {
-				next, aerr := e.advance(st, horizonLeft+1)
-				if aerr != nil {
-					return 0, network.State{}, aerr
+				if aerr := e.advance(ps, nxt, cur, horizonLeft+1); aerr != nil {
+					return 0, nil, aerr
 				}
 				res.Termination = TermDecided
-				return v, next, nil
+				return v, nxt, nil
 			}
 		}
 		if e.cfg.Locks == LockErrors {
-			return 0, network.State{}, fmt.Errorf("sim: %s at time %g", lockKind, st.Time)
+			return 0, nil, fmt.Errorf("sim: %s at time %g", lockKind, cur.Time)
 		}
 		// Let the permitted time pass (the property may still decide
 		// during it), then close the path.
-		v, _, derr := ev.DuringDelay(e.rt.Env(st), st.Time, choice.Delay)
+		v, _, derr := e.eval.DuringDelay(ps.net.Env(cur), cur.Time, choice.Delay)
 		if derr != nil {
-			return 0, network.State{}, derr
+			return 0, nil, derr
 		}
-		next, aerr := e.advance(st, choice.Delay)
-		if aerr != nil {
-			return 0, network.State{}, aerr
+		if aerr := e.advance(ps, nxt, cur, choice.Delay); aerr != nil {
+			return 0, nil, aerr
 		}
 		if v != prop.Undecided {
 			res.Termination = TermDecided
-			return v, next, nil
+			return v, nxt, nil
 		}
-		v, perr := ev.AtPathEnd(e.rt.Env(&next), next.Time)
+		v, perr := e.eval.AtPathEnd(ps.net.Env(nxt), nxt.Time)
 		if perr != nil {
-			return 0, network.State{}, perr
+			return 0, nil, perr
 		}
 		res.Termination = lockKind
-		return v, next, nil
+		return v, nxt, nil
 	}
 
 	// The actual delay is the earlier of the exponential winner and the
@@ -378,78 +426,79 @@ func (e *Engine) step(ev *prop.Evaluator, st *network.State, src *rng.Source, re
 				// ... but nothing else can fire either: wait
 				// to the deadline and lock.
 				if e.cfg.Locks == LockErrors {
-					return 0, network.State{}, fmt.Errorf("sim: timelock at time %g", st.Time)
+					return 0, nil, fmt.Errorf("sim: timelock at time %g", cur.Time)
 				}
-				v, _, derr := ev.DuringDelay(e.rt.Env(st), st.Time, maxD)
+				v, _, derr := e.eval.DuringDelay(ps.net.Env(cur), cur.Time, maxD)
 				if derr != nil {
-					return 0, network.State{}, derr
+					return 0, nil, derr
 				}
-				next, aerr := e.advance(st, maxD)
-				if aerr != nil {
-					return 0, network.State{}, aerr
+				if aerr := e.advance(ps, nxt, cur, maxD); aerr != nil {
+					return 0, nil, aerr
 				}
 				if v != prop.Undecided {
 					res.Termination = TermDecided
-					return v, next, nil
+					return v, nxt, nil
 				}
-				v, perr := ev.AtPathEnd(e.rt.Env(&next), next.Time)
+				v, perr := e.eval.AtPathEnd(ps.net.Env(nxt), nxt.Time)
 				if perr != nil {
-					return 0, network.State{}, perr
+					return 0, nil, perr
 				}
 				res.Termination = TermTimelock
-				return v, next, nil
+				return v, nxt, nil
 			}
 		}
 	}
 
 	// Check the property throughout the delay before committing to it.
 	if delay > 0 {
-		v, _, derr := ev.DuringDelay(e.rt.Env(st), st.Time, delay)
+		v, _, derr := e.eval.DuringDelay(ps.net.Env(cur), cur.Time, delay)
 		if derr != nil {
-			return 0, network.State{}, derr
+			return 0, nil, derr
 		}
 		if v != prop.Undecided {
-			next, aerr := e.advance(st, delay)
-			if aerr != nil {
-				return 0, network.State{}, aerr
+			if aerr := e.advance(ps, nxt, cur, delay); aerr != nil {
+				return 0, nil, aerr
 			}
 			res.Termination = TermDecided
-			return v, next, nil
+			return v, nxt, nil
 		}
 	}
 
-	next, err := e.advance(st, delay)
-	if err != nil {
-		return 0, network.State{}, err
+	if err := e.advance(ps, nxt, cur, delay); err != nil {
+		return 0, nil, err
 	}
 
 	// Fire the discrete move, if any.
 	var fired *network.Move
+	var firedLabel string
 	switch {
 	case fireExp:
 		fired = &markovian[expWinner]
+		firedLabel = cm.MarkLabels[expWinner]
 	case len(choice.Enabled) > 0:
 		// Equiprobability among the moves enabled at the chosen
 		// instant.
 		pick := choice.Enabled[src.Choose(len(choice.Enabled))]
 		fired = &guarded[pick]
+		firedLabel = cm.Labels[pick]
 	}
+	newCur := nxt
 	if fired != nil {
-		next2, aerr := e.apply(&next, fired)
-		if aerr != nil {
-			return 0, network.State{}, aerr
+		// Apply back into cur: its pre-delay contents are dead now.
+		if aerr := e.apply(ps, cur, nxt, fired, firedLabel); aerr != nil {
+			return 0, nil, aerr
 		}
-		next = next2
+		newCur = cur
 	}
 
-	v, err := ev.AtState(e.rt.Env(&next), next.Time)
+	v, err := e.eval.AtState(ps.net.Env(newCur), newCur.Time)
 	if err != nil {
-		return 0, network.State{}, err
+		return 0, nil, err
 	}
 	if v != prop.Undecided {
 		res.Termination = TermDecided
 	}
-	return v, next, nil
+	return v, newCur, nil
 }
 
 // delayClip returns the delay set the invariants allow: [0, maxD] when the

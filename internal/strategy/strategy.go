@@ -46,6 +46,11 @@ type Context struct {
 	Labels []string
 	// Rng drives the strategy's random choices.
 	Rng *rng.Source
+	// EnabledBuf is an optional reusable backing array for
+	// Choice.Enabled. When the engine reuses one Context across steps,
+	// enabled-move collection stops allocating; the Enabled slice of a
+	// Choice is then only valid until the next Choose call.
+	EnabledBuf []int
 }
 
 // Choice is a strategy's decision.
@@ -85,14 +90,16 @@ func (c *Context) cap() float64 {
 	return c.MaxDelay
 }
 
-// enabledAt collects the candidate moves whose window contains d.
-func enabledAt(windows []intervals.Set, d float64) []int {
-	var out []int
-	for i, w := range windows {
+// enabledAt collects the candidate moves whose window contains d into the
+// context's reusable buffer.
+func (c *Context) enabledAt(d float64) []int {
+	out := c.EnabledBuf[:0]
+	for i, w := range c.Windows {
 		if w.Contains(d) {
 			out = append(out, i)
 		}
 	}
+	c.EnabledBuf = out
 	return out
 }
 
@@ -126,12 +133,12 @@ func (ASAP) Choose(ctx *Context) (Choice, error) {
 	if !attained {
 		d = inf + epsNudge
 	}
-	enabled := enabledAt(ctx.Windows, d)
+	enabled := ctx.enabledAt(d)
 	if len(enabled) == 0 {
 		// The nudge overshot an isolated point; fall back to the
 		// infimum itself.
 		d = inf
-		enabled = enabledAt(ctx.Windows, d)
+		enabled = ctx.enabledAt(d)
 	}
 	return Choice{Delay: d, Enabled: enabled}, nil
 }
@@ -157,7 +164,7 @@ func (MaxTime) Choose(ctx *Context) (Choice, error) {
 	// No fallback: if nothing is enabled at the maximal delay, the
 	// engine just lets the time pass — possibly stranding the model,
 	// which is precisely how MaxTime exposes actionlocks (§III-B).
-	return Choice{Delay: d, Enabled: enabledAt(ctx.Windows, d)}, nil
+	return Choice{Delay: d, Enabled: ctx.enabledAt(d)}, nil
 }
 
 // Progressive samples the delay uniformly from the union of the exact
@@ -186,14 +193,14 @@ func (Progressive) Choose(ctx *Context) (Choice, error) {
 	if !ok {
 		return Choice{}, fmt.Errorf("strategy: progressive could not sample from %v", clipped)
 	}
-	enabled := enabledAt(ctx.Windows, d)
+	enabled := ctx.enabledAt(d)
 	if len(enabled) == 0 {
 		// Sampled a boundary point excluded by openness; nudge
 		// inward.
 		if inf, _ := clipped.Inf(); inf <= d {
 			d += epsNudge
 		}
-		enabled = enabledAt(ctx.Windows, d)
+		enabled = ctx.enabledAt(d)
 	}
 	return Choice{Delay: d, Enabled: enabled}, nil
 }
@@ -215,7 +222,7 @@ func (Local) Choose(ctx *Context) (Choice, error) {
 		return Choice{Delay: ctx.cap(), Timelocked: true}, nil
 	}
 	d := ctx.Rng.Uniform(0, ctx.cap())
-	return Choice{Delay: d, Enabled: enabledAt(ctx.Windows, d)}, nil
+	return Choice{Delay: d, Enabled: ctx.enabledAt(d)}, nil
 }
 
 // Input defers decisions to a callback — the paper's interactive strategy.
@@ -254,7 +261,7 @@ func (s Input) Choose(ctx *Context) (Choice, error) {
 		}
 		return Choice{Delay: d, Enabled: []int{move}}, nil
 	}
-	return Choice{Delay: d, Enabled: enabledAt(ctx.Windows, d)}, nil
+	return Choice{Delay: d, Enabled: ctx.enabledAt(d)}, nil
 }
 
 // ByName returns the automated strategy with the given CLI name.

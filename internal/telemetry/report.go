@@ -44,12 +44,22 @@ type Report struct {
 	Experiment *Experiment `json:"experiment,omitempty"`
 }
 
-// Timing is the wall-clock section of a report.
+// Timing is the wall-clock section of a report. It also carries the raw
+// engine throughput counters, which — unlike the Sampling section — include
+// overdrawn paths and therefore depend on goroutine timing.
 type Timing struct {
 	// WallClockMS is the duration of the measured phase in milliseconds.
 	WallClockMS float64 `json:"wallClockMs"`
 	// SamplesPerSec is the sample consumption rate (sampling runs only).
 	SamplesPerSec float64 `json:"samplesPerSec,omitempty"`
+	// StepsPerSec is the engine step throughput over the sampling phase,
+	// counting all simulated paths (consumed or overdrawn).
+	StepsPerSec float64 `json:"stepsPerSec,omitempty"`
+	// MoveCacheHits and MoveCacheMisses are the move-memoization counters
+	// summed over all workers; MoveCacheHitRate is hits/(hits+misses).
+	MoveCacheHits    uint64  `json:"moveCacheHits,omitempty"`
+	MoveCacheMisses  uint64  `json:"moveCacheMisses,omitempty"`
+	MoveCacheHitRate float64 `json:"moveCacheHitRate,omitempty"`
 }
 
 // CI is a two-sided confidence interval.
@@ -192,10 +202,18 @@ func (c *Collector) Report() Report {
 		Sampling:      m,
 	}
 	if !c.started.IsZero() {
-		rep.Timing = &Timing{
+		t := &Timing{
 			WallClockMS:   float64(snap.Elapsed) / float64(time.Millisecond),
 			SamplesPerSec: snap.Rate,
+			MoveCacheHits: c.cacheHits, MoveCacheMisses: c.cacheMisses,
 		}
+		if secs := snap.Elapsed.Seconds(); secs > 0 && c.engineSteps > 0 {
+			t.StepsPerSec = float64(c.engineSteps) / secs
+		}
+		if total := c.cacheHits + c.cacheMisses; total > 0 {
+			t.MoveCacheHitRate = float64(c.cacheHits) / float64(total)
+		}
+		rep.Timing = t
 	}
 	return rep
 }
