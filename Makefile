@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmtcheck lint race verify ci bench bench-smoke bench-compare bench-json difftest fuzz-smoke
+.PHONY: build test vet fmtcheck lint race verify ci bench bench-smoke bench-compare bench-json difftest fuzz-smoke fuzz-long
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,17 @@ difftest:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s -run '^$$' ./internal/slim/
 	$(GO) test -fuzz FuzzEvalExpr -fuzztime 30s -run '^$$' ./internal/difftest/
+
+# fuzz-long is the nightly form: fresh differential seeds across every
+# generator class (any discrepancy is shrunk into the regression corpus
+# and fails the run with exit 2), then a longer run of each native fuzz
+# target. Tune with FUZZ_N / FUZZ_TIME.
+FUZZ_N ?= 2000
+FUZZ_TIME ?= 10m
+fuzz-long: build
+	$(GO) run ./cmd/slimfuzz -class all -n $(FUZZ_N) -q
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZ_TIME) -run '^$$' ./internal/slim/
+	$(GO) test -fuzz FuzzEvalExpr -fuzztime $(FUZZ_TIME) -run '^$$' ./internal/difftest/
 
 verify: build test
 

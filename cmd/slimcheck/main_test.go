@@ -64,3 +64,79 @@ func TestUsageErrorExitCode(t *testing.T) {
 		t.Fatalf("ExitCode = %d, want 1 for %v", got, err)
 	}
 }
+
+// gateModel is a deterministic single-clock model with a known closed-form
+// answer of 1: the gate opens the alarm latch exactly at time 1, so the
+// goal is certainly reached within bound 2.
+const gateModel = `system Main
+end Main;
+
+system implementation Main.Imp
+subcomponents
+  x: data clock;
+  done: data bool default false;
+modes
+  wait: initial mode while x <= 1.0;
+  open: mode;
+transitions
+  wait -[when x >= 1.0 then done := true]-> open;
+end Main.Imp;
+
+root Main.Imp;
+`
+
+// TestExactZoneFlag runs the -exact pipeline end to end on a single-clock
+// model the default CTMC pipeline cannot handle.
+func TestExactZoneFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gate.slim")
+	if err := os.WriteFile(path, []byte(gateModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exact", "-model", path, "-goal", "done", "-bound", "2", "-q"}); err != nil {
+		t.Fatalf("-exact on a single-clock model: %v", err)
+	}
+	// The untimed pipeline must still reject the clock, with exit code 1.
+	err := run([]string{"-model", path, "-goal", "done", "-bound", "2", "-q"})
+	if err == nil {
+		t.Fatal("CTMC pipeline accepted a timed model")
+	}
+	if got := slimsim.ExitCode(err); got != 1 {
+		t.Fatalf("ExitCode = %d, want 1 for %v", got, err)
+	}
+}
+
+// TestExactIneligibleExitCode checks that -exact classifies models outside
+// the single-clock fragment as ordinary model errors (exit code 1).
+func TestExactIneligibleExitCode(t *testing.T) {
+	const twoClocks = `system Main
+end Main;
+
+system implementation Main.Imp
+subcomponents
+  x: data clock;
+  y: data clock;
+  done: data bool default false;
+modes
+  wait: initial mode while x <= 1.0;
+  open: mode;
+transitions
+  wait -[when x >= 1.0 and y >= 0.5 then done := true]-> open;
+end Main.Imp;
+
+root Main.Imp;
+`
+	path := filepath.Join(t.TempDir(), "two.slim")
+	if err := os.WriteFile(path, []byte(twoClocks), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-exact", "-model", path, "-goal", "done", "-bound", "2", "-q"})
+	if err == nil {
+		t.Fatal("-exact accepted a two-clock model")
+	}
+	if !errors.Is(err, slimsim.ErrZoneIneligible) {
+		t.Fatalf("error %v is not ErrZoneIneligible", err)
+	}
+	if got := slimsim.ExitCode(err); got != 1 {
+		t.Fatalf("ExitCode = %d, want 1 for %v", got, err)
+	}
+}

@@ -1,7 +1,8 @@
 // Command slimfuzz drives the differential-testing harness from the
 // command line: it generates seeded random SLIM models, pushes each
 // through the oracle hierarchy (lint, printer round-trip, strategy
-// agreement, exact CTMC cross-check, engine invariants), shrinks any model
+// agreement, exact CTMC cross-check, exact single-clock zone cross-check,
+// engine invariants), shrinks any model
 // the oracles disagree on to a minimal reproducer, and writes it into the
 // regression corpus.
 //
@@ -40,7 +41,7 @@ func main() {
 func run(args []string, out *os.File) (found int, err error) {
 	fs := flag.NewFlagSet("slimfuzz", flag.ContinueOnError)
 	var (
-		classFlag = fs.String("class", "all", "model class to generate: markovian, deterministic, timed or all")
+		classFlag = fs.String("class", "all", "model class to generate: markovian, deterministic, timed, singleclock or all")
 		n         = fs.Int("n", 100, "number of seeds to explore per class")
 		base      = fs.Uint64("base", 0, "first seed (default: derived from the current time)")
 		seedsFlag = fs.String("seeds", "", "comma-separated explicit seeds (overrides -n/-base)")

@@ -57,3 +57,43 @@ func TestUsageErrorExitCode(t *testing.T) {
 		t.Fatalf("ExitCode(nil) = %d, want 0", got)
 	}
 }
+
+// TestAccuracyFlagsExitCode pins the flag-parse-time range validation of
+// -delta and -eps: out-of-range values are usage errors (exit code 1)
+// reported before any model is loaded, not panics from inside the stats
+// layer.
+func TestAccuracyFlagsExitCode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.slim")
+	const minimal = `system Main
+end Main;
+
+system implementation Main.Imp
+modes
+  m0: initial mode;
+end Main.Imp;
+
+root Main.Imp;
+`
+	if err := os.WriteFile(path, []byte(minimal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-delta", "0"},
+		{"-delta", "1"},
+		{"-delta", "2"},
+		{"-delta", "-0.5"},
+		{"-eps", "0"},
+		{"-eps", "1"},
+		{"-eps", "1.5"},
+	}
+	for _, extra := range cases {
+		args := append([]string{"-model", path, "-goal", "true", "-bound", "1", "-q"}, extra...)
+		err := run(args)
+		if err == nil {
+			t.Fatalf("%v: run succeeded with out-of-range accuracy flag", extra)
+		}
+		if got := slimsim.ExitCode(err); got != 1 {
+			t.Fatalf("%v: ExitCode = %d, want 1 for %v", extra, got, err)
+		}
+	}
+}

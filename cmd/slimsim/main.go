@@ -62,6 +62,14 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("-model plus either -prop or (-goal and a positive -bound) are required")
 	}
+	// Range-check the accuracy knobs here so a bad value is a usage error
+	// (exit 1) instead of surfacing from deep inside the sampling loop.
+	if !(*delta > 0 && *delta < 1) {
+		return fmt.Errorf("-delta must lie strictly between 0 and 1, got %g", *delta)
+	}
+	if !(*eps > 0 && *eps < 1) {
+		return fmt.Errorf("-eps must lie strictly between 0 and 1, got %g", *eps)
+	}
 
 	if !*noLint {
 		if err := lintGate(*modelPath); err != nil {

@@ -19,11 +19,18 @@
 //  4. exact       — on the Markovian class the Monte Carlo estimate must
 //     fall inside the Chernoff band around the exact CTMC transient
 //     probability, and the unlumped chain, the bisimulation quotient and
-//     the public CheckCTMC pipeline must agree to solver precision.
+//     the public CheckCTMC pipeline must agree to solver precision. The
+//     zone analyzer must reproduce the CTMC answer too (the untimed
+//     fragment is a one-segment special case of the single-clock one).
+//  5. zone        — on the single-clock timed class zone.Analyze is the
+//     exact reference: the Monte Carlo estimate under the ASAP strategy
+//     must fall inside the same Chernoff band around the zone-exact
+//     probability, closing the timed-sampling blind spot the
+//     strategy-agreement oracle alone leaves open.
 //
-// The timed class has no exact reference; there the engine itself is the
-// oracle: no strategy may trip an internal engine invariant (ErrEngine)
-// on any sampled path.
+// The unrestricted timed class has no exact reference; there the engine
+// itself is the oracle: no strategy may trip an internal engine invariant
+// (ErrEngine) on any sampled path.
 package difftest
 
 import (
@@ -39,6 +46,7 @@ import (
 	"slimsim/internal/modelgen"
 	"slimsim/internal/network"
 	"slimsim/internal/slim"
+	"slimsim/internal/zone"
 )
 
 // Tolerances and sampling parameters of the exact-analysis oracle.
@@ -71,7 +79,7 @@ type Discrepancy struct {
 	Class modelgen.Class
 	Seed  uint64
 	// Oracle names the oracle that failed: load, lint, roundtrip,
-	// strategies, exact or engine.
+	// strategies, exact, zone or engine.
 	Oracle string
 	// Detail describes the disagreement.
 	Detail string
@@ -128,6 +136,8 @@ func Check(g *modelgen.Generated) *Discrepancy {
 		return checkStrategies(g, m, fail)
 	case modelgen.Markovian:
 		return checkExact(g, m, fail)
+	case modelgen.SingleClockTimed:
+		return checkZone(g, m, fail)
 	default:
 		return checkEngine(g, m, fail)
 	}
@@ -238,6 +248,19 @@ func checkExact(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepanc
 		return fail("exact", "internal pipeline gives %.10f, CheckCTMC gives %.10f (diff %.2e)",
 			plump, exact.Probability, diff)
 	}
+	// Markovian models are clock-free, hence trivially single-clock
+	// eligible: the zone analyzer must reproduce the CTMC answer as a
+	// degenerate one-segment run.
+	if zerr := zone.Eligible(rt, goal); zerr == nil {
+		zr, err := zone.Analyze(rt, goal, g.Bound, maxStates)
+		if err != nil {
+			return engineOr(fail, "exact", "zone analyze: %v", err)
+		}
+		if diff := math.Abs(zr.Probability - exact.Probability); diff > solverTol {
+			return fail("exact", "zone analyzer gives %.10f, CheckCTMC gives %.10f (diff %.2e)",
+				zr.Probability, exact.Probability, diff)
+		}
+	}
 	mcOpts := opts(g, "asap", g.Seed+1)
 	mcOpts.Delta = mcDelta
 	mcOpts.Epsilon = mcEpsilon
@@ -248,6 +271,52 @@ func checkExact(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepanc
 	}
 	if diff := math.Abs(rep.Probability - exact.Probability); diff > mcEpsilon {
 		return fail("exact", "monte carlo estimate %.6f (%d paths, asap) outside the ±%g band around exact %.10f (diff %.4f)",
+			rep.Probability, rep.Paths, mcEpsilon, exact.Probability, diff)
+	}
+	return nil
+}
+
+// checkZone is oracle level 5: on the single-clock timed class the zone
+// analyzer is the exact reference. Every strategy must sample paths
+// cleanly (the engine oracle still applies), and the Monte Carlo estimate
+// under ASAP must fall inside the Chernoff band around the zone-exact
+// transient probability.
+func checkZone(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepancy {
+	if d := checkEngine(g, m, fail); d != nil {
+		return d
+	}
+	parsed, err := slim.Parse(g.Source)
+	if err != nil {
+		return fail("zone", "reparse: %v", err)
+	}
+	built, err := model.Instantiate(parsed)
+	if err != nil {
+		return fail("zone", "instantiate: %v", err)
+	}
+	rt, err := network.New(built.Net)
+	if err != nil {
+		return fail("zone", "network: %v", err)
+	}
+	goal, err := built.CompileExpr(g.Goal)
+	if err != nil {
+		return fail("zone", "goal %q: %v", g.Goal, err)
+	}
+	exact, err := zone.Analyze(rt, goal, g.Bound, maxStates)
+	if err != nil {
+		// The generator promises zone-eligible models, so ineligibility
+		// is itself a generator/analyzer disagreement.
+		return engineOr(fail, "zone", "zone analyze: %v", err)
+	}
+	mcOpts := opts(g, "asap", g.Seed+1)
+	mcOpts.Delta = mcDelta
+	mcOpts.Epsilon = mcEpsilon
+	mcOpts.Workers = 1
+	rep, err := m.Analyze(mcOpts)
+	if err != nil {
+		return engineOr(fail, "zone", "monte carlo: %v", err)
+	}
+	if diff := math.Abs(rep.Probability - exact.Probability); diff > mcEpsilon {
+		return fail("zone", "monte carlo estimate %.6f (%d paths, asap) outside the ±%g band around zone-exact %.10f (diff %.4f)",
 			rep.Probability, rep.Paths, mcEpsilon, exact.Probability, diff)
 	}
 	return nil

@@ -247,3 +247,24 @@ func TestDiscrepancyReportNamesEverything(t *testing.T) {
 		}
 	}
 }
+
+// TestRateUnderflowRejectedAtLoad pins the committed rate-underflow
+// reproducer: an occurrence rate scaled below the smallest subnormal must
+// be rejected as an ordinary model error (exit code 1), never classified
+// as an engine failure or allowed to load and panic later.
+func TestRateUnderflowRejectedAtLoad(t *testing.T) {
+	_, _, src, err := ReadRepro(filepath.Join(corpusDir, "rate-underflow.slim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = slimsim.LoadModel(src)
+	if err == nil {
+		t.Fatal("model with an underflowed occurrence rate loaded successfully")
+	}
+	if errors.Is(err, slimsim.ErrEngine) {
+		t.Fatalf("underflowed rate classified as an engine failure: %v", err)
+	}
+	if code := slimsim.ExitCode(err); code != 1 {
+		t.Fatalf("exit code %d for underflowed rate, want 1 (model error): %v", code, err)
+	}
+}

@@ -289,6 +289,15 @@ func (b *Built) extendOne(inst *Instance, ext *slim.Extension, et *slim.ErrorTyp
 				if tr.HasAfter {
 					return fmt.Errorf("model: %s: transition combines a Poisson event with a timing window", tr.Pos)
 				}
+				// The parser rejects non-positive textual rates, but
+				// programmatically built ASTs reach this point unchecked;
+				// a rate that is zero (e.g. underflowed by unit scaling)
+				// would silently demote the transition to an always-open
+				// guarded move, so it is a model error, not an engine one.
+				if !(ev.Rate > 0) || math.IsInf(ev.Rate, 1) {
+					return fmt.Errorf("model: %s: error event %s has invalid occurrence rate %g (must be positive and finite; tiny rates can underflow to zero)",
+						tr.Pos, ev.Name, ev.Rate)
+				}
 				st.Rate = ev.Rate
 			}
 		case ErrEventPropagationKind:

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -370,4 +371,54 @@ func mustParse(t *testing.T, src string) *slim.Model {
 		t.Fatalf("Parse: %v", err)
 	}
 	return m
+}
+
+// TestUnderflowedRateRejected guards the programmatic-AST path: the parser
+// refuses non-positive textual rates, but an AST built in code (generators,
+// shrinker reductions) can carry a rate that underflowed to zero, which
+// would otherwise silently demote the Markovian transition to an
+// always-open tau move. Instantiate must reject it as a model error.
+func TestUnderflowedRateRejected(t *testing.T) {
+	src := `
+system S
+end S;
+
+system U
+end U;
+
+system implementation S.Imp
+subcomponents
+  u: system U.Imp;
+end S.Imp;
+
+system implementation U.Imp
+modes
+  run: initial mode;
+end U.Imp;
+
+error model F
+states
+  ok: initial state;
+  down: state;
+end F;
+
+error model implementation F.Imp
+events
+  fail: error event occurrence poisson 1.0;
+transitions
+  ok -[fail]-> down;
+end F.Imp;
+
+root S.Imp;
+
+extend u with F.Imp {
+}
+`
+	m := mustParse(t, src)
+	for _, bad := range []float64{0, math.Inf(1), math.NaN(), -1} {
+		m.ErrorImpls["F.Imp"].Events[0].Rate = bad
+		if _, err := Instantiate(m); err == nil || !strings.Contains(err.Error(), "occurrence rate") {
+			t.Errorf("rate %g: expected occurrence-rate error, got %v", bad, err)
+		}
+	}
 }

@@ -39,10 +39,16 @@ const (
 	// modes, event synchronization, and error models mixing Poisson
 	// rates with timed windows.
 	Timed Class = "timed"
+	// SingleClockTimed models combine exactly one clock (a deterministic
+	// phase cycler) with Poisson error events, immediate monitors,
+	// multi-level hierarchies, reset events and error propagations — the
+	// fragment zone.Analyze solves exactly, so Monte Carlo estimates can
+	// be boxed against ground truth even for timed behavior.
+	SingleClockTimed Class = "singleclock"
 )
 
 // Classes lists every generator class.
-var Classes = []Class{Markovian, Deterministic, Timed}
+var Classes = []Class{Markovian, Deterministic, Timed, SingleClockTimed}
 
 // Generated is one random model plus the property the harness checks.
 type Generated struct {
@@ -73,6 +79,8 @@ func Generate(class Class, seed uint64) (*Generated, error) {
 		g = genDeterministic(r)
 	case Timed:
 		g = genTimed(r)
+	case SingleClockTimed:
+		g = genSingleClock(r)
 	default:
 		return nil, fmt.Errorf("modelgen: unknown class %q", class)
 	}
@@ -634,5 +642,303 @@ func genTimed(r *rng.Source) *Generated {
 		Model: m,
 		Goal:  goals[r.IntN(len(goals))],
 		Bound: float64(8+r.IntN(25)) * 0.5, // 4 .. 16
+	}
+}
+
+// genSingleClock builds models in the exactly-solvable single-clock timed
+// fragment (zone.Analyze): one phase cycler owns the model's only clock and
+// steps through deterministic dwell boundaries (optionally looping, and
+// optionally with a same-boundary tie the ASAP strategy resolves by a fair
+// coin), while Poisson fail/mend units, an immediate alarm monitor gated on
+// the cycler's phase, and the remaining ROADMAP shapes — a multi-level
+// cluster hierarchy, a reset event rebooting a unit's error model, and an
+// error propagation pair — supply the stochastic and structural depth.
+// Error models never use after-windows (those synthesize implicit clocks
+// and would leave the fragment) and clocks are only reset at deterministic
+// boundaries.
+func genSingleClock(r *rng.Source) *Generated {
+	m := newModel()
+	root := &slim.ComponentImpl{TypeName: "Main", ImplName: "Imp"}
+	rate := func() float64 { return float64(1+r.IntN(40)) * 0.05 } // 0.05 .. 2.0
+
+	// The cycler: sole clock, half-unit dwells, phase counter out port.
+	k := 1 + r.IntN(3)
+	dwell := make([]float64, k)
+	for j := range dwell {
+		dwell[j] = float64(1+r.IntN(6)) * 0.5 // 0.5 .. 3.0
+	}
+	loop := r.Bernoulli(0.5)
+	tie := r.Bernoulli(0.3)
+
+	feats := []*slim.Feature{
+		{Name: "step", Out: true, Type: intType(0, int64(k)), Default: intLit(0)},
+	}
+	if tie {
+		feats = append(feats, boolPort("tie", true))
+	}
+	cy := &slim.ComponentImpl{TypeName: "Pace", ImplName: "Imp",
+		Subcomponents: []*slim.Subcomponent{{Name: "x", Data: &slim.DataType{Name: "clock"}}},
+	}
+	for j := 0; j < k; j++ {
+		cy.Modes = append(cy.Modes, &slim.Mode{
+			Name: fmt.Sprintf("p%d", j), Initial: j == 0,
+			Invariant: bin("<=", ref("x"), realLit(dwell[j])),
+		})
+		to := fmt.Sprintf("p%d", j+1)
+		if j == k-1 {
+			if loop {
+				to = "p0"
+			} else {
+				to = "halt"
+			}
+		}
+		cy.Transitions = append(cy.Transitions, &slim.Transition{
+			From: fmt.Sprintf("p%d", j), To: to,
+			Guard: bin(">=", ref("x"), realLit(dwell[j])),
+			Effects: []slim.Assign{
+				{Target: []string{"x"}, Value: intLit(0)},
+				{Target: []string{"step"}, Value: intLit(int64(j + 1))},
+			},
+		})
+	}
+	if !loop {
+		cy.Modes = append(cy.Modes, &slim.Mode{Name: "halt"})
+	}
+	if tie {
+		// A second exit sharing the last phase's boundary: both moves
+		// enter their single-point window together, so ASAP flips a fair
+		// coin and exactly one branch latches tie.
+		last := cy.Transitions[k-1]
+		cy.Transitions = append(cy.Transitions, &slim.Transition{
+			From: last.From, To: last.To,
+			Guard: bin(">=", ref("x"), realLit(dwell[k-1])),
+			Effects: append([]slim.Assign{
+				{Target: []string{"tie"}, Value: boolLit(true)},
+			}, last.Effects...),
+		})
+	}
+	addComponent(m, &slim.ComponentType{Name: "Pace", Features: feats}, cy)
+	root.Subcomponents = append(root.Subcomponents, &slim.Subcomponent{Name: "cy", ImplRef: "Pace.Imp"})
+
+	// Fail/mend units: Poisson error events only (no after-windows).
+	nUnits := 1 + r.IntN(2)
+	cluster := r.Bernoulli(0.4)
+	resetEv := r.Bernoulli(0.35) && !cluster // reset wiring stays one level deep
+	propagate := r.Bernoulli(0.35)
+
+	unitPrefix := ""
+	holder := root
+	if cluster {
+		// Multi-level hierarchy: the units live inside a cluster whose
+		// out ports re-export their healths to the root.
+		unitPrefix = "cl."
+		holder = &slim.ComponentImpl{TypeName: "Cluster", ImplName: "Imp"}
+	}
+	var clusterFeats []*slim.Feature
+	for i := 0; i < nUnits; i++ {
+		name := fmt.Sprintf("Unit%d", i)
+		uFeats := []*slim.Feature{
+			{Name: "health", Out: true, Type: intType(0, 2), Default: intLit(2)},
+		}
+		if resetEv && i == 0 {
+			uFeats = append(uFeats, &slim.Feature{Name: "reboot", Event: true})
+		}
+		ci := &slim.ComponentImpl{TypeName: name, ImplName: "Imp",
+			Modes: []*slim.Mode{{Name: "run", Initial: true}}}
+		addComponent(m, &slim.ComponentType{Name: name, Features: uFeats}, ci)
+
+		failName := fmt.Sprintf("Fail%d", i)
+		et := &slim.ErrorType{Name: failName, States: []slim.ErrorState{
+			{Name: "ok", Initial: true}, {Name: "down"},
+		}}
+		ei := &slim.ErrorImpl{TypeName: failName, ImplName: "Imp",
+			Events: []*slim.ErrorEvent{
+				{Name: "fail", Kind: slim.ErrEventInternal, HasRate: true, Rate: rate()},
+			},
+			Transitions: []*slim.ErrorTransition{
+				{From: "ok", To: "down", Event: "fail"},
+			},
+		}
+		// The reset unit repairs through the reset sync instead of a mend
+		// rate: a location may not mix Markovian and guarded exits, so
+		// down carries exactly one of the two.
+		if r.Bernoulli(0.4) && !(resetEv && i == 0) {
+			ei.Events = append(ei.Events,
+				&slim.ErrorEvent{Name: "mend", Kind: slim.ErrEventInternal, HasRate: true, Rate: rate()})
+			ei.Transitions = append(ei.Transitions,
+				&slim.ErrorTransition{From: "down", To: "ok", Event: "mend"})
+		}
+		ext := &slim.Extension{
+			Target:       splitRef(fmt.Sprintf("%su%d", unitPrefix, i)),
+			ErrorImplRef: failName + ".Imp",
+			Injections: []*slim.Injection{
+				{State: "down", Target: []string{"health"}, Value: intLit(0)},
+			},
+		}
+		if resetEv && i == 0 {
+			// The reset event reboots the error model through the unit's
+			// nominal reboot port. Only down carries the reset exit: the
+			// controller's guard (health = 0) is false in every other
+			// state, so the sync never blocks a fireable emit.
+			ei.Events = append(ei.Events, &slim.ErrorEvent{Name: "rst", Kind: slim.ErrEventReset})
+			ei.Transitions = append(ei.Transitions,
+				&slim.ErrorTransition{From: "down", To: "ok", Event: "rst"})
+			ext.ResetOn = []string{"reboot"}
+		}
+		m.ErrorTypes[failName] = et
+		m.ErrorImpls[ei.Name()] = ei
+		m.Extensions = append(m.Extensions, ext)
+		holder.Subcomponents = append(holder.Subcomponents,
+			&slim.Subcomponent{Name: fmt.Sprintf("u%d", i), ImplRef: name + ".Imp"})
+		if cluster {
+			ch := fmt.Sprintf("ch%d", i)
+			clusterFeats = append(clusterFeats,
+				&slim.Feature{Name: ch, Out: true, Type: intType(0, 2), Default: intLit(2)})
+			holder.Connections = append(holder.Connections,
+				dataConn(fmt.Sprintf("u%d.health", i), ch))
+		}
+	}
+	if cluster {
+		addComponent(m, &slim.ComponentType{Name: "Cluster", Features: clusterFeats}, holder)
+		root.Subcomponents = append(root.Subcomponents, &slim.Subcomponent{Name: "cl", ImplRef: "Cluster.Imp"})
+	}
+	healthOf := func(i int) string {
+		if cluster {
+			return fmt.Sprintf("cl.ch%d", i)
+		}
+		return fmt.Sprintf("u%d.health", i)
+	}
+
+	if resetEv {
+		// Reset controller: reboots unit 0 the instant it sees it down.
+		// The monitor latch and the reboot race in the same immediate
+		// cascade, so the alarm survives with probability 1/2 per failure.
+		bossFeats := []*slim.Feature{
+			{Name: "hin", Type: intType(0, 2), Default: intLit(2)},
+			{Name: "kick", Out: true, Event: true},
+		}
+		boss := &slim.ComponentImpl{TypeName: "Boss", ImplName: "Imp",
+			Modes: []*slim.Mode{{Name: "arm", Initial: true}},
+			Transitions: []*slim.Transition{{
+				From: "arm", To: "arm", Event: []string{"kick"},
+				Guard: bin("=", ref("hin"), intLit(0)),
+			}},
+		}
+		addComponent(m, &slim.ComponentType{Name: "Boss", Features: bossFeats}, boss)
+		root.Subcomponents = append(root.Subcomponents, &slim.Subcomponent{Name: "boss", ImplRef: "Boss.Imp"})
+		root.Connections = append(root.Connections,
+			dataConn(healthOf(0), "boss.hin"),
+			eventConn("boss.kick", "u0.reboot"))
+	}
+
+	if propagate {
+		// Error propagation pair: the source's failure immediately
+		// poisons the sink through the shared propagation name. The sink
+		// keeps a self-loop on the propagation so the source never
+		// blocks.
+		for _, n := range []string{"Src", "Dst"} {
+			addComponent(m, &slim.ComponentType{Name: n, Features: []*slim.Feature{
+				{Name: "health", Out: true, Type: intType(0, 2), Default: intLit(2)},
+			}}, &slim.ComponentImpl{TypeName: n, ImplName: "Imp",
+				Modes: []*slim.Mode{{Name: "run", Initial: true}}})
+		}
+		m.ErrorTypes["SrcErr"] = &slim.ErrorType{Name: "SrcErr", States: []slim.ErrorState{
+			{Name: "ok", Initial: true}, {Name: "downpre"}, {Name: "down"},
+		}}
+		m.ErrorImpls["SrcErr.Imp"] = &slim.ErrorImpl{TypeName: "SrcErr", ImplName: "Imp",
+			Events: []*slim.ErrorEvent{
+				{Name: "fail", Kind: slim.ErrEventInternal, HasRate: true, Rate: rate()},
+				{Name: "poison", Kind: slim.ErrEventPropagation},
+			},
+			Transitions: []*slim.ErrorTransition{
+				{From: "ok", To: "downpre", Event: "fail"},
+				{From: "downpre", To: "down", Event: "poison"},
+			},
+		}
+		m.ErrorTypes["DstErr"] = &slim.ErrorType{Name: "DstErr", States: []slim.ErrorState{
+			{Name: "ok", Initial: true}, {Name: "hit"},
+		}}
+		m.ErrorImpls["DstErr.Imp"] = &slim.ErrorImpl{TypeName: "DstErr", ImplName: "Imp",
+			Events: []*slim.ErrorEvent{
+				{Name: "poison", Kind: slim.ErrEventPropagation},
+			},
+			Transitions: []*slim.ErrorTransition{
+				{From: "ok", To: "hit", Event: "poison"},
+				{From: "hit", To: "hit", Event: "poison"},
+			},
+		}
+		m.Extensions = append(m.Extensions,
+			&slim.Extension{Target: []string{"src"}, ErrorImplRef: "SrcErr.Imp",
+				Injections: []*slim.Injection{
+					{State: "down", Target: []string{"health"}, Value: intLit(0)},
+				}},
+			&slim.Extension{Target: []string{"dst"}, ErrorImplRef: "DstErr.Imp",
+				Injections: []*slim.Injection{
+					{State: "hit", Target: []string{"health"}, Value: intLit(0)},
+				}})
+		root.Subcomponents = append(root.Subcomponents,
+			&slim.Subcomponent{Name: "src", ImplRef: "Src.Imp"},
+			&slim.Subcomponent{Name: "dst", ImplRef: "Dst.Imp"})
+	}
+
+	// The alarm monitor: latches when the watched health pattern appears
+	// while the cycler is in a late-enough phase, tying the stochastic
+	// failures to the deterministic timing.
+	v := 1 + r.IntN(k)
+	monFeats := []*slim.Feature{
+		{Name: "st", Type: intType(0, int64(k)), Default: intLit(0)},
+	}
+	var downTerms []slim.Expr
+	for i := 0; i < nUnits; i++ {
+		in := fmt.Sprintf("h%d", i)
+		monFeats = append(monFeats, &slim.Feature{Name: in, Type: intType(0, 2), Default: intLit(2)})
+		downTerms = append(downTerms, bin("=", ref(in), intLit(0)))
+	}
+	var cond slim.Expr
+	switch r.IntN(3) {
+	case 0:
+		cond = bin("and", fold("or", downTerms), bin(">=", ref("st"), intLit(int64(v))))
+	case 1:
+		cond = bin("or", fold("and", downTerms), bin(">=", ref("st"), intLit(int64(k))))
+	default:
+		cond = fold("or", downTerms)
+	}
+	monFeats = append(monFeats, boolPort("alarm", true))
+	mon := &slim.ComponentImpl{TypeName: "Alarm", ImplName: "Imp",
+		Modes: []*slim.Mode{{Name: "watch", Initial: true}, {Name: "tripped"}},
+		Transitions: []*slim.Transition{{
+			From: "watch", To: "tripped", Guard: cond,
+			Effects: []slim.Assign{{Target: []string{"alarm"}, Value: boolLit(true)}},
+		}},
+	}
+	addComponent(m, &slim.ComponentType{Name: "Alarm", Features: monFeats}, mon)
+	root.Subcomponents = append(root.Subcomponents, &slim.Subcomponent{Name: "mon", ImplRef: "Alarm.Imp"})
+	root.Connections = append(root.Connections, dataConn("cy.step", "mon.st"))
+	for i := 0; i < nUnits; i++ {
+		root.Connections = append(root.Connections, dataConn(healthOf(i), fmt.Sprintf("mon.h%d", i)))
+	}
+
+	m.ComponentTypes["Main"] = &slim.ComponentType{Name: "Main", Category: "system"}
+	m.ComponentImpls["Main.Imp"] = root
+	m.Root = "Main.Imp"
+
+	goals := []string{"mon.alarm", fmt.Sprintf("cy.step >= %d", v)}
+	for i := 0; i < nUnits; i++ {
+		if cluster {
+			goals = append(goals, fmt.Sprintf("cl.u%d.health = 0", i))
+		} else {
+			goals = append(goals, fmt.Sprintf("u%d.health = 0", i))
+		}
+	}
+	if tie {
+		goals = append(goals, "cy.tie")
+	}
+	if propagate {
+		goals = append(goals, "dst.health = 0")
+	}
+	return &Generated{
+		Model: m,
+		Goal:  goals[r.IntN(len(goals))],
+		Bound: float64(1+r.IntN(4*k+8)) * 0.25,
 	}
 }

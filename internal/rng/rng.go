@@ -10,6 +10,7 @@
 package rng
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 )
@@ -90,31 +91,33 @@ func (s *Source) Choose(n int) int {
 }
 
 // ChooseWeighted returns an index drawn with probability proportional to
-// weights[i]. All weights must be non-negative with a positive sum; it
-// panics otherwise.
-func (s *Source) ChooseWeighted(weights []float64) int {
+// weights[i]. All weights must be non-negative with a positive sum; a
+// violation — for example rates that underflowed to zero — is the
+// caller's (ultimately the model's) fault, so it surfaces as an ordinary
+// error rather than a panic.
+func (s *Source) ChooseWeighted(weights []float64) (int, error) {
 	var total float64
 	for _, w := range weights {
 		if w < 0 || math.IsNaN(w) {
-			panic("rng: negative or NaN weight")
+			return 0, fmt.Errorf("rng: negative or NaN weight %g", w)
 		}
 		total += w
 	}
 	if total <= 0 {
-		panic("rng: weights sum to zero")
+		return 0, fmt.Errorf("rng: weights sum to zero")
 	}
 	target := s.gen.Float64() * total
 	for i, w := range weights {
 		if target < w {
-			return i
+			return i, nil
 		}
 		target -= w
 	}
 	// Floating point slop: return the last positively weighted index.
 	for i := len(weights) - 1; i >= 0; i-- {
 		if weights[i] > 0 {
-			return i
+			return i, nil
 		}
 	}
-	panic("rng: unreachable")
+	return 0, fmt.Errorf("rng: no positively weighted index")
 }

@@ -90,7 +90,11 @@ func TestChooseWeighted(t *testing.T) {
 	counts := make([]int, 3)
 	const n = 100000
 	for i := 0; i < n; i++ {
-		counts[s.ChooseWeighted(weights)]++
+		idx, err := s.ChooseWeighted(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
 	}
 	if counts[1] != 0 {
 		t.Errorf("zero-weight index selected %d times", counts[1])
@@ -101,7 +105,7 @@ func TestChooseWeighted(t *testing.T) {
 	}
 }
 
-func TestChooseWeightedPanics(t *testing.T) {
+func TestChooseWeightedRejectsBadWeights(t *testing.T) {
 	tests := []struct {
 		name    string
 		weights []float64
@@ -109,15 +113,13 @@ func TestChooseWeightedPanics(t *testing.T) {
 		{"all zero", []float64{0, 0}},
 		{"negative", []float64{1, -1}},
 		{"nan", []float64{math.NaN()}},
+		{"underflowed", []float64{0, 0, 0}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			New(1).ChooseWeighted(tt.weights)
+			if _, err := New(1).ChooseWeighted(tt.weights); err == nil {
+				t.Error("expected error, got nil")
+			}
 		})
 	}
 }

@@ -14,6 +14,7 @@ package sta
 
 import (
 	"fmt"
+	"math"
 
 	"slimsim/internal/expr"
 )
@@ -143,8 +144,8 @@ func (p *Process) Validate() error {
 			t.To < 0 || int(t.To) >= len(p.Locations) {
 			return fmt.Errorf("sta: process %s transition %d has out-of-range endpoints", p.Name, i)
 		}
-		if t.Rate < 0 {
-			return fmt.Errorf("sta: process %s transition %d has negative rate %g", p.Name, i, t.Rate)
+		if t.Rate < 0 || math.IsNaN(t.Rate) || math.IsInf(t.Rate, 1) {
+			return fmt.Errorf("sta: process %s transition %d has invalid rate %g", p.Name, i, t.Rate)
 		}
 		if t.Markovian() {
 			if t.Action != Tau {

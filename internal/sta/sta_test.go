@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -56,7 +57,21 @@ func TestValidateRejections(t *testing.T) {
 			func(p *Process) {
 				p.Transitions[0] = Transition{From: 0, To: 1, Action: Tau, Rate: -1}
 			},
-			"negative rate",
+			"invalid rate",
+		},
+		{
+			"NaN rate",
+			func(p *Process) {
+				p.Transitions[0] = Transition{From: 0, To: 1, Action: Tau, Rate: math.NaN()}
+			},
+			"invalid rate",
+		},
+		{
+			"infinite rate",
+			func(p *Process) {
+				p.Transitions[0] = Transition{From: 0, To: 1, Action: Tau, Rate: math.Inf(1)}
+			},
+			"invalid rate",
 		},
 		{
 			"rate with sync action",

@@ -98,7 +98,7 @@ func ConfidenceInterval(e Estimate, delta float64) (lo, hi float64) {
 	if v == 0 {
 		v = 1 / (4 * n)
 	}
-	half := normalQuantile(1-delta/2) * math.Sqrt(v/n)
+	half := upperQuantile(delta) * math.Sqrt(v/n)
 	lo = e.Mean() - half
 	hi = e.Mean() + half
 	if lo < 0 {
@@ -171,7 +171,7 @@ func NewGauss(p Params) (Generator, error) {
 	}
 	return &gaussGenerator{
 		params: p,
-		z:      normalQuantile(1 - p.Delta/2),
+		z:      upperQuantile(p.Delta),
 		minN:   50,
 	}, nil
 }
@@ -217,7 +217,7 @@ func NewChowRobbins(p Params) (Generator, error) {
 	}
 	return &chowRobbinsGenerator{
 		params: p,
-		z:      normalQuantile(1 - p.Delta/2),
+		z:      upperQuantile(p.Delta),
 		minN:   30,
 	}, nil
 }
@@ -287,6 +287,15 @@ func NewGenerator(m Method, p Params) (Generator, error) {
 	default:
 		return nil, fmt.Errorf("stats: invalid method %d", m)
 	}
+}
+
+// upperQuantile returns z_{1−δ/2}, the two-sided critical value at risk
+// δ ∈ (0, 1). It evaluates the quantile at δ/2 and negates: for tiny δ
+// (say 1e-17) the naive 1−δ/2 rounds to exactly 1.0 in float64 and the
+// quantile blows up, while δ/2 keeps full precision down to the smallest
+// subnormal — any δ that passes Params.Validate is safe here.
+func upperQuantile(delta float64) float64 {
+	return -normalQuantile(delta / 2)
 }
 
 // normalQuantile returns the p-quantile of the standard normal

@@ -275,3 +275,55 @@ func TestQuickChernoffBoundMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGeneratorBoundaryDeltas pins the panic-path fix: every generator
+// constructor returns an error (never panics) for Delta at or outside
+// (0,1), and tiny-but-valid deltas — for which the naive 1−δ/2 rounds to
+// exactly 1.0 and used to blow up inside normalQuantile — now build
+// working generators that still reach a stopping decision.
+func TestGeneratorBoundaryDeltas(t *testing.T) {
+	methods := []Method{MethodChernoff, MethodGauss, MethodChowRobbins}
+	for _, m := range methods {
+		for _, delta := range []float64{0, 1, 2, -1, math.NaN()} {
+			if _, err := NewGenerator(m, Params{Delta: delta, Epsilon: 0.1}); err == nil {
+				t.Errorf("%s: Delta=%g: want error, got generator", m, delta)
+			}
+		}
+		for _, delta := range []float64{1e-17, 1e-300, 1 - 1e-16} {
+			g, err := NewGenerator(m, Params{Delta: delta, Epsilon: 0.5})
+			if err != nil {
+				t.Fatalf("%s: Delta=%g: %v", m, delta, err)
+			}
+			n := 0
+			for ; n < 5000 && !g.Done(); n++ {
+				g.Add(n%2 == 0)
+			}
+			if !g.Done() {
+				t.Errorf("%s: Delta=%g: not done after %d samples", m, delta, n)
+			}
+		}
+	}
+}
+
+// TestConfidenceIntervalTinyDelta guards the same rounding hazard on the
+// telemetry-facing interval helper.
+func TestConfidenceIntervalTinyDelta(t *testing.T) {
+	lo, hi := ConfidenceInterval(Estimate{Successes: 1, Trials: 2}, 1e-17)
+	if !(0 <= lo && lo <= hi && hi <= 1) {
+		t.Fatalf("interval [%g, %g] not within [0,1]", lo, hi)
+	}
+	if lo > 0.5 || hi < 0.5 {
+		t.Fatalf("interval [%g, %g] does not contain the mean 0.5", lo, hi)
+	}
+}
+
+// TestUpperQuantileMatchesNaive checks the symmetric evaluation against
+// the direct one where the latter is numerically safe.
+func TestUpperQuantileMatchesNaive(t *testing.T) {
+	for _, d := range []float64{0.5, 0.1, 0.05, 0.01, 1e-3, 1e-6} {
+		got, want := upperQuantile(d), normalQuantile(1-d/2)
+		if math.Abs(got-want) > 1e-8 {
+			t.Errorf("upperQuantile(%g) = %g, normalQuantile(1-δ/2) = %g", d, got, want)
+		}
+	}
+}

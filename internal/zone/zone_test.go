@@ -1,0 +1,435 @@
+package zone
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"slimsim/internal/ctmc"
+	"slimsim/internal/expr"
+	"slimsim/internal/network"
+	"slimsim/internal/sta"
+)
+
+func newRT(t *testing.T, net *sta.Network) *network.Runtime {
+	t.Helper()
+	rt, err := network.New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func analyze(t *testing.T, rt *network.Runtime, goal expr.Expr, bound float64) *Result {
+	t.Helper()
+	res, err := Analyze(rt, goal, bound, 0)
+	if err != nil {
+		t.Fatalf("Analyze(bound=%v): %v", bound, err)
+	}
+	return res
+}
+
+func realLit(v float64) expr.Expr { return expr.Literal(expr.RealVal(v)) }
+
+// chainNet is a single deterministic step: the sole location has invariant
+// x <= 2 and an exit guarded by x >= 2 (or x > 2 when strict) that latches
+// done.
+func chainNet(t *testing.T, strict bool) *network.Runtime {
+	x, done := expr.VarID(0), expr.VarID(1)
+	op := expr.OpGe
+	if strict {
+		op = expr.OpGt
+	}
+	p := &sta.Process{
+		Name: "chain",
+		Locations: []sta.Location{
+			{Name: "s0", Invariant: expr.Bin(expr.OpLe, expr.Var("x", x), realLit(2))},
+			{Name: "s1"},
+		},
+		Initial: 0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau,
+				Guard:   expr.Bin(op, expr.Var("x", x), realLit(2)),
+				Effects: []sta.Assignment{{Var: done, Name: "done", Expr: expr.True()}}},
+		},
+		Vars: []expr.VarID{x, done},
+	}
+	return newRT(t, &sta.Network{
+		Processes: []*sta.Process{p},
+		Vars: []sta.VarDecl{
+			{Name: "x", Type: expr.ClockType(), Init: expr.RealVal(0)},
+			{Name: "done", Type: expr.BoolType(), Init: expr.BoolVal(false)},
+		},
+	})
+}
+
+// TestDeterministicChain: the step fires exactly at t = 2, so the
+// probability jumps 0 -> 1 at the (inclusive) bound 2.
+func TestDeterministicChain(t *testing.T) {
+	rt := chainNet(t, false)
+	goal := expr.Var("done", 1)
+	for _, tc := range []struct {
+		bound, want float64
+	}{{0, 0}, {1.5, 0}, {2, 1}, {3, 1}} {
+		res := analyze(t, rt, goal, tc.bound)
+		if math.Abs(res.Probability-tc.want) > 1e-12 {
+			t.Errorf("P(done by %v) = %v, want %v", tc.bound, res.Probability, tc.want)
+		}
+	}
+}
+
+// TestStrictGuardTimelock: with guard x > 2 under invariant x <= 2 the
+// window never intersects the invariant clip — the engine timelocks at the
+// deadline, so the goal is unreachable and all mass dies.
+func TestStrictGuardTimelock(t *testing.T) {
+	rt := chainNet(t, true)
+	res := analyze(t, rt, expr.Var("done", 1), 5)
+	if res.Probability != 0 {
+		t.Errorf("P = %v, want 0 (timelocked)", res.Probability)
+	}
+	if math.Abs(res.Dead-1) > 1e-12 {
+		t.Errorf("Dead = %v, want 1", res.Dead)
+	}
+}
+
+// gateNet is the hand-computed exponential-race-vs-clock model: a unit
+// fails at rate lambda; a monitor latches alarm immediately while the gate
+// is open. The gate closes for good at x = c (and, when reopen is set,
+// reopens at x = 2c).
+func gateNet(t *testing.T, lambda, c float64, reopen bool) *network.Runtime {
+	x, failed, open, alarm := expr.VarID(0), expr.VarID(1), expr.VarID(2), expr.VarID(3)
+	unit := &sta.Process{
+		Name:      "unit",
+		Locations: []sta.Location{{Name: "ok"}, {Name: "down"}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau, Rate: lambda,
+				Effects: []sta.Assignment{{Var: failed, Name: "failed", Expr: expr.True()}}},
+		},
+		Vars: []expr.VarID{failed},
+	}
+	gate := &sta.Process{
+		Name: "gate",
+		Locations: []sta.Location{
+			{Name: "g0", Invariant: expr.Bin(expr.OpLe, expr.Var("x", x), realLit(c))},
+			{Name: "g1"},
+		},
+		Initial: 0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau,
+				Guard:   expr.Bin(expr.OpGe, expr.Var("x", x), realLit(c)),
+				Effects: []sta.Assignment{{Var: open, Name: "open", Expr: expr.False()}}},
+		},
+		Vars: []expr.VarID{x, open},
+	}
+	if reopen {
+		gate.Locations[1].Invariant = expr.Bin(expr.OpLe, expr.Var("x", x), realLit(2*c))
+		gate.Locations = append(gate.Locations, sta.Location{Name: "g2"})
+		gate.Transitions = append(gate.Transitions, sta.Transition{
+			From: 1, To: 2, Action: sta.Tau,
+			Guard:   expr.Bin(expr.OpGe, expr.Var("x", x), realLit(2*c)),
+			Effects: []sta.Assignment{{Var: open, Name: "open", Expr: expr.True()}},
+		})
+	}
+	monitor := &sta.Process{
+		Name:      "monitor",
+		Locations: []sta.Location{{Name: "watch"}, {Name: "raised"}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau,
+				Guard:   expr.And(expr.Var("failed", failed), expr.Var("open", open)),
+				Effects: []sta.Assignment{{Var: alarm, Name: "alarm", Expr: expr.True()}}},
+		},
+		Vars: []expr.VarID{alarm},
+	}
+	return newRT(t, &sta.Network{
+		Processes: []*sta.Process{unit, gate, monitor},
+		Vars: []sta.VarDecl{
+			{Name: "x", Type: expr.ClockType(), Init: expr.RealVal(0)},
+			{Name: "failed", Type: expr.BoolType(), Init: expr.BoolVal(false)},
+			{Name: "open", Type: expr.BoolType(), Init: expr.BoolVal(true)},
+			{Name: "alarm", Type: expr.BoolType(), Init: expr.BoolVal(false)},
+		},
+	})
+}
+
+// TestGateWindow: alarms latch only on failures before the gate closes at
+// c, so P(alarm by T) = 1 - e^{-lambda * min(c, T)}.
+func TestGateWindow(t *testing.T) {
+	const lambda, c = 0.8, 2.0
+	rt := gateNet(t, lambda, c, false)
+	goal := expr.Var("alarm", 3)
+	for _, bound := range []float64{0.5, 1, 2, 3.5, 10} {
+		res := analyze(t, rt, goal, bound)
+		want := 1 - math.Exp(-lambda*math.Min(c, bound))
+		if math.Abs(res.Probability-want) > 1e-9 {
+			t.Errorf("P(alarm by %v) = %v, want %v", bound, res.Probability, want)
+		}
+	}
+}
+
+// TestAlternatingGateReopen: failures while the gate is closed ([c, 2c))
+// stay pending and alarm exactly when it reopens at 2c. Hence
+// P(alarm by T) = 1 - e^{-lambda*c} for T in (c, 2c), jumping to
+// 1 - e^{-lambda*T} at the (inclusive) reopen boundary and beyond.
+func TestAlternatingGateReopen(t *testing.T) {
+	const lambda, c = 0.6, 1.5
+	rt := gateNet(t, lambda, c, true)
+	goal := expr.Var("alarm", 3)
+	for _, tc := range []struct {
+		bound, want float64
+	}{
+		{1.0, 1 - math.Exp(-lambda*1.0)},
+		{2.9, 1 - math.Exp(-lambda*c)},
+		{3.0, 1 - math.Exp(-lambda*3.0)}, // reopen boundary is inclusive
+		{10, 1 - math.Exp(-lambda*10)},
+	} {
+		res := analyze(t, rt, goal, tc.bound)
+		if math.Abs(res.Probability-tc.want) > 1e-9 {
+			t.Errorf("P(alarm by %v) = %v, want %v", tc.bound, res.Probability, tc.want)
+		}
+	}
+}
+
+// TestBoundaryTie: two moves become fireable at the same boundary; the ASAP
+// strategy chooses uniformly, so the winning branch carries exactly 1/2.
+func TestBoundaryTie(t *testing.T) {
+	x, win := expr.VarID(0), expr.VarID(1)
+	guard := func() expr.Expr { return expr.Bin(expr.OpGe, expr.Var("x", x), realLit(1)) }
+	p := &sta.Process{
+		Name: "tie",
+		Locations: []sta.Location{
+			{Name: "s0", Invariant: expr.Bin(expr.OpLe, expr.Var("x", x), realLit(1))},
+			{Name: "a"}, {Name: "b"},
+		},
+		Initial: 0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau, Guard: guard(),
+				Effects: []sta.Assignment{{Var: win, Name: "win", Expr: expr.True()}}},
+			{From: 0, To: 2, Action: sta.Tau, Guard: guard()},
+		},
+		Vars: []expr.VarID{x, win},
+	}
+	rt := newRT(t, &sta.Network{
+		Processes: []*sta.Process{p},
+		Vars: []sta.VarDecl{
+			{Name: "x", Type: expr.ClockType(), Init: expr.RealVal(0)},
+			{Name: "win", Type: expr.BoolType(), Init: expr.BoolVal(false)},
+		},
+	})
+	goal := expr.Var("win", win)
+	if res := analyze(t, rt, goal, 0.5); res.Probability != 0 {
+		t.Errorf("P before boundary = %v, want 0", res.Probability)
+	}
+	res := analyze(t, rt, goal, 2)
+	if math.Abs(res.Probability-0.5) > 1e-12 {
+		t.Errorf("P = %v, want exactly 1/2", res.Probability)
+	}
+}
+
+// markovNet is ctmc_test's failure/repair model with an immediate monitor:
+// purely Markovian (no clock), so zone and ctmc must agree.
+func markovNet(t *testing.T, lambda, mu float64) *network.Runtime {
+	failed, alarm := expr.VarID(0), expr.VarID(1)
+	unit := &sta.Process{
+		Name:      "unit",
+		Locations: []sta.Location{{Name: "ok"}, {Name: "failed"}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau, Rate: lambda,
+				Effects: []sta.Assignment{{Var: failed, Name: "failed", Expr: expr.True()}}},
+			{From: 1, To: 0, Action: sta.Tau, Rate: mu,
+				Effects: []sta.Assignment{{Var: failed, Name: "failed", Expr: expr.False()}}},
+		},
+		Vars: []expr.VarID{failed},
+	}
+	monitor := &sta.Process{
+		Name:      "monitor",
+		Locations: []sta.Location{{Name: "watch"}, {Name: "raised"}},
+		Initial:   0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 1, Action: sta.Tau,
+				Guard:   expr.Var("failed", failed),
+				Effects: []sta.Assignment{{Var: alarm, Name: "alarm", Expr: expr.True()}}},
+		},
+		Vars: []expr.VarID{alarm},
+	}
+	return newRT(t, &sta.Network{
+		Processes: []*sta.Process{unit, monitor},
+		Vars: []sta.VarDecl{
+			{Name: "failed", Type: expr.BoolType(), Init: expr.BoolVal(false)},
+			{Name: "alarm", Type: expr.BoolType(), Init: expr.BoolVal(false)},
+		},
+	})
+}
+
+// TestMarkovianMatchesCTMC cross-checks the zone analyzer against the CTMC
+// oracle (and its closed form) on the untimed fragment, where the whole
+// analysis collapses to a single segment.
+func TestMarkovianMatchesCTMC(t *testing.T) {
+	const lambda, mu = 0.4, 2.0
+	rt := markovNet(t, lambda, mu)
+	goal := expr.Var("alarm", 1)
+	built, err := ctmc.Build(rt, goal, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bound := range []float64{0, 0.3, 1, 3, 12} {
+		res := analyze(t, rt, goal, bound)
+		exact, err := built.Chain.ReachWithin(bound, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Probability-exact) > 1e-9 {
+			t.Errorf("bound %v: zone %v vs ctmc %v", bound, res.Probability, exact)
+		}
+		want := 1 - math.Exp(-lambda*bound)
+		if math.Abs(res.Probability-want) > 1e-8 {
+			t.Errorf("bound %v: zone %v vs closed form %v", bound, res.Probability, want)
+		}
+		if res.Segments > 1 {
+			t.Errorf("untimed model took %d segments, want at most 1", res.Segments)
+		}
+	}
+}
+
+// TestExponentialRaceAgainstDeadline: unit fails at rate lambda while the
+// clock runs toward a hard stop at c that closes the gate (reopening at
+// 2c) — the canonical single-clock shape the generator emits, exercising
+// uniformization across several segments.
+func TestExponentialRaceAgainstDeadline(t *testing.T) {
+	const lambda, c = 1.2, 1.0
+	rt := gateNet(t, lambda, c, true)
+	goal := expr.Var("alarm", 3)
+	// Bounds chosen to land inside, at, and past every boundary.
+	for _, bound := range []float64{0.25, 1, 1.5, 2, 2.75, 6} {
+		res := analyze(t, rt, goal, bound)
+		var want float64
+		switch {
+		case bound <= c:
+			want = 1 - math.Exp(-lambda*bound)
+		case bound < 2*c:
+			want = 1 - math.Exp(-lambda*c)
+		default:
+			want = 1 - math.Exp(-lambda*bound)
+		}
+		if math.Abs(res.Probability-want) > 1e-9 {
+			t.Errorf("P(alarm by %v) = %v, want %v", bound, res.Probability, want)
+		}
+	}
+}
+
+func TestEligibleRejections(t *testing.T) {
+	x := expr.VarID(0)
+	mkNet := func(vars []sta.VarDecl, trans ...sta.Transition) *sta.Network {
+		p := &sta.Process{
+			Name:        "p",
+			Locations:   []sta.Location{{Name: "s0"}, {Name: "s1"}},
+			Initial:     0,
+			Transitions: trans,
+		}
+		for i := range vars {
+			p.Vars = append(p.Vars, expr.VarID(i))
+		}
+		return &sta.Network{Processes: []*sta.Process{p}, Vars: vars}
+	}
+
+	t.Run("continuous variable", func(t *testing.T) {
+		rt := newRT(t, mkNet([]sta.VarDecl{
+			{Name: "v", Type: expr.ContinuousType(), Init: expr.RealVal(0)},
+		}))
+		if err := Eligible(rt, expr.True()); !errors.Is(err, ErrIneligible) {
+			t.Errorf("want ErrIneligible, got %v", err)
+		}
+	})
+	t.Run("two clocks", func(t *testing.T) {
+		rt := newRT(t, mkNet([]sta.VarDecl{
+			{Name: "x", Type: expr.ClockType(), Init: expr.RealVal(0)},
+			{Name: "y", Type: expr.ClockType(), Init: expr.RealVal(0)},
+		}))
+		if err := Eligible(rt, expr.True()); !errors.Is(err, ErrIneligible) {
+			t.Errorf("want ErrIneligible, got %v", err)
+		}
+	})
+	t.Run("timed goal", func(t *testing.T) {
+		rt := newRT(t, mkNet([]sta.VarDecl{
+			{Name: "x", Type: expr.ClockType(), Init: expr.RealVal(0)},
+		}))
+		goal := expr.Bin(expr.OpGe, expr.Var("x", x), realLit(1))
+		if err := Eligible(rt, goal); !errors.Is(err, ErrIneligible) {
+			t.Errorf("want ErrIneligible, got %v", err)
+		}
+	})
+	t.Run("timed goal through flow", func(t *testing.T) {
+		rt := newRT(t, mkNet([]sta.VarDecl{
+			{Name: "x", Type: expr.ClockType(), Init: expr.RealVal(0)},
+			{Name: "late", Type: expr.BoolType(), Init: expr.BoolVal(false),
+				Flow: true, FlowExpr: expr.Bin(expr.OpGe, expr.Var("x", x), realLit(1))},
+		}))
+		if err := Eligible(rt, expr.Var("late", 1)); !errors.Is(err, ErrIneligible) {
+			t.Errorf("want ErrIneligible, got %v", err)
+		}
+	})
+	t.Run("clock reset at stochastic time", func(t *testing.T) {
+		rt := newRT(t, mkNet([]sta.VarDecl{
+			{Name: "x", Type: expr.ClockType(), Init: expr.RealVal(0)},
+			{Name: "hit", Type: expr.BoolType(), Init: expr.BoolVal(false)},
+		}, sta.Transition{From: 0, To: 1, Action: sta.Tau, Rate: 1,
+			Effects: []sta.Assignment{{Var: x, Name: "x", Expr: realLit(0)}}}))
+		if err := Eligible(rt, expr.Var("hit", 1)); err != nil {
+			t.Fatalf("Eligible should pass (reset detected during analysis): %v", err)
+		}
+		if _, err := Analyze(rt, expr.Var("hit", 1), 5, 0); !errors.Is(err, ErrIneligible) {
+			t.Errorf("want ErrIneligible from Analyze, got %v", err)
+		}
+	})
+}
+
+// TestBoundaryClockReset: a reset fired at a deterministic boundary is
+// legal — the cycler loops every c time units and latches the goal on its
+// k-th lap, so the probability is a step function of the bound.
+func TestBoundaryClockReset(t *testing.T) {
+	x, laps, done := expr.VarID(0), expr.VarID(1), expr.VarID(2)
+	const c = 1.0
+	p := &sta.Process{
+		Name: "cycler",
+		Locations: []sta.Location{
+			{Name: "run", Invariant: expr.Bin(expr.OpLe, expr.Var("x", x), realLit(c))},
+			{Name: "halt"},
+		},
+		Initial: 0,
+		Transitions: []sta.Transition{
+			{From: 0, To: 0, Action: sta.Tau,
+				Guard: expr.And(
+					expr.Bin(expr.OpGe, expr.Var("x", x), realLit(c)),
+					expr.Bin(expr.OpLt, expr.Var("laps", laps), expr.Literal(expr.IntVal(3)))),
+				Effects: []sta.Assignment{
+					{Var: x, Name: "x", Expr: realLit(0)},
+					{Var: laps, Name: "laps", Expr: expr.Bin(expr.OpAdd, expr.Var("laps", laps), expr.Literal(expr.IntVal(1)))},
+				}},
+			{From: 0, To: 1, Action: sta.Tau,
+				Guard: expr.And(
+					expr.Bin(expr.OpGe, expr.Var("x", x), realLit(c)),
+					expr.Bin(expr.OpGe, expr.Var("laps", laps), expr.Literal(expr.IntVal(3)))),
+				Effects: []sta.Assignment{{Var: done, Name: "done", Expr: expr.True()}}},
+		},
+		Vars: []expr.VarID{x, laps, done},
+	}
+	rt := newRT(t, &sta.Network{
+		Processes: []*sta.Process{p},
+		Vars: []sta.VarDecl{
+			{Name: "x", Type: expr.ClockType(), Init: expr.RealVal(0)},
+			{Name: "laps", Type: expr.IntType(), Init: expr.IntVal(0)},
+			{Name: "done", Type: expr.BoolType(), Init: expr.BoolVal(false)},
+		},
+	})
+	goal := expr.Var("done", done)
+	for _, tc := range []struct {
+		bound, want float64
+	}{{3.5, 0}, {4, 1}, {9, 1}} {
+		res := analyze(t, rt, goal, tc.bound)
+		if math.Abs(res.Probability-tc.want) > 1e-12 {
+			t.Errorf("P(done by %v) = %v, want %v", tc.bound, res.Probability, tc.want)
+		}
+	}
+}

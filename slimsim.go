@@ -44,6 +44,7 @@ import (
 	"slimsim/internal/strategy"
 	"slimsim/internal/telemetry"
 	"slimsim/internal/trace"
+	"slimsim/internal/zone"
 )
 
 // Model is a loaded, instantiated and validated SLIM model, ready for
@@ -368,6 +369,54 @@ func (m *Model) CheckCTMC(goalSrc string, bound float64, maxStates int) (CTMCRep
 		BuildTime:    buildTime,
 		LumpTime:     lumpTime,
 		SolveTime:    solveTime,
+	}, nil
+}
+
+// ZoneReport is the outcome of the exact single-clock timed analysis.
+type ZoneReport struct {
+	// Probability is the exact (up to uniformization truncation error)
+	// time-bounded reachability probability.
+	Probability float64
+	// Dead is the probability mass absorbed in deadlocks or timelocks
+	// before reaching the goal within the bound.
+	Dead float64
+	// Segments counts the deterministic time segments the analysis
+	// unfolded.
+	Segments int
+	// PeakStates is the largest tangible state count of any segment.
+	PeakStates int
+	// SolveTime is the total analysis time.
+	SolveTime time.Duration
+}
+
+// ErrZoneIneligible reports that a model falls outside the fragment the
+// exact zone analysis handles (at most one clock, no continuous variables,
+// clock resets only at deterministic boundaries, untimed goal). Test with
+// errors.Is; such models still support Monte Carlo analysis.
+var ErrZoneIneligible = zone.ErrIneligible
+
+// CheckZone runs the exact transient analysis of the single-clock timed
+// fragment: the model's zone graph is unfolded segment by segment and the
+// piecewise-exponential delay distributions are integrated by
+// uniformization. Unlike CheckCTMC it admits one clock with
+// integer-bounded guards and invariants; models outside the fragment fail
+// with ErrZoneIneligible.
+func (m *Model) CheckZone(goalSrc string, bound float64, maxStates int) (ZoneReport, error) {
+	goal, err := m.built.CompileExpr(goalSrc)
+	if err != nil {
+		return ZoneReport{}, err
+	}
+	t0 := time.Now()
+	res, err := zone.Analyze(m.rt, goal, bound, maxStates)
+	if err != nil {
+		return ZoneReport{}, err
+	}
+	return ZoneReport{
+		Probability: res.Probability,
+		Dead:        res.Dead,
+		Segments:    res.Segments,
+		PeakStates:  res.PeakStates,
+		SolveTime:   time.Since(t0),
 	}, nil
 }
 
