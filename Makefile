@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmtcheck lint race verify ci bench bench-smoke bench-compare bench-json difftest fuzz-smoke fuzz-long
+.PHONY: build test vet nopanic staticcheck vulncheck fmtcheck lint race verify ci bench bench-smoke bench-compare bench-json difftest soundness fuzz-smoke fuzz-long
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,31 @@ build:
 test:
 	$(GO) test ./...
 
-vet:
+vet: nopanic
 	$(GO) vet ./...
+
+# nopanic is the repo-local vet pass: no new panic calls in the packages
+# that run inside sampling workers (see tools/analyzers/nopanic).
+nopanic:
+	$(GO) run ./tools/analyzers/nopanic internal/rng internal/stats internal/network internal/sim
+
+# staticcheck / vulncheck run the external Go analyzers when they are on
+# PATH and degrade to a notice when they are not: nothing is installed on
+# demand, so hermetic local builds still pass while CI (which installs
+# pinned versions) gets the full checks.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI installs a pinned version)"; \
+	fi
+
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI installs a pinned version)"; \
+	fi
 
 # fmtcheck fails if any file needs gofmt.
 fmtcheck:
@@ -37,6 +60,12 @@ race:
 difftest:
 	$(GO) test -count=1 ./internal/difftest/ ./internal/modelgen/
 
+# soundness runs only the abstract-interpretation tier on fresh seeds: a
+# static 0/1 verdict must agree with the exact analyses, and dead-transition
+# pruning must leave every sampled trace bit-identical. Nightly job fodder.
+soundness:
+	$(GO) test -count=1 -run 'TestAbsintSoundnessFreshSweep|TestPruningEngagesAndStaysTransparent' ./internal/difftest/
+
 # fuzz-smoke runs each native fuzz target for 30s — enough to re-cover
 # the committed corpus and take a short random walk beyond it.
 fuzz-smoke:
@@ -56,7 +85,7 @@ fuzz-long: build
 
 verify: build test
 
-ci: verify vet fmtcheck race lint difftest bench-smoke fuzz-smoke
+ci: verify vet staticcheck vulncheck fmtcheck race lint difftest bench-smoke fuzz-smoke
 
 # BENCH_PKGS are the packages carrying the hot-path micro-benchmarks
 # (engine step, move memoization, compiled expression evaluation) and their

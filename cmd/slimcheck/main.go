@@ -41,6 +41,7 @@ func run(args []string) error {
 		exact      = fs.Bool("exact", false, "use the exact single-clock zone analyzer (admits one clock and timed guards; the default pipeline handles only the untimed fragment)")
 		quiet      = fs.Bool("q", false, "print only the probability")
 		noLint     = fs.Bool("no-lint", false, "skip the static analysis that rejects defective models")
+		noStatic   = fs.Bool("no-static", false, "skip the abstract-interpretation fast path that decides trivial properties without building the state space")
 		reportPath = fs.String("report", "", "write a JSON run report (schema in docs/OBSERVABILITY.md) to this path")
 		progress   = fs.Bool("progress", false, "print pipeline phase progress to stderr")
 	)
@@ -60,6 +61,21 @@ func run(args []string) error {
 	m, err := slimsim.LoadModelFile(*modelPath)
 	if err != nil {
 		return err
+	}
+	if !*noStatic {
+		rep, err := m.CheckStatic(slimsim.Options{Goal: *goal, Bound: *bound})
+		if err != nil {
+			return err
+		}
+		if rep.Decided {
+			if *quiet {
+				fmt.Printf("%.10f\n", rep.Probability)
+				return nil
+			}
+			fmt.Printf("P = %.10f (exact)\n", rep.Probability)
+			fmt.Printf("decided statically: %s\n", rep.Reason)
+			return nil
+		}
 	}
 	if *exact {
 		return runZone(m, *modelPath, *goal, *bound, *maxStates, *quiet, *progress, *reportPath)

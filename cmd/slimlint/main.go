@@ -33,12 +33,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("slimlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit diagnostics as JSON instead of text")
-		werror  = fs.Bool("Werror", false, "treat warnings as errors for the exit status")
-		quiet   = fs.Bool("q", false, "report via the exit status only")
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON instead of text")
+		werror   = fs.Bool("Werror", false, "treat warnings as errors for the exit status")
+		quiet    = fs.Bool("q", false, "report via the exit status only")
+		property = fs.String("property", "", "also vet this property pattern against each model (SL701), e.g. 'P(<> [0,100] failure)'")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: slimlint [-json] [-Werror] [-q] model.slim ...")
+		fmt.Fprintln(stderr, "usage: slimlint [-json] [-Werror] [-q] [-property P] model.slim ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -52,7 +53,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	exit := 0
 	reports := make([]fileReport, 0, fs.NArg())
 	for _, path := range fs.Args() {
-		diags, err := slimsim.LintFile(path)
+		var diags []slimsim.Diagnostic
+		var err error
+		if *property != "" {
+			diags, err = slimsim.LintFileWithProperty(path, *property)
+		} else {
+			diags, err = slimsim.LintFile(path)
+		}
 		if err != nil {
 			fmt.Fprintln(stderr, "slimlint:", err)
 			return 2

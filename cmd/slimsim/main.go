@@ -51,6 +51,7 @@ func run(args []string) error {
 		simulate    = fs.Int("simulate", 0, "instead of analyzing, print N sample path traces")
 		interactive = fs.Bool("interactive", false, "instead of analyzing, drive one path interactively (Input strategy)")
 		noLint      = fs.Bool("no-lint", false, "skip the static analysis that rejects defective models")
+		noStatic    = fs.Bool("no-static", false, "skip the abstract-interpretation fast path that decides trivial properties without sampling")
 		reportPath  = fs.String("report", "", "write a JSON run report (schema in docs/OBSERVABILITY.md) to this path")
 		progress    = fs.Bool("progress", false, "print periodic progress (samples, rate, ETA, running p̂) to stderr")
 		pprofAddr   = fs.String("pprof", "", "serve pprof/expvar debug endpoints on this address (e.g. localhost:6060)")
@@ -113,6 +114,30 @@ func run(args []string) error {
 	}
 	if !*quiet {
 		fmt.Printf("loaded %s: %d processes, %d variables\n", *modelPath, m.NumProcesses(), m.NumVars())
+	}
+	// Static fast path: when the fixpoint decides the property exactly, no
+	// amount of sampling adds information — report the 0/1 answer and the
+	// reason instead of spinning the Monte Carlo loop.
+	if !*noStatic {
+		srep, err := m.CheckStatic(slimsim.Options{
+			Pattern:    *pattern,
+			Kind:       slimsim.PropertyKind(*kind),
+			Goal:       *goal,
+			Constraint: *constraint,
+			Bound:      *bound,
+		})
+		if err != nil {
+			return err
+		}
+		if srep.Decided {
+			if *quiet {
+				fmt.Printf("%.6f\n", srep.Probability)
+				return nil
+			}
+			fmt.Printf("P = %.6f (exact, no sampling needed)\n", srep.Probability)
+			fmt.Printf("decided statically: %s\n", srep.Reason)
+			return nil
+		}
 	}
 	// Telemetry: one collector feeds the report file, the progress line
 	// and the debug endpoints; when none of the flags is set the sampling

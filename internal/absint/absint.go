@@ -1,0 +1,677 @@
+// Package absint is a whole-model abstract interpreter over the
+// instantiated STA network: it propagates interval ranges for every
+// variable (and clock windows induced by invariants and guards) along the
+// mode graph to a fixpoint with widening, and derives from the result
+//
+//   - semantic mode reachability (strictly stronger than graph
+//     reachability: guards and propagated values are taken into account),
+//   - transition liveness (a transition is dead when its guard can never
+//     hold at any reachable valuation, or a synchronization partner can
+//     never offer the shared action),
+//   - guaranteed runtime failures (range overflows and divisions by zero
+//     that abort every firing of a transition),
+//   - static property verdicts (exact 0/1 answers without sampling, see
+//     Decide), and
+//   - a goal-distance map usable as the level function of importance
+//     splitting (see ReachReport.GoalDistance).
+//
+// Soundness contract: the analysis over-approximates. Every value a
+// variable takes at any reachable instant lies in its reported interval,
+// every reachable mode is reported reachable, and every transition that
+// can ever fire is reported live. The converse direction (something
+// reported dead/unreachable really is) is what the lint diagnostics, the
+// pruning mask and the static verdicts rely on; the difftest soundness
+// tier cross-checks it against the exact CTMC/zone oracles on every
+// corpus model and fresh fuzz seeds.
+package absint
+
+import (
+	"fmt"
+	"sort"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/intervals"
+	"slimsim/internal/network"
+	"slimsim/internal/sta"
+)
+
+// widenAfter is the number of strict growths a store cell tolerates before
+// it is widened to the variable's declared range (the domain's top).
+const widenAfter = 8
+
+// FindingKind classifies a guaranteed-failure finding.
+type FindingKind int
+
+// Finding kinds.
+const (
+	// FindOverflow: an effect's value range never intersects the
+	// target's declared range, so every firing aborts with a range
+	// violation.
+	FindOverflow FindingKind = iota + 1
+	// FindDivZero: an effect or guard divides by a value that is
+	// statically always zero.
+	FindDivZero
+)
+
+// Finding is one guaranteed runtime failure discovered by the analysis.
+type Finding struct {
+	// Kind classifies the failure.
+	Kind FindingKind
+	// Proc and Trans locate the transition (network process index and
+	// transition index within it).
+	Proc, Trans int
+	// Guard marks findings in the transition's guard rather than an
+	// effect.
+	Guard bool
+	// Msg describes the failure with source-level names.
+	Msg string
+}
+
+// Result is the outcome of the abstract interpretation. It is immutable
+// after Analyze returns and safe for concurrent use.
+type Result struct {
+	rt  *network.Runtime
+	net *sta.Network
+
+	// Converged reports whether the fixpoint iteration stabilized within
+	// the round budget. When false everything degrades to "unknown":
+	// all modes reachable, all transitions live, no findings, no
+	// decisions.
+	Converged bool
+	// Reachable marks, per process and location, whether the location is
+	// semantically reachable.
+	Reachable [][]bool
+	// Live marks, per process and transition, whether the transition can
+	// ever fire.
+	Live [][]bool
+	// Global holds, per variable, an interval covering every value the
+	// variable takes at any reachable instant.
+	Global []intervals.Interval
+	// Findings lists guaranteed runtime failures, sorted by process and
+	// transition.
+	Findings []Finding
+
+	stores    [][]store      // [proc][loc]; nil when unreachable or no locals
+	gcells    []cell         // working global store (nil after bail)
+	localOf   []int          // VarID -> owning process, -1 when shared/timed/flow
+	locals    [][]expr.VarID // per process, its local variables in ID order
+	actProcs  map[string][]int
+	actDivOK  map[string]bool // action -> every participating guard is div/mod-free
+	guardLive [][]bool
+}
+
+// cell is one abstract store entry with its widening counter.
+type cell struct {
+	iv    intervals.Interval
+	joins int
+}
+
+// store maps a process's local variables to their per-location cells.
+type store map[expr.VarID]*cell
+
+// Analyze runs the abstract interpretation over the network to a fixpoint.
+func Analyze(rt *network.Runtime) *Result {
+	net := rt.Net()
+	r := &Result{rt: rt, net: net}
+	r.computeLocals()
+	r.init()
+	// Every Boolean flag is monotone and every cell can strictly grow at
+	// most widenAfter+1 times before reaching top, so the fixpoint is
+	// guaranteed; the round cap is a safety valve only.
+	maxRounds := 64
+	for _, p := range net.Processes {
+		maxRounds += 4 * (len(p.Locations) + len(p.Transitions))
+	}
+	maxRounds += 4 * len(net.Vars)
+	converged := false
+	for round := 0; round < maxRounds; round++ {
+		if !r.sweep() {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		r.bail()
+		return r
+	}
+	r.Converged = true
+	r.fillGlobals()
+	r.collectFindings()
+	return r
+}
+
+// computeLocals determines which variables are "local" to a single
+// process: written only by that process's effects, not flow-computed, and
+// not time-dependent. Local variables get flow-sensitive per-location
+// ranges; everything else is tracked in the global store only.
+func (r *Result) computeLocals() {
+	n := len(r.net.Vars)
+	r.localOf = make([]int, n)
+	writer := make([]int, n) // -1 none, -2 multiple
+	for i := range writer {
+		writer[i] = -1
+	}
+	for pi, p := range r.net.Processes {
+		for ti := range p.Transitions {
+			for _, as := range p.Transitions[ti].Effects {
+				switch writer[as.Var] {
+				case -1, pi:
+					writer[as.Var] = pi
+				default:
+					writer[as.Var] = -2
+				}
+			}
+		}
+	}
+	r.locals = make([][]expr.VarID, len(r.net.Processes))
+	for v := range r.localOf {
+		d := &r.net.Vars[v]
+		if d.Flow || d.Type.Timed() || writer[v] < 0 {
+			r.localOf[v] = -1
+			continue
+		}
+		r.localOf[v] = writer[v]
+		r.locals[writer[v]] = append(r.locals[writer[v]], expr.VarID(v))
+	}
+}
+
+// init sets up the initial abstract state: initial locations reachable
+// with their locals at the initial values, the global store at the initial
+// values (declared range for time-dependent variables, which evolve
+// immediately), and the synchronization maps.
+func (r *Result) init() {
+	n := len(r.net.Vars)
+	r.Global = make([]intervals.Interval, n)
+	r.gcells = make([]cell, n)
+	for v := range r.gcells {
+		d := &r.net.Vars[v]
+		switch {
+		case d.Flow:
+			// Computed on demand from the defining expression; the
+			// cell stays unused.
+			r.gcells[v].iv = declaredRange(d.Type)
+		case d.Type.Timed():
+			r.gcells[v].iv = declaredRange(d.Type)
+		default:
+			r.gcells[v].iv = valInterval(d.Init)
+		}
+	}
+	r.Reachable = make([][]bool, len(r.net.Processes))
+	r.Live = make([][]bool, len(r.net.Processes))
+	r.guardLive = make([][]bool, len(r.net.Processes))
+	r.stores = make([][]store, len(r.net.Processes))
+	r.actProcs = make(map[string][]int)
+	r.actDivOK = make(map[string]bool)
+	for pi, p := range r.net.Processes {
+		r.Reachable[pi] = make([]bool, len(p.Locations))
+		r.Live[pi] = make([]bool, len(p.Transitions))
+		r.guardLive[pi] = make([]bool, len(p.Transitions))
+		r.stores[pi] = make([]store, len(p.Locations))
+		r.Reachable[pi][p.Initial] = true
+		st := make(store)
+		for _, v := range r.locals[pi] {
+			st[v] = &cell{iv: valInterval(r.net.Vars[v].Init)}
+		}
+		r.stores[pi][p.Initial] = st
+		for a := range p.Alphabet {
+			r.actProcs[a] = append(r.actProcs[a], pi)
+		}
+	}
+	for a := range r.actProcs {
+		sort.Ints(r.actProcs[a])
+		ok := true
+		for _, pi := range r.actProcs[a] {
+			p := r.net.Processes[pi]
+			for ti := range p.Transitions {
+				if p.Transitions[ti].Action == a && !divModFree(p.Transitions[ti].Guard) {
+					ok = false
+				}
+			}
+		}
+		r.actDivOK[a] = ok
+	}
+}
+
+// localsOf lists the variables local to process pi, in ID order.
+func (r *Result) localsOf(pi int) []expr.VarID {
+	var out []expr.VarID
+	for v, owner := range r.localOf {
+		if owner == pi {
+			out = append(out, expr.VarID(v))
+		}
+	}
+	return out
+}
+
+// look builds the lookup for process pi at location li: local variables
+// from the per-location store, flow variables computed on demand from
+// their defining expressions, everything else from the global store.
+func (r *Result) look(pi int, li sta.LocID) lookFn {
+	var st store
+	if r.stores != nil {
+		st = r.stores[pi][li]
+	}
+	return r.storeLook(st)
+}
+
+// storeLook builds a lookup over an explicit local store (which may be
+// nil).
+func (r *Result) storeLook(st store) lookFn {
+	var fn lookFn
+	depth := 0
+	fn = func(v expr.VarID) (intervals.Interval, bool) {
+		if st != nil {
+			if c, ok := st[v]; ok {
+				return c.iv, true
+			}
+		}
+		d := &r.net.Vars[v]
+		if d.Flow {
+			// Flow variables are pure functions of other variables;
+			// evaluate the defining expression in the current
+			// context (acyclicity is enforced by network.New, the
+			// depth guard is belt and braces). The runtime aborts
+			// on values outside the declared type, so clamping is
+			// sound.
+			top := declaredRange(d.Type)
+			if depth > 64 {
+				return top, true
+			}
+			depth++
+			iv, ok := rangeOf(d.FlowExpr, fn)
+			depth--
+			if !ok {
+				return top, true
+			}
+			iv = iv.Intersect(top)
+			if iv.Empty() {
+				return top, true
+			}
+			return iv, true
+		}
+		if r.gcells == nil {
+			return declaredRange(d.Type), true
+		}
+		return r.gcells[v].iv, true
+	}
+	return fn
+}
+
+// refineLook narrows a base lookup by per-variable atom sets collected
+// from invariants and guards. feasible is false when some variable's
+// refined range is empty — the constraints cannot hold at any valuation of
+// the base store.
+func (r *Result) refineLook(base lookFn, atoms map[expr.VarID]intervals.Set) (lookFn, bool) {
+	if len(atoms) == 0 {
+		return base, true
+	}
+	ref := make(map[expr.VarID]intervals.Interval, len(atoms))
+	for v, set := range atoms {
+		s := set.Intersect(intervals.FromInterval(declaredRange(r.net.Vars[v].Type)))
+		if bi, ok := base(v); ok {
+			s = s.Intersect(intervals.FromInterval(bi))
+		}
+		if s.Empty() {
+			return nil, false
+		}
+		ref[v] = setHull(s)
+	}
+	return func(v expr.VarID) (intervals.Interval, bool) {
+		if iv, ok := ref[v]; ok {
+			return iv, true
+		}
+		return base(v)
+	}, true
+}
+
+// joinCell joins iv into the cell, widening to top once the cell has grown
+// too often. It reports whether the cell changed.
+func joinCell(c *cell, iv, top intervals.Interval) bool {
+	if iv.Empty() {
+		return false
+	}
+	h := hull(c.iv, iv)
+	if h == c.iv {
+		return false
+	}
+	c.joins++
+	if c.joins > widenAfter {
+		h = hull(h, top)
+	}
+	if h == c.iv {
+		return false
+	}
+	c.iv = h
+	return true
+}
+
+// joinVar joins iv into the abstract value of variable v at (pi, li):
+// local variables join their per-location cell, and every join also feeds
+// the global store so cross-process reads stay covered.
+func (r *Result) joinVar(pi int, li sta.LocID, v expr.VarID, iv intervals.Interval) bool {
+	top := declaredRange(r.net.Vars[v].Type)
+	changed := false
+	if r.localOf[v] == pi {
+		st := r.stores[pi][li]
+		c, ok := st[v]
+		if !ok {
+			c = &cell{iv: iv}
+			st[v] = c
+			changed = true
+		} else if joinCell(c, iv, top) {
+			changed = true
+		}
+	}
+	if !r.net.Vars[v].Flow {
+		if joinCell(&r.gcells[v], iv, top) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// markReachable marks (pi, li) reachable, creating its store.
+func (r *Result) markReachable(pi int, li sta.LocID) bool {
+	if r.Reachable[pi][li] {
+		return false
+	}
+	r.Reachable[pi][li] = true
+	if r.stores[pi][li] == nil {
+		r.stores[pi][li] = make(store)
+	}
+	return true
+}
+
+// sweep runs one chaotic-iteration round over every transition of every
+// process, returning whether anything changed.
+func (r *Result) sweep() bool {
+	changed := false
+	for pi, p := range r.net.Processes {
+		for ti := range p.Transitions {
+			tr := &p.Transitions[ti]
+			if !r.Reachable[pi][tr.From] {
+				continue
+			}
+			base := r.look(pi, tr.From)
+			// Transitions fire only at instants where the source
+			// invariant holds, so refining by its conjunctive atoms
+			// is sound for guard and effect evaluation (not for goal
+			// evaluation — see never()).
+			atoms := make(map[expr.VarID]intervals.Set)
+			if inv := p.Locations[tr.From].Invariant; inv != nil {
+				collectAtoms(inv, atoms)
+			}
+			invLook, feasible := r.refineLook(base, atoms)
+			if !feasible {
+				continue
+			}
+			if tr.Guard != nil {
+				if satisfy(tr.Guard, invLook) == vFalse {
+					continue
+				}
+				collectAtoms(tr.Guard, atoms)
+			}
+			fireLook, feasible := r.refineLook(base, atoms)
+			if !feasible {
+				continue
+			}
+			if !r.guardLive[pi][ti] {
+				r.guardLive[pi][ti] = true
+				changed = true
+			}
+			if tr.Action != sta.Tau && !r.partnersLive(pi, tr.Action) {
+				continue
+			}
+			if !r.Live[pi][ti] {
+				r.Live[pi][ti] = true
+				changed = true
+			}
+			if r.fire(pi, ti, fireLook) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// partnersLive reports whether every other participant of the action has
+// some transition whose guard can hold at a reachable valuation.
+func (r *Result) partnersLive(pi int, action string) bool {
+	for _, pj := range r.actProcs[action] {
+		if pj == pi {
+			continue
+		}
+		p := r.net.Processes[pj]
+		any := false
+		for tj := range p.Transitions {
+			if p.Transitions[tj].Action == action && r.guardLive[pj][tj] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return false
+		}
+	}
+	return true
+}
+
+// fire abstractly executes transition ti of process pi: effects are
+// evaluated sequentially over an overlay (later effects see earlier
+// assignments), results are clamped to declared ranges (the runtime aborts
+// out-of-range assignments, so a transition whose effect can never fit
+// never completes), and the target location's store is joined.
+func (r *Result) fire(pi, ti int, fireLook lookFn) bool {
+	p := r.net.Processes[pi]
+	tr := &p.Transitions[ti]
+	overlay := make(map[expr.VarID]intervals.Interval)
+	look := func(v expr.VarID) (intervals.Interval, bool) {
+		if iv, ok := overlay[v]; ok {
+			return iv, true
+		}
+		return fireLook(v)
+	}
+	for ai := range tr.Effects {
+		as := &tr.Effects[ai]
+		if guaranteedDivZero(as.Expr, look) {
+			// Every firing aborts mid-effect; the target location is
+			// not entered through this transition.
+			return false
+		}
+		top := declaredRange(r.net.Vars[as.Var].Type)
+		iv, ok := rangeOf(as.Expr, look)
+		if !ok {
+			iv = top
+		}
+		iv = iv.Intersect(top)
+		if iv.Empty() {
+			// Guaranteed range violation: the runtime rejects the
+			// assignment, so the firing never completes.
+			return false
+		}
+		overlay[as.Var] = iv
+	}
+	changed := r.markReachable(pi, tr.To)
+	// Locals not assigned by the transition carry their (refined)
+	// source-location value into the target location.
+	for _, v := range r.locals[pi] {
+		iv, ok := overlay[v]
+		if !ok {
+			if iv, ok = fireLook(v); !ok {
+				iv = declaredRange(r.net.Vars[v].Type)
+			}
+		}
+		if r.joinVar(pi, tr.To, v, iv) {
+			changed = true
+		}
+	}
+	for v, iv := range overlay {
+		if r.localOf[v] == pi {
+			continue // handled above
+		}
+		if r.joinVar(pi, tr.To, v, iv) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// bail degrades the result to "everything unknown" when the round budget
+// is exhausted: all locations reachable, all transitions live, global
+// ranges at top and no findings. Sound by construction.
+func (r *Result) bail() {
+	r.Converged = false
+	for pi, p := range r.net.Processes {
+		for li := range p.Locations {
+			r.Reachable[pi][li] = true
+		}
+		for ti := range p.Transitions {
+			r.Live[pi][ti] = true
+			r.guardLive[pi][ti] = true
+		}
+	}
+	for v := range r.Global {
+		r.Global[v] = declaredRange(r.net.Vars[v].Type)
+	}
+	r.stores = nil
+	r.gcells = nil
+	r.Findings = nil
+}
+
+// fillGlobals exports the final global ranges, evaluating flow variables
+// over the fixpoint store.
+func (r *Result) fillGlobals() {
+	look := r.storeLook(nil)
+	for v := range r.Global {
+		if r.net.Vars[v].Flow {
+			iv, _ := look(expr.VarID(v))
+			r.Global[v] = iv
+			continue
+		}
+		r.Global[v] = r.gcells[v].iv
+	}
+}
+
+// collectFindings scans the fixpoint for guaranteed runtime failures.
+// Findings are computed only after convergence: mid-iteration stores are
+// too small and would over-report.
+func (r *Result) collectFindings() {
+	for pi, p := range r.net.Processes {
+		for ti := range p.Transitions {
+			tr := &p.Transitions[ti]
+			if !r.Reachable[pi][tr.From] {
+				continue
+			}
+			base := r.look(pi, tr.From)
+			atoms := make(map[expr.VarID]intervals.Set)
+			if inv := p.Locations[tr.From].Invariant; inv != nil {
+				collectAtoms(inv, atoms)
+			}
+			invLook, feasible := r.refineLook(base, atoms)
+			if !feasible {
+				continue
+			}
+			if tr.Guard != nil && guaranteedDivZero(tr.Guard, invLook) {
+				r.Findings = append(r.Findings, Finding{
+					Kind: FindDivZero, Proc: pi, Trans: ti, Guard: true,
+					Msg: "guard always divides by zero",
+				})
+				continue
+			}
+			if !r.Live[pi][ti] {
+				continue
+			}
+			if tr.Guard != nil {
+				collectAtoms(tr.Guard, atoms)
+			}
+			fireLook, feasible := r.refineLook(base, atoms)
+			if !feasible {
+				continue
+			}
+			overlay := make(map[expr.VarID]intervals.Interval)
+			look := func(v expr.VarID) (intervals.Interval, bool) {
+				if iv, ok := overlay[v]; ok {
+					return iv, true
+				}
+				return fireLook(v)
+			}
+			for ai := range tr.Effects {
+				as := &tr.Effects[ai]
+				if guaranteedDivZero(as.Expr, look) {
+					r.Findings = append(r.Findings, Finding{
+						Kind: FindDivZero, Proc: pi, Trans: ti,
+						Msg: fmt.Sprintf("effect on %s always divides by zero", as.Name),
+					})
+					break
+				}
+				top := declaredRange(r.net.Vars[as.Var].Type)
+				iv, ok := rangeOf(as.Expr, look)
+				if !ok {
+					iv = top
+				}
+				clamped := iv.Intersect(top)
+				if clamped.Empty() {
+					r.Findings = append(r.Findings, Finding{
+						Kind: FindOverflow, Proc: pi, Trans: ti,
+						Msg: fmt.Sprintf("effect always assigns %s a value in %s, outside its declared range %s",
+							as.Name, iv, top),
+					})
+					break
+				}
+				overlay[as.Var] = clamped
+			}
+		}
+	}
+}
+
+// TransitionDead reports whether the transition can never fire although
+// its source location is reachable (the SL306 condition; unreachable
+// sources are reported through ModeUnreachable instead).
+func (r *Result) TransitionDead(pi, ti int) bool {
+	if !r.Converged {
+		return false
+	}
+	tr := &r.net.Processes[pi].Transitions[ti]
+	return r.Reachable[pi][tr.From] && !r.Live[pi][ti]
+}
+
+// ModeUnreachable reports whether the location is semantically
+// unreachable (the SL307 condition).
+func (r *Result) ModeUnreachable(pi int, li sta.LocID) bool {
+	return r.Converged && !r.Reachable[pi][li]
+}
+
+// PruneMask returns the per-process mask of transitions that can be
+// removed from move enumeration without changing any observable behavior,
+// and whether the mask removes anything. A transition is prunable when its
+// source location is unreachable (it is never even enumerated from a
+// reachable state), or when it is dead and every guard evaluated for its
+// action is division-free — removing a combination must not mask a
+// guard-evaluation error a partner would otherwise raise.
+func (r *Result) PruneMask() ([][]bool, bool) {
+	if !r.Converged {
+		return nil, false
+	}
+	mask := make([][]bool, len(r.net.Processes))
+	any := false
+	for pi, p := range r.net.Processes {
+		mask[pi] = make([]bool, len(p.Transitions))
+		for ti := range p.Transitions {
+			tr := &p.Transitions[ti]
+			switch {
+			case !r.Reachable[pi][tr.From]:
+				mask[pi][ti] = true
+			case r.Live[pi][ti]:
+				// keep
+			case tr.Action == sta.Tau && divModFree(tr.Guard):
+				mask[pi][ti] = true
+			case tr.Action != sta.Tau && r.actDivOK[tr.Action]:
+				mask[pi][ti] = true
+			}
+			if mask[pi][ti] {
+				any = true
+			}
+		}
+	}
+	return mask, any
+}

@@ -1,0 +1,322 @@
+package absint_test
+
+import (
+	"testing"
+
+	"slimsim/internal/absint"
+	"slimsim/internal/model"
+	"slimsim/internal/network"
+	"slimsim/internal/prop"
+	"slimsim/internal/slim"
+	"slimsim/internal/sta"
+)
+
+// load builds the analysis for a SLIM source model.
+func load(t *testing.T, src string) (*absint.Result, *model.Built, *network.Runtime) {
+	t.Helper()
+	parsed, err := slim.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	b, err := model.Instantiate(parsed)
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	rt, err := network.New(b.Net)
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	r := absint.Analyze(rt)
+	if !r.Converged {
+		t.Fatalf("analysis did not converge")
+	}
+	return r, b, rt
+}
+
+// locByName resolves a process and location index by names.
+func locByName(t *testing.T, rt *network.Runtime, proc, loc string) (int, sta.LocID) {
+	t.Helper()
+	for pi, p := range rt.Net().Processes {
+		if p.Name != proc {
+			continue
+		}
+		li, ok := p.LocationByName(loc)
+		if !ok {
+			t.Fatalf("process %s has no location %s", proc, loc)
+		}
+		return pi, li
+	}
+	t.Fatalf("no process named %s", proc)
+	return 0, 0
+}
+
+const counterSrc = `
+system M
+end M;
+
+system implementation M.Imp
+subcomponents
+  cnt: data int [0 .. 9] default 0;
+modes
+  a: initial mode;
+  b: mode;
+  c: mode;
+transitions
+  a -[when cnt < 2 then cnt := cnt + 1]-> a;
+  a -[when cnt >= 1 then cnt := 0]-> b;
+  b -[when cnt >= 5]-> c;
+end M.Imp;
+
+root M.Imp;
+`
+
+func TestValuePropagation(t *testing.T) {
+	r, b, rt := load(t, counterSrc)
+	pi, la := locByName(t, rt, "root", "a")
+	_, lb := locByName(t, rt, "root", "b")
+	_, lc := locByName(t, rt, "root", "c")
+	if !r.Reachable[pi][la] || !r.Reachable[pi][lb] {
+		t.Fatalf("modes a and b should be reachable")
+	}
+	// Mode c needs cnt >= 5 in b, but b is entered with cnt = 0 and
+	// nothing increments cnt in b.
+	if r.Reachable[pi][lc] {
+		t.Errorf("mode c should be semantically unreachable")
+	}
+	// The b -> c transition is dead.
+	p := rt.Net().Processes[pi]
+	dead := -1
+	for ti := range p.Transitions {
+		if p.Transitions[ti].From == lb {
+			dead = ti
+		}
+	}
+	if dead < 0 {
+		t.Fatalf("no transition out of b")
+	}
+	if !r.TransitionDead(pi, dead) {
+		t.Errorf("b -> c should be dead")
+	}
+	if !r.ModeUnreachable(pi, lc) {
+		t.Errorf("ModeUnreachable(c) should hold")
+	}
+	// Global range of cnt: concretely {0,1,2}; the interval domain works
+	// over the reals, so the guard cnt < 2 refines to [0,2) and the
+	// increment hulls to an upper endpoint of 3 — but never the declared
+	// top of 9.
+	id, ok := b.VarID("cnt")
+	if !ok {
+		t.Fatalf("no cnt variable")
+	}
+	g := r.Global[id]
+	if g.Lo != 0 || g.Hi > 3 || !g.Contains(2) {
+		t.Errorf("cnt range = %v, want [0,2] up to real-interval slack", g)
+	}
+}
+
+func TestPruneMask(t *testing.T) {
+	r, _, rt := load(t, counterSrc)
+	mask, any := r.PruneMask()
+	if !any {
+		t.Fatalf("expected a nonempty prune mask")
+	}
+	pi, lb := locByName(t, rt, "root", "b")
+	p := rt.Net().Processes[pi]
+	for ti := range p.Transitions {
+		want := p.Transitions[ti].From == lb
+		if mask[pi][ti] != want {
+			t.Errorf("mask[%d][%d] = %v, want %v", pi, ti, mask[pi][ti], want)
+		}
+	}
+	if err := rt.Prune(mask); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+}
+
+func TestDecideUnreachableGoal(t *testing.T) {
+	r, b, _ := load(t, counterSrc)
+	goal, err := b.CompileExpr("cnt >= 7")
+	if err != nil {
+		t.Fatalf("compile goal: %v", err)
+	}
+	rep := r.Decide(prop.Reach(10, goal))
+	if !rep.Decided || rep.Probability != 0 {
+		t.Fatalf("P(<> cnt>=7) should be statically 0, got %+v", rep)
+	}
+	if !rep.Vacuous {
+		t.Errorf("unreachable goal should be flagged vacuous")
+	}
+}
+
+func TestDecideInitialGoal(t *testing.T) {
+	r, b, _ := load(t, counterSrc)
+	goal, err := b.CompileExpr("cnt = 0")
+	if err != nil {
+		t.Fatalf("compile goal: %v", err)
+	}
+	rep := r.Decide(prop.Reach(10, goal))
+	if !rep.Decided || rep.Probability != 1 {
+		t.Fatalf("P(<> cnt=0) should be statically 1, got %+v", rep)
+	}
+	// Invariance of a statically-global truth.
+	inv, err := b.CompileExpr("cnt <= 9")
+	if err != nil {
+		t.Fatalf("compile invariant: %v", err)
+	}
+	rep = r.Decide(prop.Always(10, inv))
+	if !rep.Decided || rep.Probability != 1 {
+		t.Fatalf("P([] cnt<=9) should be statically 1, got %+v", rep)
+	}
+	// Violated at the initial state.
+	bad, err := b.CompileExpr("cnt >= 1")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rep = r.Decide(prop.Always(10, bad))
+	if !rep.Decided || rep.Probability != 0 {
+		t.Fatalf("P([] cnt>=1) should be statically 0, got %+v", rep)
+	}
+}
+
+func TestDecideUndecidable(t *testing.T) {
+	r, b, _ := load(t, counterSrc)
+	goal, err := b.CompileExpr("cnt = 2")
+	if err != nil {
+		t.Fatalf("compile goal: %v", err)
+	}
+	rep := r.Decide(prop.Reach(10, goal))
+	if rep.Decided {
+		t.Fatalf("P(<> cnt=2) should not be statically decidable, got %+v", rep)
+	}
+	// Negative bound: refuse to decide.
+	rep = r.Decide(prop.Reach(-1, goal))
+	if rep.Decided {
+		t.Fatalf("negative bound should not be decided, got %+v", rep)
+	}
+}
+
+func TestGoalDistance(t *testing.T) {
+	r, b, rt := load(t, `
+system M
+end M;
+
+system implementation M.Imp
+subcomponents
+  x: data int [0 .. 3] default 0;
+modes
+  a: initial mode;
+  b: mode;
+  c: mode;
+transitions
+  a -[then x := 1]-> b;
+  b -[then x := 2]-> c;
+end M.Imp;
+
+root M.Imp;
+`)
+	goal, err := b.CompileExpr("x = 2")
+	if err != nil {
+		t.Fatalf("compile goal: %v", err)
+	}
+	rep := r.Decide(prop.Reach(10, goal))
+	pi, la := locByName(t, rt, "root", "a")
+	_, lb := locByName(t, rt, "root", "b")
+	_, lc := locByName(t, rt, "root", "c")
+	if got := rep.GoalDistance[pi][lc]; got != 0 {
+		t.Errorf("distance(c) = %d, want 0", got)
+	}
+	if got := rep.GoalDistance[pi][lb]; got != 1 {
+		t.Errorf("distance(b) = %d, want 1", got)
+	}
+	if got := rep.GoalDistance[pi][la]; got != 2 {
+		t.Errorf("distance(a) = %d, want 2", got)
+	}
+	locs := []sta.LocID{la}
+	if got := rep.Distance(locs); got != 2 {
+		t.Errorf("Distance(initial) = %d, want 2", got)
+	}
+}
+
+func TestOverflowFinding(t *testing.T) {
+	r, _, rt := load(t, `
+system M
+end M;
+
+system implementation M.Imp
+subcomponents
+  x: data int [0 .. 3] default 0;
+modes
+  a: initial mode;
+  b: mode;
+transitions
+  a -[then x := x + 7]-> b;
+end M.Imp;
+
+root M.Imp;
+`)
+	var overflow int
+	for _, f := range r.Findings {
+		if f.Kind == absint.FindOverflow {
+			overflow++
+		}
+	}
+	if overflow != 1 {
+		t.Fatalf("want 1 overflow finding, got %d (%+v)", overflow, r.Findings)
+	}
+	// The aborting transition never completes, so b stays unreachable.
+	pi, lb := locByName(t, rt, "root", "b")
+	if r.Reachable[pi][lb] {
+		t.Errorf("mode b should be unreachable (entry always overflows)")
+	}
+}
+
+func TestSyncPartnerDeadness(t *testing.T) {
+	// P offers action go only under an unsatisfiable-at-runtime guard, so
+	// Q's go-transition is dead too.
+	r, _, rt := load(t, `
+system P
+features
+  go: out event port;
+end P;
+
+system implementation P.Imp
+subcomponents
+  x: data int [0 .. 5] default 0;
+modes
+  idle: initial mode;
+  sent: mode;
+transitions
+  idle -[go when x >= 4]-> sent;
+end P.Imp;
+
+system Q
+features
+  go: in event port;
+end Q;
+
+system implementation Q.Imp
+modes
+  w: initial mode;
+  d: mode;
+transitions
+  w -[go]-> d;
+end Q.Imp;
+
+system Top
+end Top;
+
+system implementation Top.Imp
+subcomponents
+  p: system P.Imp;
+  q: system Q.Imp;
+connections
+  event port p.go -> q.go;
+end Top.Imp;
+
+root Top.Imp;
+`)
+	pi, ld := locByName(t, rt, "q", "d")
+	if r.Reachable[pi][ld] {
+		t.Errorf("q.d should be unreachable: p never offers go (x stays 0)")
+	}
+}

@@ -10,19 +10,24 @@
 //  2. roundtrip   — print -> parse -> print is a fixed point, so the
 //     surface syntax, parser and printer agree on every construct the
 //     generator emits.
-//  3. strategies  — on the deterministic class every scheduling strategy
+//  3. absint      — the abstract-interpretation pass must be transparent:
+//     simulating with statically dead transitions pruned produces traces
+//     bit-identical to the unpruned model, and a static 0/1 verdict, when
+//     one is reached, must agree with the generation-time verdict and
+//     with the exact CTMC/zone probabilities of the later tiers.
+//  4. strategies  — on the deterministic class every scheduling strategy
 //     must realize the same behavior: ASAP, MaxTime and Progressive
 //     produce the identical trace, Local reaches the same verdict, the
 //     verdict equals the one computed at generation time, and replaying
 //     the schedule decision-by-decision through the Input strategy
 //     reproduces the trace.
-//  4. exact       — on the Markovian class the Monte Carlo estimate must
+//  5. exact       — on the Markovian class the Monte Carlo estimate must
 //     fall inside the Chernoff band around the exact CTMC transient
 //     probability, and the unlumped chain, the bisimulation quotient and
 //     the public CheckCTMC pipeline must agree to solver precision. The
 //     zone analyzer must reproduce the CTMC answer too (the untimed
 //     fragment is a one-segment special case of the single-clock one).
-//  5. zone        — on the single-clock timed class zone.Analyze is the
+//  6. zone        — on the single-clock timed class zone.Analyze is the
 //     exact reference: the Monte Carlo estimate under the ASAP strategy
 //     must fall inside the same Chernoff band around the zone-exact
 //     probability, closing the timed-sampling blind spot the
@@ -79,7 +84,7 @@ type Discrepancy struct {
 	Class modelgen.Class
 	Seed  uint64
 	// Oracle names the oracle that failed: load, lint, roundtrip,
-	// strategies, exact, zone or engine.
+	// absint, strategies, exact, zone or engine.
 	Oracle string
 	// Detail describes the disagreement.
 	Detail string
@@ -117,7 +122,7 @@ func Check(g *modelgen.Generated) *Discrepancy {
 			KnownVerdict: g.KnownVerdict, Satisfied: g.Satisfied,
 		}
 	}
-	if diags := lint.RunSource(g.Source); len(diags) != 0 {
+	if diags := withoutAbsintWarnings(lint.RunSource(g.Source)); len(diags) != 0 {
 		return fail("lint", "%d diagnostics, first: %s", len(diags), diags[0].Render("model"))
 	}
 	parsed, err := slim.Parse(g.Source)
@@ -131,6 +136,9 @@ func Check(g *modelgen.Generated) *Discrepancy {
 	if err != nil {
 		return fail("load", "lint-clean model fails to load: %v", err)
 	}
+	if d := checkAbsint(g, m, fail); d != nil {
+		return d
+	}
 	switch g.Class {
 	case modelgen.Deterministic:
 		return checkStrategies(g, m, fail)
@@ -141,6 +149,99 @@ func Check(g *modelgen.Generated) *Discrepancy {
 	default:
 		return checkEngine(g, m, fail)
 	}
+}
+
+// withoutAbsintWarnings drops the SL306/SL307 warnings from a lint run.
+// The generator promises syntactically clean models, not models free of
+// semantically dead constructs, so those two codes are no
+// generator/analyzer disagreement — and their soundness is checked
+// directly by the absint oracle below instead.
+func withoutAbsintWarnings(diags []lint.Diag) []lint.Diag {
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Severity == lint.SevWarning && (d.Code == "SL306" || d.Code == "SL307") {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// checkAbsint is the soundness tier of the abstract-interpretation pass,
+// run on every class before the exact oracles:
+//
+//   - pruning transparency: simulating the default-loaded model (with
+//     statically dead transitions pruned from move enumeration) must
+//     produce bit-identical traces to the unpruned model under every
+//     strategy — pruned moves contributed nothing, so no random-number
+//     draw and no uniform pick may shift;
+//   - static-verdict consistency: when CheckStatic decides the property
+//     exactly, the verdict must match the generation-time verdict on the
+//     deterministic class (a single schedule, so P ∈ {0,1} must agree
+//     with the known path).
+//
+// The Markovian and single-clock classes additionally compare the static
+// verdict against the exact CTMC/zone probability in their own oracles.
+func checkAbsint(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepancy {
+	plain, err := slimsim.LoadModel(g.Source, slimsim.WithoutPruning())
+	if err != nil {
+		return fail("absint", "model loads pruned but not unpruned: %v", err)
+	}
+	for _, strat := range Strategies {
+		pruned, perr := m.Simulate(opts(g, strat, g.Seed+1), timedPaths)
+		full, ferr := plain.Simulate(opts(g, strat, g.Seed+1), timedPaths)
+		if (perr == nil) != (ferr == nil) {
+			return fail("absint", "%s: pruned error %v, unpruned error %v", strat, perr, ferr)
+		}
+		if perr != nil {
+			continue // both fail the same way; the engine oracle owns it
+		}
+		for i := range pruned {
+			if !sameTrace(pruned[i], full[i]) {
+				return fail("absint", "%s path %d: pruning changed the trace:\npruned:\n%s\nunpruned:\n%s",
+					strat, i, renderTrace(pruned[i]), renderTrace(full[i]))
+			}
+		}
+	}
+	if g.KnownVerdict {
+		rep, err := m.CheckStatic(opts(g, "", 0))
+		if err != nil {
+			// A goal that no longer compiles is a load-level defect, not
+			// an absint one — keeping the oracles distinct stops the
+			// shrinker from drifting into models without the goal.
+			return fail("load", "CheckStatic: %v", err)
+		}
+		if rep.Decided {
+			want := 0.0
+			if g.Satisfied {
+				want = 1.0
+			}
+			if rep.Probability != want {
+				return fail("absint", "static verdict P=%g (%s) contradicts the generation-time verdict %v",
+					rep.Probability, rep.Reason, g.Satisfied)
+			}
+		}
+	}
+	return nil
+}
+
+// staticVsExact cross-checks the static 0/1 verdict, when one exists,
+// against an exact reference probability: absint claiming "unreachable"
+// (P=0) while the CTMC or zone analysis proves P > 0 would be a soundness
+// bug in the abstract interpreter.
+func staticVsExact(g *modelgen.Generated, m *slimsim.Model, exact float64, fail failf) *Discrepancy {
+	rep, err := m.CheckStatic(opts(g, "", 0))
+	if err != nil {
+		return fail("load", "CheckStatic: %v", err)
+	}
+	if !rep.Decided {
+		return nil
+	}
+	if math.Abs(rep.Probability-exact) > solverTol {
+		return fail("absint", "static verdict P=%g (%s) disagrees with the exact probability %.10f",
+			rep.Probability, rep.Reason, exact)
+	}
+	return nil
 }
 
 // opts returns the base analysis options for g under the given strategy.
@@ -205,6 +306,9 @@ func checkExact(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepanc
 	exact, err := m.CheckCTMC(g.Goal, g.Bound, maxStates)
 	if err != nil {
 		return engineOr(fail, "exact", "CheckCTMC: %v", err)
+	}
+	if d := staticVsExact(g, m, exact.Probability, fail); d != nil {
+		return d
 	}
 	// Rebuild the chain through the internal pipeline to compare the
 	// unlumped and lumped answers independently of CheckCTMC.
@@ -306,6 +410,9 @@ func checkZone(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepancy
 		// The generator promises zone-eligible models, so ineligibility
 		// is itself a generator/analyzer disagreement.
 		return engineOr(fail, "zone", "zone analyze: %v", err)
+	}
+	if d := staticVsExact(g, m, exact.Probability, fail); d != nil {
+		return d
 	}
 	mcOpts := opts(g, "asap", g.Seed+1)
 	mcOpts.Delta = mcDelta

@@ -49,4 +49,18 @@ func TestDocsCoverEveryCode(t *testing.T) {
 	if len(missing) > 0 {
 		t.Errorf("docs/LINT.md misses codes: %v", missing)
 	}
+
+	// And the reverse: every code the documentation's table rows claim
+	// must actually be produced somewhere in the analyzer sources.
+	rowRE := regexp.MustCompile(`(?m)^\| (SL\d{3}) \|`)
+	var stale []string
+	for _, m := range rowRE.FindAllStringSubmatch(string(docs), -1) {
+		if !codes[m[1]] {
+			stale = append(stale, m[1])
+		}
+	}
+	sort.Strings(stale)
+	if len(stale) > 0 {
+		t.Errorf("docs/LINT.md documents codes no analyzer source emits: %v", stale)
+	}
 }

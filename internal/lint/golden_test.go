@@ -21,6 +21,22 @@ func renderAll(diags []Diag, file string) string {
 	return b.String()
 }
 
+// lintFixture lints one fixture the way the CLI would: plain RunSource,
+// or RunSourceWithProperty when a .prop sidecar file sits next to the
+// .slim file (property-aware fixtures like sl701).
+func lintFixture(t *testing.T, path, src string) []Diag {
+	t.Helper()
+	sidecar := strings.TrimSuffix(path, ".slim") + ".prop"
+	pat, err := os.ReadFile(sidecar)
+	if os.IsNotExist(err) {
+		return RunSource(src)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunSourceWithProperty(src, strings.TrimSpace(string(pat)))
+}
+
 // TestGolden lints every testdata fixture and compares the rendered
 // diagnostics — including their exact positions — against the checked-in
 // .golden file. Run with -update to regenerate the goldens.
@@ -39,7 +55,7 @@ func TestGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := renderAll(RunSource(string(src)), filepath.Base(path))
+			got := renderAll(lintFixture(t, path, string(src)), filepath.Base(path))
 			golden := strings.TrimSuffix(path, ".slim") + ".golden"
 			if *update {
 				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
@@ -74,7 +90,7 @@ func TestFixtureCodes(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			diags := RunSource(string(src))
+			diags := lintFixture(t, path, string(src))
 			for _, d := range diags {
 				if d.Code == code {
 					return

@@ -108,9 +108,16 @@ func renderPos(p slim.Pos) string {
 	return p.String()
 }
 
+// suppression marks one (code, position) pair for removal in finish.
+type suppression struct {
+	code string
+	pos  slim.Pos
+}
+
 // Reporter collects diagnostics during a run.
 type Reporter struct {
-	diags []Diag
+	diags      []Diag
+	suppressed []suppression
 }
 
 // Report adds a diagnostic.
@@ -126,6 +133,17 @@ func (r *Reporter) Warnf(code string, pos slim.Pos, format string, args ...any) 
 	r.Report(Diag{Code: code, Severity: SevWarning, Pos: pos, Msg: fmt.Sprintf(format, args...)})
 }
 
+// Suppress drops any diagnostic with the given code at the given position
+// from the final output, regardless of which pass reported it (or will
+// report it). Passes use it to subsume strictly weaker findings: when the
+// abstract interpreter proves a mode semantically unreachable (SL307) or a
+// transition dead at every reachable valuation (SL306), the purely
+// syntactic SL302/SL305 findings at the same position carry no extra
+// information.
+func (r *Reporter) Suppress(code string, pos slim.Pos) {
+	r.suppressed = append(r.suppressed, suppression{code, pos})
+}
+
 // hasErrors reports whether any error-severity diagnostic was collected.
 func (r *Reporter) hasErrors() bool {
 	for _, d := range r.diags {
@@ -136,9 +154,25 @@ func (r *Reporter) hasErrors() bool {
 	return false
 }
 
-// finish sorts the collected diagnostics by position, then code, then
-// message, and drops exact duplicates.
+// finish applies suppressions, sorts the collected diagnostics by
+// position, then code, then message, and drops exact duplicates.
 func (r *Reporter) finish() []Diag {
+	if len(r.suppressed) > 0 {
+		kept := r.diags[:0]
+		for _, d := range r.diags {
+			drop := false
+			for _, s := range r.suppressed {
+				if s.code == d.Code && s.pos == d.Pos {
+					drop = true
+					break
+				}
+			}
+			if !drop {
+				kept = append(kept, d)
+			}
+		}
+		r.diags = kept
+	}
 	sort.SliceStable(r.diags, func(i, j int) bool {
 		a, b := r.diags[i], r.diags[j]
 		if a.Pos.Line != b.Pos.Line {
@@ -224,6 +258,11 @@ var Passes = []Pass{
 		Doc:   "timelock heuristics: invariants that force an exit no transition provides",
 		Built: checkTimelocksBuilt,
 	},
+	{
+		Name:  "absint",
+		Doc:   "abstract interpretation: semantic unreachability, dead transitions, guaranteed overflow and division by zero",
+		Built: checkAbsintBuilt,
+	},
 }
 
 // modelErrPos extracts the "L:C" prefix the model package embeds in its
@@ -234,7 +273,12 @@ var modelErrPos = regexp.MustCompile(`^model: (\d+):(\d+): (.*)$`)
 // instantiates — all built passes. Instantiation failures surface as an
 // SL002 diagnostic unless an AST pass already reported an error for the
 // same model (the AST finding is the actionable one).
-func Run(m *slim.Model) []Diag {
+func Run(m *slim.Model) []Diag { return run(m, nil) }
+
+// run is the shared driver behind Run and RunWithProperty; extra, when
+// non-nil, runs after the registered built passes on the instantiated
+// model.
+func run(m *slim.Model, extra func(b *model.Built, r *Reporter)) []Diag {
 	r := &Reporter{}
 	for _, p := range Passes {
 		if p.AST != nil {
@@ -260,7 +304,34 @@ func Run(m *slim.Model) []Diag {
 			p.Built(b, r)
 		}
 	}
+	if extra != nil {
+		extra(b, r)
+	}
 	return r.finish()
+}
+
+// RunWithProperty lints the model like Run and additionally checks the
+// given property pattern (e.g. "P(<> [0,100] sys.fail)") against the
+// abstract-interpretation fixpoint, reporting SL701 when the property is
+// ill-formed for the model or its verdict does not depend on the model's
+// stochastic behavior at all (a statically unreachable goal, or an
+// invariance that no reachable valuation can violate).
+func RunWithProperty(m *slim.Model, pattern string) []Diag {
+	return run(m, func(b *model.Built, r *Reporter) {
+		checkPropertyVacuity(b, pattern, r)
+	})
+}
+
+// RunSourceWithProperty is RunWithProperty on SLIM source text.
+func RunSourceWithProperty(src, pattern string) []Diag {
+	m, err := slim.Parse(src)
+	if err != nil {
+		pos, _ := slim.PosOf(err)
+		msg := strings.TrimPrefix(err.Error(), "slim: "+pos.String()+": ")
+		msg = strings.TrimPrefix(msg, "slim: ")
+		return []Diag{{Code: "SL001", Severity: SevError, Pos: pos, Msg: msg}}
+	}
+	return RunWithProperty(m, pattern)
 }
 
 // RunSource lints SLIM source text. Parse failures become a single SL001

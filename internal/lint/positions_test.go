@@ -25,6 +25,8 @@ func TestExactPositions(t *testing.T) {
 		{"sl103.slim", "SL103", SevError, 12, 30},  // the ":=" of cnt := 1.5
 		{"sl104.slim", "SL104", SevError, 20, 33},  // the ":=" of input := 5
 		{"sl105.slim", "SL105", SevError, 12, 14},  // the "*" of (x * x)
+		{"sl106.slim", "SL106", SevError, 17, 3},   // the always-overflowing transition
+		{"sl106.slim", "SL106", SevError, 18, 3},   // the always-dividing-by-zero guard
 		{"sl201.slim", "SL201", SevWarning, 5, 3},  // the port declaration
 		{"sl202.slim", "SL202", SevError, 20, 3},   // the connection
 		{"sl203.slim", "SL203", SevError, 29, 3},   // the bool->int connection
@@ -34,10 +36,12 @@ func TestExactPositions(t *testing.T) {
 		{"sl206.slim", "SL206", SevError, 27, 3},   // the connection
 		{"sl207.slim", "SL207", SevError, 7, 3},    // the computed port closing the cycle
 		{"sl301.slim", "SL301", SevError, 14, 3},   // the subcomponent
-		{"sl302.slim", "SL302", SevWarning, 9, 3},  // the unreachable mode
+		{"sl302.slim", "SL302", SevWarning, 14, 3}, // the unreachable mode
 		{"sl303.slim", "SL303", SevError, 10, 3},   // the transition
 		{"sl304.slim", "SL304", SevError, 12, 3},   // the transition
-		{"sl305.slim", "SL305", SevWarning, 13, 3}, // the dead transition
+		{"sl305.slim", "SL305", SevWarning, 17, 3}, // the dead transition
+		{"sl306.slim", "SL306", SevWarning, 16, 3}, // the semantically dead transition
+		{"sl307.slim", "SL307", SevWarning, 13, 3}, // the semantically unreachable mode
 		{"sl401.slim", "SL401", SevWarning, 8, 3},  // the uninitialized subcomponent
 		{"sl501.slim", "SL501", SevWarning, 10, 3}, // the timelocked mode
 		{"sl502.slim", "SL502", SevWarning, 11, 3}, // the forced-exit initial mode
@@ -46,16 +50,18 @@ func TestExactPositions(t *testing.T) {
 		{"sl603.slim", "SL603", SevError, 35, 1},   // the extend clause
 		{"sl604.slim", "SL604", SevError, 11, 1},   // the error implementation
 		{"sl605.slim", "SL605", SevError, 21, 3},   // the error transition
+		{"sl701.slim", "SL701", SevWarning, 0, 0},  // no position; rendered as 1:1
 	}
 	byFixture := make(map[string][]Diag)
 	for _, tc := range cases {
 		diags, ok := byFixture[tc.fixture]
 		if !ok {
-			src, err := os.ReadFile(filepath.Join("testdata", tc.fixture))
+			path := filepath.Join("testdata", tc.fixture)
+			src, err := os.ReadFile(path)
 			if err != nil {
 				t.Fatal(err)
 			}
-			diags = RunSource(string(src))
+			diags = lintFixture(t, path, string(src))
 			byFixture[tc.fixture] = diags
 		}
 		found := false

@@ -26,6 +26,11 @@ type Runtime struct {
 	flowRate  []expr.AffineCode
 	procProgs []procProg
 	timedVars []timedVar
+
+	// pruned, when non-nil, marks transitions statically proven unable to
+	// ever fire (or to ever be enumerated); Moves skips them. Set once by
+	// Prune before simulation starts.
+	pruned [][]bool
 }
 
 // New validates the network and prepares the runtime: flow variables are
@@ -88,6 +93,33 @@ func New(net *sta.Network) (*Runtime, error) {
 
 // Net returns the underlying STA network.
 func (rt *Runtime) Net() *sta.Network { return rt.net }
+
+// Prune installs a mask of statically-dead transitions (per process, per
+// transition index) that Moves drops from enumeration. Callers own the
+// soundness argument: a pruned transition must never be able to fire from
+// any reachable state, and dropping it must not mask a guard-evaluation
+// error (see absint.PruneMask). Prune must be called before simulation
+// starts; it is not safe to call concurrently with Moves.
+func (rt *Runtime) Prune(dead [][]bool) error {
+	if len(dead) != len(rt.net.Processes) {
+		return fmt.Errorf("network: prune mask has %d processes, network has %d", len(dead), len(rt.net.Processes))
+	}
+	mask := make([][]bool, len(dead))
+	for pi, p := range rt.net.Processes {
+		if len(dead[pi]) != len(p.Transitions) {
+			return fmt.Errorf("network: prune mask for %s has %d transitions, process has %d",
+				p.Name, len(dead[pi]), len(p.Transitions))
+		}
+		mask[pi] = append([]bool(nil), dead[pi]...)
+	}
+	rt.pruned = mask
+	return nil
+}
+
+// isPruned reports whether the transition was masked out by Prune.
+func (rt *Runtime) isPruned(pi, ti int) bool {
+	return rt.pruned != nil && rt.pruned[pi][ti]
+}
 
 // flowOrder topologically sorts flow variables by their dependencies on
 // other flow variables, rejecting cycles.
@@ -315,7 +347,7 @@ func (rt *Runtime) Moves(st *State) []Move {
 	for pi, p := range rt.net.Processes {
 		for _, ti := range p.Outgoing(st.Locs[pi]) {
 			tr := &p.Transitions[ti]
-			if tr.Action != sta.Tau {
+			if tr.Action != sta.Tau || rt.isPruned(pi, ti) {
 				continue
 			}
 			moves = append(moves, Move{
@@ -339,7 +371,7 @@ func (rt *Runtime) Moves(st *State) []Move {
 		for i, pi := range procs {
 			p := rt.net.Processes[pi]
 			for _, ti := range p.Outgoing(st.Locs[pi]) {
-				if p.Transitions[ti].Action == a {
+				if p.Transitions[ti].Action == a && !rt.isPruned(pi, ti) {
 					perProc[i] = append(perProc[i], ti)
 				}
 			}

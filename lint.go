@@ -37,6 +37,25 @@ func LintFile(path string) ([]Diagnostic, error) {
 	return Lint(string(data)), nil
 }
 
+// LintWithProperty lints src like Lint and additionally checks the given
+// property pattern (e.g. "P(<> [0,100] failure)") against the abstract
+// interpretation of the model: unparsable or non-compiling patterns come
+// back as SL701 errors, and properties whose probability is a foregone
+// conclusion (exactly 0 or 1 for any rates and clocks) as SL701 warnings.
+func LintWithProperty(src, pattern string) []Diagnostic {
+	return lint.RunSourceWithProperty(src, pattern)
+}
+
+// LintFileWithProperty reads a SLIM model from a file and lints it with a
+// property pattern; see LintWithProperty.
+func LintFileWithProperty(path, pattern string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("slimsim: %w", err)
+	}
+	return LintWithProperty(string(data), pattern), nil
+}
+
 // HasLintErrors reports whether diags contains an error-severity
 // diagnostic.
 func HasLintErrors(diags []Diagnostic) bool { return lint.HasErrors(diags) }

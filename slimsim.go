@@ -32,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	"slimsim/internal/absint"
 	"slimsim/internal/bisim"
 	"slimsim/internal/ctmc"
 	"slimsim/internal/model"
@@ -50,12 +51,35 @@ import (
 // Model is a loaded, instantiated and validated SLIM model, ready for
 // analysis. It is immutable and safe for concurrent use.
 type Model struct {
-	built *model.Built
-	rt    *network.Runtime
+	built    *model.Built
+	rt       *network.Runtime
+	analysis *absint.Result
 }
 
-// LoadModel parses SLIM source text and instantiates it.
-func LoadModel(src string) (*Model, error) {
+// LoadOption configures model loading.
+type LoadOption func(*loadConfig)
+
+type loadConfig struct {
+	noPrune bool
+}
+
+// WithoutPruning disables the dropping of statically-dead transitions from
+// move enumeration. Analyses are unaffected either way (pruning removes
+// only transitions proven unable to fire); the option exists for
+// differential testing of the pruning itself and for debugging.
+func WithoutPruning() LoadOption {
+	return func(c *loadConfig) { c.noPrune = true }
+}
+
+// LoadModel parses SLIM source text, instantiates it, and runs the
+// abstract-interpretation reachability pass over the composed network.
+// Transitions the pass proves unable to ever fire are dropped from move
+// enumeration (disable with WithoutPruning).
+func LoadModel(src string, opts ...LoadOption) (*Model, error) {
+	var cfg loadConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	parsed, err := slim.Parse(src)
 	if err != nil {
 		return nil, err
@@ -68,16 +92,24 @@ func LoadModel(src string) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Model{built: built, rt: rt}, nil
+	m := &Model{built: built, rt: rt, analysis: absint.Analyze(rt)}
+	if !cfg.noPrune {
+		if mask, any := m.analysis.PruneMask(); any {
+			if err := rt.Prune(mask); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
 }
 
 // LoadModelFile reads and loads a SLIM model from a file.
-func LoadModelFile(path string) (*Model, error) {
+func LoadModelFile(path string, opts ...LoadOption) (*Model, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("slimsim: %w", err)
 	}
-	m, err := LoadModel(string(data))
+	m, err := LoadModel(string(data), opts...)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -237,6 +269,32 @@ func (m *Model) CompileProperty(opts Options) (prop.Property, error) {
 	default:
 		return prop.Property{}, fmt.Errorf("slimsim: unknown property kind %q", kind)
 	}
+}
+
+// ReachReport is the static verdict of the abstract-interpretation pass
+// for one property, including the goal-distance level function; see
+// internal/absint.
+type ReachReport = absint.ReachReport
+
+// StaticAnalysis exposes the abstract-interpretation fixpoint computed
+// when the model was loaded: per-mode reachability and value ranges, dead
+// transitions, the prune mask applied to move enumeration, and the
+// guaranteed-abort findings.
+func (m *Model) StaticAnalysis() *absint.Result { return m.analysis }
+
+// CheckStatic attempts to decide the property exactly without sampling:
+// the abstract interpreter's fixpoint settles goals that already hold in
+// the initial state and goals no reachable valuation can satisfy. The
+// report's Decided field says whether a 0/1 verdict was reached; either
+// way its GoalDistance map is filled in (the level-function hook for
+// importance splitting).
+func (m *Model) CheckStatic(opts Options) (*ReachReport, error) {
+	p, err := m.CompileProperty(opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := m.analysis.Decide(p)
+	return &rep, nil
 }
 
 // Analyze estimates the probability of the property via Monte Carlo

@@ -1,0 +1,113 @@
+// Command nopanic is a repo-local vet pass: it forbids new panic calls in
+// the engine packages that run inside sampling workers, where a panic
+// escapes the per-path error handling and kills the whole analysis. The
+// two historical panics (both argument-validation guards with dedicated
+// recover paths) are allowlisted by message; anything else fails the run.
+//
+// It deliberately depends only on the standard library so it can run in
+// the hermetic CI container, which has no module cache beyond the repo:
+//
+//	go run ./tools/analyzers/nopanic internal/rng internal/stats ...
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// allowed lists the panic messages that predate this check and have
+// documented recover paths. A new panic must not be added here without
+// wiring the matching recover; see docs/TESTING.md ("panic hygiene").
+var allowed = []string{
+	"rng: Exp requires a positive rate",
+	"stats: quantile argument",
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: nopanic dir [dir ...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range dirs {
+		n, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nopanic:", err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "nopanic: %d forbidden panic call(s); engine packages must return errors instead\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses every non-test Go file in dir (non-recursively, matching
+// a Go package) and reports disallowed panic calls on stderr, returning
+// their count.
+func checkDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	fset := token.NewFileSet()
+	bad := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return 0, err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "panic" {
+				return true
+			}
+			if allowedCall(call) {
+				return true
+			}
+			pos := fset.Position(call.Pos())
+			fmt.Fprintf(os.Stderr, "%s: forbidden panic in engine package\n", pos)
+			bad++
+			return true
+		})
+	}
+	return bad, nil
+}
+
+// allowedCall reports whether the panic's argument textually contains one
+// of the allowlisted messages — as a string literal, or as a literal
+// nested inside a call such as fmt.Sprintf.
+func allowedCall(call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	found := false
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		for _, msg := range allowed {
+			if strings.Contains(lit.Value, msg) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

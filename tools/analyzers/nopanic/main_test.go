@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckDir(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "ok.go", `package p
+func f() error { return nil }
+`)
+	write(t, dir, "allowed.go", `package p
+import "fmt"
+func g(p float64) {
+	panic(fmt.Sprintf("stats: quantile argument %g out of (0,1)", p))
+}
+func h() { panic("rng: Exp requires a positive rate") }
+`)
+	write(t, dir, "skip_test.go", `package p
+func t() { panic("panics in tests are fine") }
+`)
+	if n, err := checkDir(dir); err != nil || n != 0 {
+		t.Fatalf("clean dir: got %d bad, err %v; want 0, nil", n, err)
+	}
+
+	write(t, dir, "bad.go", `package p
+func b() { panic("engine: unexpected state") }
+func c() { panic(42) }
+`)
+	if n, err := checkDir(dir); err != nil || n != 2 {
+		t.Fatalf("dirty dir: got %d bad, err %v; want 2, nil", n, err)
+	}
+}
+
+// TestEnginePackagesClean runs the analyzer against the real guarded
+// packages, so the allowlist and the code can never drift apart silently.
+func TestEnginePackagesClean(t *testing.T) {
+	for _, dir := range []string{"internal/rng", "internal/stats", "internal/network", "internal/sim"} {
+		n, err := checkDir(filepath.Join("..", "..", "..", dir))
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		if n != 0 {
+			t.Errorf("%s: %d forbidden panic call(s)", dir, n)
+		}
+	}
+}
