@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet nopanic staticcheck vulncheck fmtcheck lint race verify ci bench bench-smoke bench-compare bench-json difftest soundness fuzz-smoke fuzz-long
+.PHONY: build test vet nopanic staticcheck vulncheck fmtcheck lint race verify ci bench bench-smoke bench-compare bench-json bench-fig5 bench-fig5-smoke difftest soundness fuzz-smoke fuzz-long
 
 build:
 	$(GO) build ./...
@@ -85,7 +85,7 @@ fuzz-long: build
 
 verify: build test
 
-ci: verify vet staticcheck vulncheck fmtcheck race lint difftest bench-smoke fuzz-smoke
+ci: verify vet staticcheck vulncheck fmtcheck race lint difftest bench-smoke bench-fig5-smoke fuzz-smoke
 
 # BENCH_PKGS are the packages carrying the hot-path micro-benchmarks
 # (engine step, move memoization, compiled expression evaluation) and their
@@ -126,9 +126,23 @@ bench-compare:
 # BENCH_<experiment>.json per case-study experiment, in the report schema
 # of docs/OBSERVABILITY.md (see EXPERIMENTS.md for the workflow). table1
 # is capped at size 6 to keep a full regeneration under a minute.
-bench-json: build
+bench-json: build bench-fig5
 	$(GO) run ./cmd/slimbench -experiment table1 -max-size 6 -report BENCH_table1.json
-	$(GO) run ./cmd/slimbench -experiment fig5-permanent -report BENCH_fig5-permanent.json
-	$(GO) run ./cmd/slimbench -experiment fig5-recoverable -report BENCH_fig5-recoverable.json
 	$(GO) run ./cmd/slimbench -experiment generators -report BENCH_generators.json
 	$(GO) run ./cmd/slimbench -experiment rare-events -report BENCH_rare-events.json
+
+# bench-fig5 regenerates the Fig. 5 sweep artifacts: one shared-path
+# sweep per strategy (docs/SWEEPS.md) plus, with -baseline, the per-bound
+# loop it replaced — the JSON carries per-cell rows ("u=.../strategy=...")
+# and per-strategy timing rows ("strategy=..." with sweepMs, baselineMs,
+# speedup, sharedPaths, baselinePaths).
+bench-fig5: build
+	$(GO) run ./cmd/slimbench -experiment fig5-permanent -baseline -report BENCH_fig5-permanent.json
+	$(GO) run ./cmd/slimbench -experiment fig5-recoverable -baseline -report BENCH_fig5-recoverable.json
+
+# bench-fig5-smoke is the CI form: a tiny sweep (2 bounds, loose
+# accuracy) with the baseline comparison enabled, proving the shared-path
+# flow end to end in a couple of seconds without touching the committed
+# artifacts.
+bench-fig5-smoke: build
+	$(GO) run ./cmd/slimbench -experiment fig5-permanent -points 2 -umax 400 -delta 0.2 -eps 0.1 -baseline >/dev/null

@@ -45,6 +45,8 @@ type bench struct {
 	workers    int
 	seed       uint64
 	progress   bool
+	method     string
+	baseline   bool
 
 	experiment string
 	rows       []telemetry.ExperimentRow
@@ -61,6 +63,18 @@ func (b *bench) analyze(m *slimsim.Model, label string, opts slimsim.Options) (s
 		defer stop()
 	}
 	return m.Analyze(opts)
+}
+
+// analyzeSweep runs one shared-path multi-bound sub-run, mirroring analyze.
+func (b *bench) analyzeSweep(m *slimsim.Model, label string, opts slimsim.Options, bounds []float64) (slimsim.SweepReport, error) {
+	if b.progress {
+		fmt.Fprintf(os.Stderr, "%s: ", label)
+		tel := slimsim.NewTelemetry(slimsim.TelemetryInfo{Tool: "slimbench", Model: label})
+		opts.Telemetry = tel
+		stop := tel.StartProgress(os.Stderr, 0)
+		defer stop()
+	}
+	return m.AnalyzeSweep(opts, bounds)
 }
 
 // row records one sweep result for the JSON report.
@@ -92,6 +106,8 @@ func run(args []string) error {
 		bound      = fs.Float64("bound", 150, "property time bound for table1")
 		uMax       = fs.Float64("umax", 1200, "largest time bound in fig5 sweeps")
 		points     = fs.Int("points", 6, "number of sweep points in fig5")
+		method     = fs.String("method", "chernoff", "sample-count generator: chernoff, gauss or chow-robbins")
+		baseline   = fs.Bool("baseline", false, "in fig5, also time the per-bound baseline (one Analyze per point) and report the sweep speedup")
 		workers    = fs.Int("workers", runtime.NumCPU(), "simulator workers")
 		seed       = fs.Uint64("seed", 1, "random seed")
 		reportPath = fs.String("report", "", "write a JSON experiment report (schema in docs/OBSERVABILITY.md) to this path")
@@ -100,9 +116,21 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Range-check the knobs at the CLI so bad values are usage errors
+	// (exit 1), matching slimsim's -delta/-eps convention.
+	if !(*delta > 0 && *delta < 1) {
+		return fmt.Errorf("-delta must lie strictly between 0 and 1, got %g", *delta)
+	}
+	if !(*eps > 0 && *eps < 1) {
+		return fmt.Errorf("-eps must lie strictly between 0 and 1, got %g", *eps)
+	}
+	if _, err := stats.ParseMethod(*method); err != nil {
+		return fmt.Errorf("-method: %w", err)
+	}
 	b := &bench{
 		delta: *delta, eps: *eps, workers: *workers, seed: *seed,
-		progress: *progress, experiment: *experiment,
+		progress: *progress, method: *method, baseline: *baseline,
+		experiment: *experiment,
 	}
 	start := time.Now()
 	var err error
@@ -175,7 +203,7 @@ func table1(b *bench, maxSize int, bound float64) error {
 			var err error
 			simRep, err = b.analyze(m, label, slimsim.Options{
 				Goal: casestudy.SensorFilterGoal, Bound: bound,
-				Strategy: "asap", Delta: b.delta, Epsilon: b.eps,
+				Strategy: "asap", Delta: b.delta, Epsilon: b.eps, Method: b.method,
 				Workers: b.workers, Seed: b.seed,
 			})
 			return err
@@ -213,6 +241,10 @@ func table1(b *bench, maxSize int, bound float64) error {
 }
 
 // fig5 reproduces one panel of Fig. 5: P(failure by u) under each strategy.
+// One shared path stream per strategy answers all bounds at once (paths are
+// sampled at the sweep horizon and each cell reads its verdict off the
+// recorded first-hit time); with -baseline the per-bound loop the sweep
+// replaces is also timed, and the speedup reported per strategy.
 func fig5(b *bench, mode casestudy.FaultMode, uMax float64, points int) error {
 	src, err := casestudy.Launcher(casestudy.DefaultLauncher(mode))
 	if err != nil {
@@ -223,33 +255,91 @@ func fig5(b *bench, mode casestudy.FaultMode, uMax float64, points int) error {
 		return err
 	}
 	strategies := []string{"asap", "progressive", "local", "maxtime"}
-	fmt.Printf("Fig. 5 reproduction (%s DPU faults): P(<> [0,u] %s), δ=%g ε=%g\n\n",
+	bounds := make([]float64, points)
+	for i := range bounds {
+		bounds[i] = uMax * float64(i+1) / float64(points)
+	}
+	fmt.Printf("Fig. 5 reproduction (%s DPU faults): P(<> [0,u] %s), δ=%g ε=%g\n",
 		mode, casestudy.LauncherGoal, b.delta, b.eps)
+	fmt.Printf("one shared path stream per strategy answers all %d bounds\n\n", points)
+
+	type timing struct {
+		sweepMs, baselineMs float64
+		sharedPaths         int
+	}
+	sweeps := make([]slimsim.SweepReport, len(strategies))
+	timings := make([]timing, len(strategies))
+	for si, s := range strategies {
+		opts := slimsim.Options{
+			Goal:     casestudy.LauncherGoal,
+			Strategy: s, Delta: b.delta, Epsilon: b.eps, Method: b.method,
+			Workers: b.workers, Seed: b.seed,
+		}
+		start := time.Now()
+		rep, err := b.analyzeSweep(m, "strategy="+s, opts, bounds)
+		if err != nil {
+			return fmt.Errorf("strategy=%s: %w", s, err)
+		}
+		sweeps[si] = rep
+		timings[si] = timing{
+			sweepMs:     float64(time.Since(start)) / float64(time.Millisecond),
+			sharedPaths: rep.Paths,
+		}
+		for i, c := range rep.Cells {
+			b.row(fmt.Sprintf("u=%g/strategy=%s", bounds[i], s), map[string]float64{
+				"p":     c.Probability,
+				"paths": float64(c.Paths),
+			})
+		}
+		values := map[string]float64{
+			"sweepMs":     timings[si].sweepMs,
+			"sharedPaths": float64(rep.Paths),
+		}
+		if b.baseline {
+			bstart := time.Now()
+			baselinePaths := 0
+			for _, u := range bounds {
+				o := opts
+				o.Bound = u
+				srep, err := b.analyze(m, fmt.Sprintf("baseline u=%g/strategy=%s", u, s), o)
+				if err != nil {
+					return fmt.Errorf("baseline u=%g strategy=%s: %w", u, s, err)
+				}
+				baselinePaths += srep.Paths
+			}
+			timings[si].baselineMs = float64(time.Since(bstart)) / float64(time.Millisecond)
+			values["baselineMs"] = timings[si].baselineMs
+			values["baselinePaths"] = float64(baselinePaths)
+			if timings[si].sweepMs > 0 {
+				values["speedup"] = timings[si].baselineMs / timings[si].sweepMs
+			}
+		}
+		b.row("strategy="+s, values)
+	}
+
 	fmt.Printf("%-8s", "u")
 	for _, s := range strategies {
 		fmt.Printf(" %12s", s)
 	}
 	fmt.Println()
-	for i := 1; i <= points; i++ {
-		u := uMax * float64(i) / float64(points)
+	for i, u := range bounds {
 		fmt.Printf("%-8.0f", u)
-		for _, s := range strategies {
-			label := fmt.Sprintf("u=%g/strategy=%s", u, s)
-			start := time.Now()
-			rep, err := b.analyze(m, label, slimsim.Options{
-				Goal: casestudy.LauncherGoal, Bound: u,
-				Strategy: s, Delta: b.delta, Epsilon: b.eps,
-				Workers: b.workers, Seed: b.seed,
-			})
-			if err != nil {
-				return fmt.Errorf("u=%g strategy=%s: %w", u, s, err)
-			}
-			b.row(label, map[string]float64{
-				"p":     rep.Probability,
-				"paths": float64(rep.Paths),
-				"ms":    float64(time.Since(start)) / float64(time.Millisecond),
-			})
-			fmt.Printf(" %12.4f", rep.Probability)
+		for si := range strategies {
+			fmt.Printf(" %12.4f", sweeps[si].Cells[i].Probability)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Printf("%-12s %12s %12s", "strategy", "paths", "sweep-time")
+	if b.baseline {
+		fmt.Printf(" %14s %8s", "baseline-time", "speedup")
+	}
+	fmt.Println()
+	for si, s := range strategies {
+		tm := timings[si]
+		fmt.Printf("%-12s %12d %11.0fms", s, tm.sharedPaths, tm.sweepMs)
+		if b.baseline {
+			fmt.Printf(" %12.0fms %7.1fx", tm.baselineMs, tm.baselineMs/tm.sweepMs)
 		}
 		fmt.Println()
 	}
@@ -314,7 +404,7 @@ func rareEvents(b *bench) error {
 		label := fmt.Sprintf("bound=%g", bound)
 		rep, err := b.analyze(m, label, slimsim.Options{
 			Goal: casestudy.SensorFilterGoal, Bound: bound,
-			Strategy: "asap", Delta: b.delta, Epsilon: b.eps,
+			Strategy: "asap", Delta: b.delta, Epsilon: b.eps, Method: b.method,
 			Workers: b.workers, Seed: b.seed,
 		})
 		if err != nil {

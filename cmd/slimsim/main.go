@@ -14,8 +14,10 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"slimsim"
@@ -40,6 +42,7 @@ func run(args []string) error {
 		constraint  = fs.String("constraint", "", "constraint predicate for -kind until")
 		kind        = fs.String("kind", "reach", "property kind: reach, always or until")
 		bound       = fs.Float64("bound", 0, "time bound u of the property (required)")
+		boundsList  = fs.String("bounds", "", "comma-separated ascending time bounds u1,u2,... for a multi-bound sweep sharing one path stream (overrides -bound)")
 		strat       = fs.String("strategy", "progressive", "strategy: asap, progressive, local or maxtime")
 		delta       = fs.Float64("delta", 0.05, "statistical risk δ (confidence is 1-δ)")
 		eps         = fs.Float64("eps", 0.01, "error bound ε")
@@ -59,9 +62,9 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *modelPath == "" || (*pattern == "" && (*goal == "" || *bound <= 0)) {
+	if *modelPath == "" || (*pattern == "" && *goal == "") || (*pattern == "" && *boundsList == "" && *bound <= 0) {
 		fs.Usage()
-		return fmt.Errorf("-model plus either -prop or (-goal and a positive -bound) are required")
+		return fmt.Errorf("-model plus either -prop or (-goal and a positive -bound or -bounds) are required")
 	}
 	// Range-check the accuracy knobs here so a bad value is a usage error
 	// (exit 1) instead of surfacing from deep inside the sampling loop.
@@ -70,6 +73,10 @@ func run(args []string) error {
 	}
 	if !(*eps > 0 && *eps < 1) {
 		return fmt.Errorf("-eps must lie strictly between 0 and 1, got %g", *eps)
+	}
+	sweepBounds, err := parseBounds(*boundsList)
+	if err != nil {
+		return err
 	}
 
 	if !*noLint {
@@ -117,24 +124,41 @@ func run(args []string) error {
 	}
 	// Static fast path: when the fixpoint decides the property exactly, no
 	// amount of sampling adds information — report the 0/1 answer and the
-	// reason instead of spinning the Monte Carlo loop.
+	// reason instead of spinning the Monte Carlo loop. Static verdicts are
+	// bound-independent (they decide the property from the initial state or
+	// from static reachability), so a decided sweep is the same 0/1 answer
+	// for every bound.
 	if !*noStatic {
+		staticBound := *bound
+		if len(sweepBounds) > 0 {
+			staticBound = sweepBounds[len(sweepBounds)-1]
+		}
 		srep, err := m.CheckStatic(slimsim.Options{
 			Pattern:    *pattern,
 			Kind:       slimsim.PropertyKind(*kind),
 			Goal:       *goal,
 			Constraint: *constraint,
-			Bound:      *bound,
+			Bound:      staticBound,
 		})
 		if err != nil {
 			return err
 		}
 		if srep.Decided {
 			if *quiet {
-				fmt.Printf("%.6f\n", srep.Probability)
+				for range sweepBounds {
+					fmt.Printf("%.6f\n", srep.Probability)
+				}
+				if len(sweepBounds) == 0 {
+					fmt.Printf("%.6f\n", srep.Probability)
+				}
 				return nil
 			}
-			fmt.Printf("P = %.6f (exact, no sampling needed)\n", srep.Probability)
+			for _, u := range sweepBounds {
+				fmt.Printf("P(u=%g) = %.6f (exact, no sampling needed)\n", u, srep.Probability)
+			}
+			if len(sweepBounds) == 0 {
+				fmt.Printf("P = %.6f (exact, no sampling needed)\n", srep.Probability)
+			}
 			fmt.Printf("decided statically: %s\n", srep.Reason)
 			return nil
 		}
@@ -160,7 +184,7 @@ func run(args []string) error {
 	if *progress {
 		stopProgress = tel.StartProgress(os.Stderr, 0)
 	}
-	rep, err := m.Analyze(slimsim.Options{
+	opts := slimsim.Options{
 		Pattern:    *pattern,
 		Kind:       slimsim.PropertyKind(*kind),
 		Goal:       *goal,
@@ -174,7 +198,28 @@ func run(args []string) error {
 		Seed:       *seed,
 		OnLock:     *onLock,
 		Telemetry:  tel,
-	})
+	}
+	if len(sweepBounds) > 0 {
+		rep, err := m.AnalyzeSweep(opts, sweepBounds)
+		stopProgress()
+		if err != nil {
+			return err
+		}
+		if *reportPath != "" {
+			if err := tel.Report().WriteFile(*reportPath); err != nil {
+				return err
+			}
+		}
+		if *quiet {
+			for _, c := range rep.Cells {
+				fmt.Printf("%.6f\n", c.Probability)
+			}
+			return nil
+		}
+		fmt.Println(rep)
+		return nil
+	}
+	rep, err := m.Analyze(opts)
 	stopProgress()
 	if err != nil {
 		return err
@@ -190,6 +235,32 @@ func run(args []string) error {
 	}
 	fmt.Println(rep)
 	return nil
+}
+
+// parseBounds parses the -bounds flag: a comma-separated list of finite,
+// positive, strictly ascending time bounds. An empty string means no
+// sweep was requested. Errors here are usage errors (exit 1), matching
+// the -delta/-eps convention.
+func parseBounds(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	bounds := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		u, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-bounds: bad bound %q", part)
+		}
+		if !(u > 0) || math.IsInf(u, 0) {
+			return nil, fmt.Errorf("-bounds: bounds must be positive and finite, got %q", part)
+		}
+		if n := len(bounds); n > 0 && u <= bounds[n-1] {
+			return nil, fmt.Errorf("-bounds: bounds must be strictly ascending, got %g after %g", u, bounds[n-1])
+		}
+		bounds = append(bounds, u)
+	}
+	return bounds, nil
 }
 
 // lintGate statically analyzes the model file and fails fast when it has

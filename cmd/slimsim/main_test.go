@@ -88,6 +88,54 @@ func TestRunSimulateTraces(t *testing.T) {
 	}
 }
 
+func TestRunSweep(t *testing.T) {
+	path := writeModel(t)
+	report := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{
+		"-model", path, "-goal", "not u.alive", "-bounds", "2,5,10",
+		"-delta", "0.2", "-eps", "0.05", "-workers", "2", "-q",
+		"-report", report,
+	})
+	if err != nil {
+		t.Fatalf("run -bounds: %v", err)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("sweep run wrote no report: %v", err)
+	}
+	if !strings.Contains(string(data), `"sweep"`) {
+		t.Errorf("sweep report lacks a sweep section:\n%s", data)
+	}
+}
+
+// TestRunSweepStatic checks that a statically decided property short-
+// circuits a -bounds run too: the verdict is bound-independent, so the
+// sweep is answered without sampling.
+func TestRunSweepStatic(t *testing.T) {
+	path := writeModel(t)
+	err := run([]string{
+		"-model", path, "-goal", "u.alive", "-bounds", "1,2", "-q",
+	})
+	if err != nil {
+		t.Fatalf("run static -bounds: %v", err)
+	}
+}
+
+func TestParseBounds(t *testing.T) {
+	good, err := parseBounds(" 1, 2.5 ,1e1")
+	if err != nil || len(good) != 3 || good[0] != 1 || good[1] != 2.5 || good[2] != 10 {
+		t.Errorf("parseBounds: got %v, %v", good, err)
+	}
+	if b, err := parseBounds(""); b != nil || err != nil {
+		t.Errorf("empty -bounds: got %v, %v", b, err)
+	}
+	for _, bad := range []string{"x", "1,,2", "0,1", "-1,2", "2,1", "3,3", "1,+Inf"} {
+		if _, err := parseBounds(bad); err == nil {
+			t.Errorf("parseBounds(%q) accepted, want usage error", bad)
+		}
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	cases := [][]string{
 		{},                            // nothing
@@ -108,5 +156,10 @@ func TestRunValidation(t *testing.T) {
 	err := run([]string{"-model", path, "-goal", "not u.alive", "-bound", "1", "-strategy", "zzz"})
 	if err == nil || !strings.Contains(err.Error(), "unknown strategy") {
 		t.Errorf("expected strategy error, got %v", err)
+	}
+	// A malformed -bounds list is a usage error before any sampling.
+	err = run([]string{"-model", path, "-goal", "not u.alive", "-bounds", "5,2"})
+	if err == nil || !strings.Contains(err.Error(), "-bounds") {
+		t.Errorf("expected -bounds usage error, got %v", err)
 	}
 }

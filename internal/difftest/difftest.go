@@ -377,6 +377,39 @@ func checkExact(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepanc
 		return fail("exact", "monte carlo estimate %.6f (%d paths, asap) outside the ±%g band around exact %.10f (diff %.4f)",
 			rep.Probability, rep.Paths, mcEpsilon, exact.Probability, diff)
 	}
+	// Sweep oracle: the shared-path multi-bound run under the same seed
+	// must be monotone in u, agree cell by cell with the exact transient
+	// probability at each bound, and reproduce the single-bound run above
+	// bit for bit in its horizon cell (same stream, same consumption
+	// order, same estimator state).
+	if g.Bound > 0 {
+		bounds := []float64{g.Bound / 3, 2 * g.Bound / 3, g.Bound}
+		srep, err := m.AnalyzeSweep(mcOpts, bounds)
+		if err != nil {
+			return engineOr(fail, "exact", "sweep monte carlo: %v", err)
+		}
+		horizon := srep.Cells[len(srep.Cells)-1]
+		if horizon.Estimate != rep.Estimate {
+			return fail("exact", "sweep horizon cell %+v is not bit-identical to the single-bound run %+v",
+				horizon.Estimate, rep.Estimate)
+		}
+		prev := math.Inf(-1)
+		for _, c := range srep.Cells {
+			pu, err := lumped.Quotient.ReachWithin(c.Bound, 1e-10)
+			if err != nil {
+				return fail("exact", "lumped solve at u=%g: %v", c.Bound, err)
+			}
+			if diff := math.Abs(c.Probability - pu); diff > mcEpsilon {
+				return fail("exact", "sweep estimate %.6f at u=%g (%d shared paths) outside the ±%g band around exact %.10f (diff %.4f)",
+					c.Probability, c.Bound, srep.Paths, mcEpsilon, pu, diff)
+			}
+			if c.Probability < prev {
+				return fail("exact", "sweep estimates not monotone in u: P(u=%g)=%.6f after %.6f",
+					c.Bound, c.Probability, prev)
+			}
+			prev = c.Probability
+		}
+	}
 	return nil
 }
 

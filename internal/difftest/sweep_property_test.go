@@ -1,0 +1,72 @@
+package difftest
+
+import (
+	"math"
+	"testing"
+
+	"slimsim"
+	"slimsim/internal/modelgen"
+)
+
+// TestSweepAgreesWithIndependentRuns is the property-based face of the
+// sweep oracle: on generated Markovian models the shared-path sweep's
+// verdict vector must be monotone in u, and every cell must agree with
+// an *independent* single-bound Analyze run at the same bound (different
+// seed, its own path stream) within twice the Chernoff band — each
+// estimate is within mcEpsilon of the true probability except with
+// probability mcDelta, so their disagreement is bounded by 2·mcEpsilon.
+// Five models × four bounds = twenty independent cross-checks.
+func TestSweepAgreesWithIndependentRuns(t *testing.T) {
+	const models = 5
+	found := 0
+	for seed := uint64(1); found < models; seed++ {
+		if seed > 10_000 {
+			t.Fatalf("found only %d usable markovian seeds in 10k attempts", found)
+		}
+		g, err := modelgen.Generate(modelgen.Markovian, seed)
+		if err != nil || g.Bound <= 0 {
+			continue
+		}
+		m, err := slimsim.LoadModel(g.Source)
+		if err != nil {
+			continue
+		}
+		found++
+		bounds := []float64{g.Bound / 4, g.Bound / 2, 3 * g.Bound / 4, g.Bound}
+
+		sweepOpts := opts(g, "asap", g.Seed+1)
+		sweepOpts.Delta = mcDelta
+		sweepOpts.Epsilon = mcEpsilon
+		sweepOpts.Workers = 1
+		srep, err := m.AnalyzeSweep(sweepOpts, bounds)
+		if err != nil {
+			t.Errorf("markovian/%d: AnalyzeSweep: %v", seed, err)
+			continue
+		}
+
+		prev := math.Inf(-1)
+		for i, c := range srep.Cells {
+			if c.Probability < prev {
+				t.Errorf("markovian/%d: sweep not monotone: P(u=%g)=%.6f after %.6f",
+					seed, c.Bound, c.Probability, prev)
+			}
+			prev = c.Probability
+
+			// Independent run: own seed, own stream, same accuracy.
+			single := opts(g, "asap", g.Seed+100+uint64(i))
+			single.Bound = c.Bound
+			single.Delta = mcDelta
+			single.Epsilon = mcEpsilon
+			single.Workers = 1
+			rep, err := m.Analyze(single)
+			if err != nil {
+				t.Errorf("markovian/%d u=%g: Analyze: %v", seed, c.Bound, err)
+				continue
+			}
+			if diff := math.Abs(c.Probability - rep.Probability); diff > 2*mcEpsilon {
+				t.Errorf("markovian/%d u=%g: sweep cell %.6f vs independent run %.6f (diff %.4f > %g)",
+					seed, c.Bound, c.Probability, rep.Probability, diff, 2*mcEpsilon)
+			}
+		}
+	}
+}

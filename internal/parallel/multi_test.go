@@ -1,0 +1,143 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"slimsim/internal/rng"
+	"slimsim/internal/stats"
+)
+
+// vectorSampler returns a pure-function VectorSampler: the outcome vector
+// depends only on (seed, worker, iteration), so any two runs draw the
+// same per-worker streams regardless of scheduling.
+func vectorSampler(seed uint64, ps []float64) VectorSampler {
+	return func(worker, iteration int, out []bool) error {
+		src := rng.New(seed ^ uint64(worker)<<32 ^ uint64(iteration))
+		for i, p := range ps {
+			out[i] = src.Bernoulli(p)
+		}
+		return nil
+	}
+}
+
+func TestRunMultiSequential(t *testing.T) {
+	p := stats.Params{Delta: 0.1, Epsilon: 0.05}
+	ps := []float64{0.2, 0.5, 0.8}
+	me, err := stats.NewMultiEstimator(stats.MethodChernoff, p, len(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunMulti(me, vectorSampler(11, ps), MultiOptions{Workers: 1}); err != nil {
+		t.Fatalf("RunMulti: %v", err)
+	}
+	if !me.Done() {
+		t.Fatal("run returned before every cell converged")
+	}
+	for i, est := range me.Estimates() {
+		if est.Trials != me.Planned() {
+			t.Errorf("cell %d trials = %d, want planned %d", i, est.Trials, me.Planned())
+		}
+		if math.Abs(est.Mean()-ps[i]) > 0.05 {
+			t.Errorf("cell %d mean = %g too far from %g", i, est.Mean(), ps[i])
+		}
+	}
+}
+
+// TestRunMultiDeterministic pins the commit-on-consume rule for vector
+// fan-out: with a fixed seed and worker count the per-cell estimates are
+// bit-identical across runs, and the OnSample stream arrives in the same
+// order.
+func TestRunMultiDeterministic(t *testing.T) {
+	p := stats.Params{Delta: 0.05, Epsilon: 0.05}
+	ps := []float64{0.3, 0.6}
+	run := func() ([]stats.Estimate, []string) {
+		me, err := stats.NewMultiEstimator(stats.MethodChowRobbins, p, len(ps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var order []string
+		opts := MultiOptions{Workers: 4, OnSample: func(worker, iteration int, outcomes []bool) {
+			order = append(order, fmt.Sprintf("%d/%d:%v", worker, iteration, outcomes))
+		}}
+		if err := RunMulti(me, vectorSampler(23, ps), opts); err != nil {
+			t.Fatalf("RunMulti: %v", err)
+		}
+		return me.Estimates(), order
+	}
+	est1, ord1 := run()
+	est2, ord2 := run()
+	for i := range est1 {
+		if est1[i] != est2[i] {
+			t.Errorf("cell %d differs across runs: %+v vs %+v", i, est1[i], est2[i])
+		}
+	}
+	if len(ord1) != len(ord2) {
+		t.Fatalf("consumed %d vs %d samples", len(ord1), len(ord2))
+	}
+	for i := range ord1 {
+		if ord1[i] != ord2[i] {
+			t.Fatalf("sample %d differs: %s vs %s", i, ord1[i], ord2[i])
+		}
+	}
+}
+
+// TestRunMultiMatchesSingleBound is the collector-level half of the
+// sweep/single-bound agreement guarantee: a one-cell vector run consumes
+// exactly the stream a scalar Run consumes, so the estimates coincide
+// bit for bit at any worker count.
+func TestRunMultiMatchesSingleBound(t *testing.T) {
+	p := stats.Params{Delta: 0.1, Epsilon: 0.1}
+	ps := []float64{0.35}
+	for _, workers := range []int{1, 3} {
+		me, err := stats.NewMultiEstimator(stats.MethodChernoff, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RunMulti(me, vectorSampler(7, ps), MultiOptions{Workers: workers}); err != nil {
+			t.Fatalf("RunMulti: %v", err)
+		}
+		gen, err := stats.NewChernoff(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar := func(worker, iteration int) (bool, error) {
+			var out [1]bool
+			err := vectorSampler(7, ps)(worker, iteration, out[:])
+			return out[0], err
+		}
+		est, err := Run(gen, scalar, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if me.Estimate(0) != est {
+			t.Errorf("workers=%d: vector cell %+v, scalar run %+v", workers, me.Estimate(0), est)
+		}
+	}
+}
+
+func TestRunMultiError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		me, err := stats.NewMultiEstimator(stats.MethodChernoff, stats.Params{Delta: 0.1, Epsilon: 0.1}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler := func(worker, iteration int, out []bool) error {
+			if iteration >= 10 {
+				return boom
+			}
+			return nil
+		}
+		err = RunMulti(me, sampler, MultiOptions{Workers: workers})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: err = %v, want boom", workers, err)
+		}
+		if err != nil && !strings.Contains(err.Error(), "worker") {
+			t.Errorf("workers=%d: error %q lacks worker context", workers, err)
+		}
+	}
+}

@@ -55,6 +55,78 @@ type Report struct {
 	Method   stats.Method
 }
 
+// workerState is the per-worker sampling state, created eagerly so the
+// sampling hot loop is lock-free: each worker owns its RNG stream, engine
+// view, recorder and counters, touched only from its own goroutine until
+// the parallel run returns.
+type workerState struct {
+	src *rng.Source
+	eng *Engine
+	rec *telemetry.PathRecorder
+
+	deadlocks, timelocks int
+	steps                int64
+}
+
+// samplePath draws one path through the worker's engine view, maintaining
+// the worker's counters and the pending-path telemetry.
+func (ws *workerState) samplePath(tel *telemetry.Collector, worker, iteration int) (PathResult, error) {
+	if ws.rec != nil {
+		ws.rec.Begin()
+	}
+	// Each worker owns its state; SamplePath uses it sequentially within
+	// the worker goroutine.
+	res, err := ws.eng.SamplePath(ws.src)
+	if err != nil {
+		return PathResult{}, err
+	}
+	ws.steps += int64(res.Steps)
+	switch res.Termination {
+	case TermDeadlock:
+		ws.deadlocks++
+	case TermTimelock:
+		ws.timelocks++
+	}
+	if ws.rec != nil {
+		tel.RecordPath(worker, iteration,
+			ws.rec.Finish(res.Steps, res.EndTime, res.Termination.String(), res.Satisfied))
+	}
+	return res, nil
+}
+
+// newWorkerStates derives one workerState per worker from the run seed:
+// worker w samples from the split stream seed→w, and with telemetry each
+// worker gets its own path recorder as observer (preserving any
+// caller-configured observer).
+func newWorkerStates(engine *Engine, cfg AnalysisConfig, workers int) []*workerState {
+	states := make([]*workerState, workers)
+	root := rng.New(cfg.Seed)
+	tel := cfg.Telemetry
+	for w := range states {
+		ws := &workerState{src: root.Split(uint64(w)), eng: engine}
+		if tel != nil {
+			ws.rec = tel.Recorder(w)
+			var obs Observer = ws.rec
+			if cfg.Observer != nil {
+				obs = TeeObserver{A: cfg.Observer, B: ws.rec}
+			}
+			ws.eng = engine.WithObserver(obs)
+		}
+		states[w] = ws
+	}
+	return states
+}
+
+// tally sums the per-worker lock and step counters.
+func tally(states []*workerState) (deadlocks, timelocks int, steps int64) {
+	for _, ws := range states {
+		deadlocks += ws.deadlocks
+		timelocks += ws.timelocks
+		steps += ws.steps
+	}
+	return deadlocks, timelocks, steps
+}
+
 // Analyze estimates the probability of the configured property using Monte
 // Carlo simulation.
 func Analyze(rt *network.Runtime, cfg AnalysisConfig) (Report, error) {
@@ -76,56 +148,13 @@ func Analyze(rt *network.Runtime, cfg AnalysisConfig) (Report, error) {
 		workers = 1
 	}
 
-	// Per-worker state is created eagerly so the sampling hot loop is
-	// lock-free: each worker owns its RNG stream, engine view, recorder and
-	// counters, touched only from its own goroutine until Run returns.
-	type workerState struct {
-		src *rng.Source
-		eng *Engine
-		rec *telemetry.PathRecorder
-
-		deadlocks, timelocks int
-		steps                int64
-	}
-	states := make([]*workerState, workers)
-	root := rng.New(cfg.Seed)
+	states := newWorkerStates(engine, cfg, workers)
 	tel := cfg.Telemetry
-	for w := range states {
-		ws := &workerState{src: root.Split(uint64(w)), eng: engine}
-		if tel != nil {
-			// Give the worker its own recorder as observer, preserving
-			// any caller-configured observer.
-			ws.rec = tel.Recorder(w)
-			var obs Observer = ws.rec
-			if cfg.Observer != nil {
-				obs = TeeObserver{A: cfg.Observer, B: ws.rec}
-			}
-			ws.eng = engine.WithObserver(obs)
-		}
-		states[w] = ws
-	}
 
 	sampler := func(worker, iteration int) (bool, error) {
-		ws := states[worker]
-		if ws.rec != nil {
-			ws.rec.Begin()
-		}
-		// Each worker owns its state; SamplePath uses it sequentially
-		// within the worker goroutine.
-		res, err := ws.eng.SamplePath(ws.src)
+		res, err := states[worker].samplePath(tel, worker, iteration)
 		if err != nil {
 			return false, err
-		}
-		ws.steps += int64(res.Steps)
-		switch res.Termination {
-		case TermDeadlock:
-			ws.deadlocks++
-		case TermTimelock:
-			ws.timelocks++
-		}
-		if ws.rec != nil {
-			tel.RecordPath(worker, iteration,
-				ws.rec.Finish(res.Steps, res.EndTime, res.Termination.String(), res.Satisfied))
 		}
 		return res.Satisfied, nil
 	}
@@ -148,13 +177,7 @@ func Analyze(rt *network.Runtime, cfg AnalysisConfig) (Report, error) {
 	start := time.Now()
 	est, err := parallel.Run(gen, sampler, popts)
 	elapsed := time.Since(start)
-	var deadlocks, timelocks int
-	var totalSteps int64
-	for _, ws := range states {
-		deadlocks += ws.deadlocks
-		timelocks += ws.timelocks
-		totalSteps += ws.steps
-	}
+	deadlocks, timelocks, totalSteps := tally(states)
 	engineSteps, cacheHits, cacheMisses := engine.Stats()
 	if tel != nil {
 		tel.SetEngineStats(engineSteps, cacheHits, cacheMisses)

@@ -130,6 +130,13 @@ type PathResult struct {
 	Steps int
 	// EndTime is the model time at which the path ended.
 	EndTime float64
+	// DecidedAt is the model time of the decisive event: the first hit of
+	// the goal (reachability/until, Satisfied) or its first failure
+	// (invariance, Violated). For verdicts forced by the bound expiring it
+	// is the bound itself, and for locks it is the lock time. Together
+	// with Satisfied it determines the verdict of the same property under
+	// every smaller time bound (see prop.Sweep).
+	DecidedAt float64
 }
 
 // Engine generates paths for a fixed runtime and configuration. Engines
@@ -253,6 +260,7 @@ func (e *Engine) SamplePath(src *rng.Source) (PathResult, error) {
 	if err != nil {
 		return PathResult{}, err
 	}
+	res.DecidedAt = cur.Time
 	for verdict == prop.Undecided {
 		if res.Steps >= e.cfg.MaxSteps {
 			res.Termination = TermMaxSteps
@@ -375,7 +383,7 @@ func (e *Engine) step(ps *pathScratch, cur, nxt *network.State, src *rng.Source,
 		if math.IsInf(maxD, 1) {
 			// Time diverges with no event: the bounded property
 			// decides at its bound.
-			v, _, derr := e.eval.DuringDelay(ps.net.Env(cur), cur.Time, horizonLeft+1)
+			v, at, derr := e.eval.DuringDelay(ps.net.Env(cur), cur.Time, horizonLeft+1)
 			if derr != nil {
 				return 0, nil, derr
 			}
@@ -384,6 +392,7 @@ func (e *Engine) step(ps *pathScratch, cur, nxt *network.State, src *rng.Source,
 					return 0, nil, aerr
 				}
 				res.Termination = TermDecided
+				res.DecidedAt = at
 				return v, nxt, nil
 			}
 		}
@@ -392,7 +401,7 @@ func (e *Engine) step(ps *pathScratch, cur, nxt *network.State, src *rng.Source,
 		}
 		// Let the permitted time pass (the property may still decide
 		// during it), then close the path.
-		v, _, derr := e.eval.DuringDelay(ps.net.Env(cur), cur.Time, choice.Delay)
+		v, at, derr := e.eval.DuringDelay(ps.net.Env(cur), cur.Time, choice.Delay)
 		if derr != nil {
 			return 0, nil, derr
 		}
@@ -401,6 +410,7 @@ func (e *Engine) step(ps *pathScratch, cur, nxt *network.State, src *rng.Source,
 		}
 		if v != prop.Undecided {
 			res.Termination = TermDecided
+			res.DecidedAt = at
 			return v, nxt, nil
 		}
 		v, perr := e.eval.AtPathEnd(ps.net.Env(nxt), nxt.Time)
@@ -408,6 +418,7 @@ func (e *Engine) step(ps *pathScratch, cur, nxt *network.State, src *rng.Source,
 			return 0, nil, perr
 		}
 		res.Termination = lockKind
+		res.DecidedAt = nxt.Time
 		return v, nxt, nil
 	}
 
@@ -428,7 +439,7 @@ func (e *Engine) step(ps *pathScratch, cur, nxt *network.State, src *rng.Source,
 				if e.cfg.Locks == LockErrors {
 					return 0, nil, fmt.Errorf("sim: timelock at time %g", cur.Time)
 				}
-				v, _, derr := e.eval.DuringDelay(ps.net.Env(cur), cur.Time, maxD)
+				v, at, derr := e.eval.DuringDelay(ps.net.Env(cur), cur.Time, maxD)
 				if derr != nil {
 					return 0, nil, derr
 				}
@@ -437,6 +448,7 @@ func (e *Engine) step(ps *pathScratch, cur, nxt *network.State, src *rng.Source,
 				}
 				if v != prop.Undecided {
 					res.Termination = TermDecided
+					res.DecidedAt = at
 					return v, nxt, nil
 				}
 				v, perr := e.eval.AtPathEnd(ps.net.Env(nxt), nxt.Time)
@@ -444,6 +456,7 @@ func (e *Engine) step(ps *pathScratch, cur, nxt *network.State, src *rng.Source,
 					return 0, nil, perr
 				}
 				res.Termination = TermTimelock
+				res.DecidedAt = nxt.Time
 				return v, nxt, nil
 			}
 		}
@@ -451,7 +464,7 @@ func (e *Engine) step(ps *pathScratch, cur, nxt *network.State, src *rng.Source,
 
 	// Check the property throughout the delay before committing to it.
 	if delay > 0 {
-		v, _, derr := e.eval.DuringDelay(ps.net.Env(cur), cur.Time, delay)
+		v, at, derr := e.eval.DuringDelay(ps.net.Env(cur), cur.Time, delay)
 		if derr != nil {
 			return 0, nil, derr
 		}
@@ -460,6 +473,7 @@ func (e *Engine) step(ps *pathScratch, cur, nxt *network.State, src *rng.Source,
 				return 0, nil, aerr
 			}
 			res.Termination = TermDecided
+			res.DecidedAt = at
 			return v, nxt, nil
 		}
 	}
@@ -497,6 +511,7 @@ func (e *Engine) step(ps *pathScratch, cur, nxt *network.State, src *rng.Source,
 	}
 	if v != prop.Undecided {
 		res.Termination = TermDecided
+		res.DecidedAt = newCur.Time
 	}
 	return v, newCur, nil
 }

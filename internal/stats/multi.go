@@ -1,0 +1,110 @@
+// Multi-estimator support for shared-path sweeps: one Generator per
+// (property, bound) cell, all fed from a single stream of per-path
+// outcome vectors.
+package stats
+
+import "fmt"
+
+// MultiEstimator drives one sample-count generator per (property, bound)
+// cell off a single shared path stream. Each path contributes one
+// Bernoulli outcome to every cell (the verdict of the property under that
+// cell's time bound, see prop.Sweep); each cell stops by its own rule and
+// then freezes, and sampling as a whole is done when the last cell has
+// converged.
+//
+// Freezing is what keeps the per-cell estimates statistically identical
+// to independent single-bound runs: a frozen cell's estimate is exactly
+// the value at its own stopping time — the same estimate a standalone
+// Generator would have produced from the same outcome prefix — and the
+// extra paths drawn for slower cells never leak into it. In particular,
+// with the same seed, strategy and worker count the horizon cell of a
+// sweep is bit-identical to a plain single-bound analysis.
+//
+// A MultiEstimator is stateful and not safe for concurrent use; like a
+// Generator it sits behind the parallel collector, which funnels worker
+// results into it in a deterministic order.
+type MultiEstimator struct {
+	gens   []Generator
+	frozen []bool
+	open   int
+	paths  int
+}
+
+// NewMultiEstimator returns a multi-estimator with cells independent
+// generators of the given method, all at the same accuracy parameters.
+func NewMultiEstimator(m Method, p Params, cells int) (*MultiEstimator, error) {
+	if cells < 1 {
+		return nil, fmt.Errorf("stats: multi-estimator needs at least one cell, got %d", cells)
+	}
+	me := &MultiEstimator{
+		gens:   make([]Generator, cells),
+		frozen: make([]bool, cells),
+		open:   cells,
+	}
+	for i := range me.gens {
+		g, err := NewGenerator(m, p)
+		if err != nil {
+			return nil, err
+		}
+		me.gens[i] = g
+	}
+	return me, nil
+}
+
+// Cells returns the number of cells.
+func (me *MultiEstimator) Cells() int { return len(me.gens) }
+
+// Add records one path's outcome vector: outcomes[i] is the verdict of
+// cell i. Cells that already stopped ignore their entry. len(outcomes)
+// must equal Cells(). Add never allocates.
+func (me *MultiEstimator) Add(outcomes []bool) error {
+	if len(outcomes) != len(me.gens) {
+		return fmt.Errorf("stats: outcome vector has %d entries, want %d cells",
+			len(outcomes), len(me.gens))
+	}
+	me.paths++
+	for i, g := range me.gens {
+		if me.frozen[i] {
+			continue
+		}
+		g.Add(outcomes[i])
+		if g.Done() {
+			me.frozen[i] = true
+			me.open--
+		}
+	}
+	return nil
+}
+
+// Done reports whether every cell has met its accuracy target.
+func (me *MultiEstimator) Done() bool { return me.open == 0 }
+
+// Estimate returns the state of cell i, frozen at that cell's own
+// stopping time once it converged.
+func (me *MultiEstimator) Estimate(i int) Estimate { return me.gens[i].Estimate() }
+
+// Estimates returns the per-cell estimator states in cell order.
+func (me *MultiEstimator) Estimates() []Estimate {
+	out := make([]Estimate, len(me.gens))
+	for i, g := range me.gens {
+		out[i] = g.Estimate()
+	}
+	return out
+}
+
+// Planned returns the a-priori number of shared paths if every cell knows
+// it (Chernoff–Hoeffding: all cells share one fixed N), or 0 when the
+// stopping time is data-dependent.
+func (me *MultiEstimator) Planned() int {
+	planned := me.gens[0].Planned()
+	for _, g := range me.gens[1:] {
+		if g.Planned() != planned {
+			return 0
+		}
+	}
+	return planned
+}
+
+// Paths returns the number of shared paths consumed so far — the
+// scheduler's sample count, driven by the slowest-converging cell.
+func (me *MultiEstimator) Paths() int { return me.paths }

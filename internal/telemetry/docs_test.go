@@ -104,17 +104,63 @@ func TestObservabilityDocCoversTelemetryFlags(t *testing.T) {
 	}
 }
 
-// TestExampleReportMatchesSchema asserts the example report committed for
-// the documentation is valid against the current schema essentials.
+// TestExampleReportMatchesSchema asserts the example reports committed
+// for the documentation are valid against the current schema essentials:
+// the single-bound run report and the multi-bound sweep report (which
+// additionally carries the `sweep` section next to `sampling`).
 func TestExampleReportMatchesSchema(t *testing.T) {
-	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "examples", "report.json"))
+	cases := map[string][]string{
+		"report.json":       {`"schemaVersion": 1`, `"tool"`, `"model"`, `"sampling"`},
+		"sweep_report.json": {`"schemaVersion": 1`, `"tool"`, `"model"`, `"sampling"`, `"sweep"`, `"sharedPaths"`, `"cells"`, `"bound"`},
+	}
+	for name, keys := range cases {
+		data, err := os.ReadFile(filepath.Join("..", "..", "docs", "examples", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(data)
+		for _, key := range keys {
+			if !strings.Contains(text, key) {
+				t.Errorf("docs/examples/%s misses %s", name, key)
+			}
+		}
+	}
+}
+
+// readmeFlagRE matches `-flag` tokens inside the README's flag tables.
+var readmeFlagRE = regexp.MustCompile("`-([A-Za-z][A-Za-z0-9-]*)`")
+
+// TestReadmeFlagsExist is the reverse direction of
+// TestReadmeCoversEveryFlag: every flag documented in a README flag-table
+// row must still be defined by some tool under cmd/ (slimbench included),
+// so removing or renaming a flag without updating the tables fails the
+// build just like adding one does.
+func TestReadmeFlagsExist(t *testing.T) {
+	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	text := string(data)
-	for _, key := range []string{`"schemaVersion": 1`, `"tool"`, `"model"`, `"sampling"`} {
-		if !strings.Contains(text, key) {
-			t.Errorf("docs/examples/report.json misses %s", key)
+	defined := make(map[string]bool)
+	for _, names := range cliFlags(t) {
+		for _, name := range names {
+			defined[name] = true
 		}
+	}
+	var stale []string
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(string(readme), "\n") {
+		if !strings.HasPrefix(line, "| `-") {
+			continue
+		}
+		for _, m := range readmeFlagRE.FindAllStringSubmatch(line, -1) {
+			if name := m[1]; !defined[name] && !seen[name] {
+				seen[name] = true
+				stale = append(stale, name)
+			}
+		}
+	}
+	sort.Strings(stale)
+	if len(stale) > 0 {
+		t.Errorf("README.md flag tables document flags no tool defines: %v", stale)
 	}
 }

@@ -13,9 +13,11 @@ import (
 // SchemaVersion is the report format version written by this package.
 const SchemaVersion = 1
 
-// Report is the top-level run report. Exactly one of the payload sections
-// (Sampling, CTMC, Experiment) is set per report, depending on the
-// producing flow.
+// Report is the top-level run report. Exactly one of the primary payload
+// sections (Sampling, CTMC, Experiment) is set per report, depending on
+// the producing flow; multi-bound runs additionally set Sweep next to
+// Sampling (the Sampling section then describes the shared path stream at
+// the sweep horizon, and Sweep the per-bound cells).
 type Report struct {
 	// SchemaVersion identifies the report format.
 	SchemaVersion int `json:"schemaVersion"`
@@ -36,8 +38,13 @@ type Report struct {
 	// non-deterministic part of a report; golden tests compare the
 	// sections below instead.
 	Timing *Timing `json:"timing,omitempty"`
-	// Sampling holds the Monte Carlo metrics (slimsim flow).
+	// Sampling holds the Monte Carlo metrics (slimsim flow). For sweep
+	// runs it describes the shared path stream, whose outcomes are the
+	// verdicts at the sweep horizon (the largest bound).
 	Sampling *SamplingMetrics `json:"sampling,omitempty"`
+	// Sweep holds the per-cell results of a multi-bound run
+	// (slimsim -bounds flow); it accompanies Sampling.
+	Sweep *SweepMetrics `json:"sweep,omitempty"`
 	// CTMC holds the numerical-baseline metrics (slimcheck flow).
 	CTMC *CTMCMetrics `json:"ctmc,omitempty"`
 	// Experiment holds benchmark sweep rows (slimbench flow).
@@ -128,6 +135,35 @@ type SamplingMetrics struct {
 	Transitions map[string]int64 `json:"transitions"`
 }
 
+// SweepMetrics is the per-cell results table of a shared-path multi-bound
+// run: one SweepCell per (property, bound) cell, in ascending bound
+// order. Like SamplingMetrics it is deterministic for a fixed seed,
+// worker count and model.
+type SweepMetrics struct {
+	// SharedPaths is the number of paths consumed by the shared stream —
+	// sampling continues until the slowest cell converges, so this equals
+	// the largest per-cell sample count.
+	SharedPaths int `json:"sharedPaths"`
+	// Cells holds the per-bound estimates. Each cell freezes at its own
+	// sequential stopping time, so Samples may differ across cells.
+	Cells []SweepCell `json:"cells"`
+}
+
+// SweepCell is one (property, bound) cell of a sweep.
+type SweepCell struct {
+	// Bound is the cell's time bound u.
+	Bound float64 `json:"bound"`
+	// Samples and Successes are the outcomes the cell consumed before its
+	// stopping rule fired.
+	Samples   int `json:"samples"`
+	Successes int `json:"successes"`
+	// Estimate is the cell's p̂.
+	Estimate float64 `json:"estimate"`
+	// ConfidenceInterval is the CLT interval around Estimate at level
+	// 1−δ.
+	ConfidenceInterval *CI `json:"confidenceInterval,omitempty"`
+}
+
 // CTMCMetrics is the numerical-baseline section (slimcheck flow).
 type CTMCMetrics struct {
 	Probability  float64 `json:"probability"`
@@ -200,6 +236,7 @@ func (c *Collector) Report() Report {
 		Seed:          c.info.Seed,
 		Workers:       c.info.Workers,
 		Sampling:      m,
+		Sweep:         c.sweep,
 	}
 	if !c.started.IsZero() {
 		t := &Timing{

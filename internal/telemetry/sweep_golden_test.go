@@ -1,0 +1,129 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slimsim"
+)
+
+// goldenSweepRun performs the reference multi-bound analysis on the golden
+// model: fixed seed, fixed worker count, CH generator, three bounds. The
+// Sampling section describes the shared stream at the horizon and the
+// Sweep section the per-cell results; both must be pure functions of the
+// inputs.
+func goldenSweepRun(t *testing.T) ([]byte, slimsim.SweepReport) {
+	t.Helper()
+	m, err := slimsim.LoadModel(goldenModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := slimsim.NewTelemetry(slimsim.TelemetryInfo{Tool: "slimsim", Model: "golden.slim"})
+	rep, err := m.AnalyzeSweep(slimsim.Options{
+		Goal:     "not u.alive",
+		Strategy: "progressive", Delta: 0.2, Epsilon: 0.05,
+		Workers: 4, Seed: 1,
+		Telemetry: tel,
+	}, []float64{2, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tel.Report()
+	if out.Sweep == nil {
+		t.Fatal("sweep run produced no sweep section")
+	}
+	// The timing section is wall-clock and therefore excluded from the
+	// byte comparison.
+	out.Timing = nil
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n'), rep
+}
+
+// TestSweepReportGolden pins the sweep report extension (the `-bounds`
+// flow) to a committed golden file. Regenerate with
+//
+//	go test ./internal/telemetry/ -run TestSweepReportGolden -update
+func TestSweepReportGolden(t *testing.T) {
+	got, _ := goldenSweepRun(t)
+	path := filepath.Join("testdata", "sweep_report_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("sweep report deviates from golden (rerun with -update to accept):\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}
+
+// TestSweepReportConsistency checks the invariants tying the report's
+// sections together: cells mirror the SweepReport, the horizon cell
+// matches the shared-stream Sampling section, and a plain single-bound
+// run at the horizon agrees bit for bit.
+func TestSweepReportConsistency(t *testing.T) {
+	data, rep := goldenSweepRun(t)
+	var doc struct {
+		Sampling struct {
+			Samples   int     `json:"samples"`
+			Successes int     `json:"successes"`
+			Estimate  float64 `json:"estimate"`
+		} `json:"sampling"`
+		Sweep struct {
+			SharedPaths int `json:"sharedPaths"`
+			Cells       []struct {
+				Bound     float64 `json:"bound"`
+				Samples   int     `json:"samples"`
+				Successes int     `json:"successes"`
+				Estimate  float64 `json:"estimate"`
+			} `json:"cells"`
+		} `json:"sweep"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Sweep.Cells) != len(rep.Cells) {
+		t.Fatalf("report has %d cells, SweepReport %d", len(doc.Sweep.Cells), len(rep.Cells))
+	}
+	for i, c := range doc.Sweep.Cells {
+		if c.Bound != rep.Cells[i].Bound || c.Samples != rep.Cells[i].Paths ||
+			c.Successes != rep.Cells[i].Estimate.Successes || c.Estimate != rep.Cells[i].Probability {
+			t.Errorf("cell %d: report %+v disagrees with SweepReport %+v", i, c, rep.Cells[i])
+		}
+	}
+	last := doc.Sweep.Cells[len(doc.Sweep.Cells)-1]
+	if doc.Sampling.Samples != doc.Sweep.SharedPaths {
+		t.Errorf("sampling samples %d != shared paths %d", doc.Sampling.Samples, doc.Sweep.SharedPaths)
+	}
+	if last.Samples != doc.Sampling.Samples || last.Successes != doc.Sampling.Successes {
+		t.Errorf("horizon cell %+v disagrees with sampling section %+v", last, doc.Sampling)
+	}
+
+	// Cross-check against a single-bound run at the horizon with the same
+	// configuration: same stream, same estimate.
+	m, err := slimsim.LoadModel(goldenModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := m.Analyze(slimsim.Options{
+		Goal: "not u.alive", Bound: 10,
+		Strategy: "progressive", Delta: 0.2, Epsilon: 0.05,
+		Workers: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Estimate != rep.Cells[len(rep.Cells)-1].Estimate {
+		t.Errorf("single-bound run %+v disagrees with horizon cell %+v",
+			single.Estimate, rep.Cells[len(rep.Cells)-1].Estimate)
+	}
+}

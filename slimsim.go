@@ -221,6 +221,13 @@ func NewTelemetry(info TelemetryInfo) *Telemetry {
 // Report is the outcome of a statistical analysis; see sim.Report.
 type Report = sim.Report
 
+// SweepReport is the outcome of a shared-path multi-bound analysis; see
+// sim.SweepReport.
+type SweepReport = sim.SweepReport
+
+// CellReport is one (property, bound) cell of a sweep; see sim.CellReport.
+type CellReport = sim.CellReport
+
 // CompileProperty resolves the property described by opts against the
 // model.
 func (m *Model) CompileProperty(opts Options) (prop.Property, error) {
@@ -297,20 +304,18 @@ func (m *Model) CheckStatic(opts Options) (*ReachReport, error) {
 	return &rep, nil
 }
 
-// Analyze estimates the probability of the property via Monte Carlo
-// simulation.
-func (m *Model) Analyze(opts Options) (Report, error) {
-	p, err := m.CompileProperty(opts)
-	if err != nil {
-		return Report{}, err
-	}
+// analysisConfig resolves the run knobs of opts — strategy, accuracy
+// defaults, method, lock policy, seed — into a sim.AnalysisConfig
+// carrying the compiled property p. Shared by Analyze and AnalyzeSweep so
+// a sweep resolves its configuration exactly like a single-bound run.
+func (m *Model) analysisConfig(opts Options, p prop.Property) (sim.AnalysisConfig, error) {
 	stratName := opts.Strategy
 	if stratName == "" {
 		stratName = "progressive"
 	}
 	strat, err := strategy.ByName(stratName)
 	if err != nil {
-		return Report{}, err
+		return sim.AnalysisConfig{}, err
 	}
 	delta, eps := opts.Delta, opts.Epsilon
 	if delta == 0 {
@@ -325,7 +330,7 @@ func (m *Model) Analyze(opts Options) (Report, error) {
 	}
 	method, err := stats.ParseMethod(methodName)
 	if err != nil {
-		return Report{}, err
+		return sim.AnalysisConfig{}, err
 	}
 	locks := sim.LockViolates
 	switch opts.OnLock {
@@ -333,16 +338,13 @@ func (m *Model) Analyze(opts Options) (Report, error) {
 	case "error":
 		locks = sim.LockErrors
 	default:
-		return Report{}, fmt.Errorf("slimsim: unknown lock policy %q (want violate or error)", opts.OnLock)
+		return sim.AnalysisConfig{}, fmt.Errorf("slimsim: unknown lock policy %q (want violate or error)", opts.OnLock)
 	}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	if opts.Telemetry != nil {
-		opts.Telemetry.SetRun(telemetry.RunInfo{Property: propertyText(opts)})
-	}
-	return sim.Analyze(m.rt, sim.AnalysisConfig{
+	return sim.AnalysisConfig{
 		Config: sim.Config{
 			Strategy: strat,
 			Property: p,
@@ -354,7 +356,55 @@ func (m *Model) Analyze(opts Options) (Report, error) {
 		Workers:   opts.Workers,
 		Seed:      seed,
 		Telemetry: opts.Telemetry,
-	})
+	}, nil
+}
+
+// Analyze estimates the probability of the property via Monte Carlo
+// simulation.
+func (m *Model) Analyze(opts Options) (Report, error) {
+	p, err := m.CompileProperty(opts)
+	if err != nil {
+		return Report{}, err
+	}
+	cfg, err := m.analysisConfig(opts, p)
+	if err != nil {
+		return Report{}, err
+	}
+	if opts.Telemetry != nil {
+		opts.Telemetry.SetRun(telemetry.RunInfo{Property: propertyText(opts)})
+	}
+	return sim.Analyze(m.rt, cfg)
+}
+
+// AnalyzeSweep estimates the probability of the property under every time
+// bound in bounds (finite, non-negative, strictly ascending) from one
+// shared path stream: each sampled path runs to the largest bound and its
+// first-hit time decides the verdict of every cell at once, with one
+// stopping rule per cell (see docs/SWEEPS.md). Options.Bound (or the
+// pattern's bound) is overridden by the sweep horizon. With identical
+// configuration the last cell is bit-identical to Analyze at the horizon.
+func (m *Model) AnalyzeSweep(opts Options, bounds []float64) (SweepReport, error) {
+	if len(bounds) == 0 {
+		return SweepReport{}, fmt.Errorf("slimsim: sweep needs at least one bound")
+	}
+	// Compile the property at the horizon so validation and the rendered
+	// property text agree with what actually runs.
+	if opts.Pattern == "" {
+		opts.Bound = bounds[len(bounds)-1]
+	}
+	p, err := m.CompileProperty(opts)
+	if err != nil {
+		return SweepReport{}, err
+	}
+	cfg, err := m.analysisConfig(opts, p)
+	if err != nil {
+		return SweepReport{}, err
+	}
+	if opts.Telemetry != nil {
+		opts.Bound = bounds[len(bounds)-1]
+		opts.Telemetry.SetRun(telemetry.RunInfo{Property: propertyText(opts)})
+	}
+	return sim.AnalyzeSweep(m.rt, cfg, bounds)
 }
 
 // propertyText renders the analyzed property in the pattern notation used
