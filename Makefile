@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet nopanic staticcheck vulncheck fmtcheck lint race verify ci bench bench-smoke bench-compare bench-json bench-fig5 bench-fig5-smoke difftest soundness fuzz-smoke fuzz-long
+.PHONY: build test vet nopanic staticcheck vulncheck fmtcheck lint race verify ci bench bench-smoke bench-compare bench-json bench-fig5 bench-fig5-smoke bench-rare bench-rare-smoke difftest soundness fuzz-smoke fuzz-long
 
 build:
 	$(GO) build ./...
@@ -53,18 +53,21 @@ lint: build
 race:
 	$(GO) test -race ./internal/parallel/ ./internal/sim/
 
-# difftest pushes the committed 200+-model corpus through the full
+# difftest pushes the committed 300+-model corpus through the full
 # differential oracle hierarchy (generator -> lint -> round-trip ->
-# strategy agreement -> exact CTMC cross-check). The non -short form also
-# explores fresh seeds; see docs/TESTING.md.
+# strategy agreement -> exact CTMC cross-check -> splitting relative
+# band). The non -short form also explores fresh seeds; see
+# docs/TESTING.md.
 difftest:
 	$(GO) test -count=1 ./internal/difftest/ ./internal/modelgen/
 
-# soundness runs only the abstract-interpretation tier on fresh seeds: a
-# static 0/1 verdict must agree with the exact analyses, and dead-transition
-# pruning must leave every sampled trace bit-identical. Nightly job fodder.
+# soundness runs the fresh-seed tiers of the nightly job: a static 0/1
+# verdict must agree with the exact analyses, dead-transition pruning must
+# leave every sampled trace bit-identical, and on fresh rare-event models
+# the splitting estimate must hold its relative band against the exact
+# CTMC reference.
 soundness:
-	$(GO) test -count=1 -run 'TestAbsintSoundnessFreshSweep|TestPruningEngagesAndStaysTransparent' ./internal/difftest/
+	$(GO) test -count=1 -run 'TestAbsintSoundnessFreshSweep|TestPruningEngagesAndStaysTransparent|TestSplittingSoundnessFreshSweep' ./internal/difftest/
 
 # fuzz-smoke runs each native fuzz target for 30s — enough to re-cover
 # the committed corpus and take a short random walk beyond it.
@@ -85,12 +88,12 @@ fuzz-long: build
 
 verify: build test
 
-ci: verify vet staticcheck vulncheck fmtcheck race lint difftest bench-smoke bench-fig5-smoke fuzz-smoke
+ci: verify vet staticcheck vulncheck fmtcheck race lint difftest bench-smoke bench-fig5-smoke bench-rare-smoke fuzz-smoke
 
 # BENCH_PKGS are the packages carrying the hot-path micro-benchmarks
-# (engine step, move memoization, compiled expression evaluation) and their
-# AllocsPerRun regression gates.
-BENCH_PKGS = ./internal/sim/ ./internal/network/ ./internal/expr/
+# (engine step, move memoization, compiled expression evaluation, pooled
+# splitting clones) and their AllocsPerRun regression gates.
+BENCH_PKGS = ./internal/sim/ ./internal/network/ ./internal/expr/ ./internal/splitting/
 
 # bench runs the micro-benchmarks at a publishable benchtime.
 bench:
@@ -146,3 +149,15 @@ bench-fig5: build
 # artifacts.
 bench-fig5-smoke: build
 	$(GO) run ./cmd/slimbench -experiment fig5-permanent -points 2 -umax 400 -delta 0.2 -eps 0.1 -baseline >/dev/null
+
+# bench-rare regenerates the rare-events artifact alone: the Chernoff
+# degradation sweep plus the plain-MC vs importance-splitting comparison
+# on the pinned modelgen rare-event model (see docs/SPLITTING.md).
+bench-rare: build
+	$(GO) run ./cmd/slimbench -experiment rare-events -report BENCH_rare-events.json
+
+# bench-rare-smoke is the CI form: loose accuracy and a small splitting
+# effort prove the plain-MC vs splitting flow end to end in seconds
+# without touching the committed artifact.
+bench-rare-smoke: build
+	$(GO) run ./cmd/slimbench -experiment rare-events -delta 0.2 -eps 0.1 -effort 64 >/dev/null

@@ -62,8 +62,8 @@ func TestExplicitSeeds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 2 seeds across 4 classes.
-	if !strings.Contains(string(data), "8 models checked") {
+	// 2 seeds across 5 classes.
+	if !strings.Contains(string(data), "10 models checked") {
 		t.Fatalf("summary missing from output: %q", data)
 	}
 }

@@ -47,6 +47,10 @@ func run(args []string) error {
 		delta       = fs.Float64("delta", 0.05, "statistical risk δ (confidence is 1-δ)")
 		eps         = fs.Float64("eps", 0.01, "error bound ε")
 		method      = fs.String("method", "chernoff", "sample-count generator: chernoff, gauss or chow-robbins")
+		relErr      = fs.Float64("rel", 0, "relative-error stopping rule: sample until the CLT half-width is at most rel·p̂ (0 disables; for rare-event runs)")
+		useSplit    = fs.Bool("splitting", false, "use importance splitting (fixed effort) instead of plain Monte Carlo")
+		levels      = fs.Int("levels", 0, "number of splitting levels (0 = derive automatically from the property)")
+		effort      = fs.Int("effort", 0, "branches per splitting stage (0 = default)")
 		workers     = fs.Int("workers", runtime.NumCPU(), "parallel sampling workers")
 		seed        = fs.Uint64("seed", 1, "random seed (runs with equal seeds are reproducible)")
 		onLock      = fs.String("on-lock", "violate", "deadlock/timelock policy: violate or error")
@@ -74,9 +78,27 @@ func run(args []string) error {
 	if !(*eps > 0 && *eps < 1) {
 		return fmt.Errorf("-eps must lie strictly between 0 and 1, got %g", *eps)
 	}
+	if *relErr != 0 && !(*relErr > 0 && *relErr < 1) {
+		return fmt.Errorf("-rel must lie strictly between 0 and 1 (or be 0 to disable), got %g", *relErr)
+	}
+	if *levels < 0 {
+		return fmt.Errorf("-levels must be non-negative, got %d", *levels)
+	}
+	if *effort < 0 {
+		return fmt.Errorf("-effort must be non-negative, got %d", *effort)
+	}
 	sweepBounds, err := parseBounds(*boundsList)
 	if err != nil {
 		return err
+	}
+	// Sweeps share one path stream across bounds; neither the splitting
+	// estimator nor the data-dependent relative-error rule composes with
+	// that sharing, so the combinations are usage errors.
+	if *useSplit && len(sweepBounds) > 0 {
+		return fmt.Errorf("-splitting cannot be combined with -bounds")
+	}
+	if *relErr != 0 && len(sweepBounds) > 0 {
+		return fmt.Errorf("-rel cannot be combined with -bounds")
 	}
 
 	if !*noLint {
@@ -194,9 +216,12 @@ func run(args []string) error {
 		Delta:      *delta,
 		Epsilon:    *eps,
 		Method:     *method,
+		RelErr:     *relErr,
 		Workers:    *workers,
 		Seed:       *seed,
 		OnLock:     *onLock,
+		Levels:     *levels,
+		Effort:     *effort,
 		Telemetry:  tel,
 	}
 	if len(sweepBounds) > 0 {
@@ -214,6 +239,24 @@ func run(args []string) error {
 			for _, c := range rep.Cells {
 				fmt.Printf("%.6f\n", c.Probability)
 			}
+			return nil
+		}
+		fmt.Println(rep)
+		return nil
+	}
+	if *useSplit {
+		rep, err := m.AnalyzeSplitting(opts)
+		stopProgress()
+		if err != nil {
+			return err
+		}
+		if *reportPath != "" {
+			if err := tel.Report().WriteFile(*reportPath); err != nil {
+				return err
+			}
+		}
+		if *quiet {
+			fmt.Printf("%.6g\n", rep.Probability)
 			return nil
 		}
 		fmt.Println(rep)

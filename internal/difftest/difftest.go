@@ -32,6 +32,15 @@
 //     must fall inside the same Chernoff band around the zone-exact
 //     probability, closing the timed-sampling blind spot the
 //     strategy-agreement oracle alone leaves open.
+//  7. splitting   — on every class with an exact reference (Markovian,
+//     single-clock, rare-event) the importance-splitting estimator must
+//     land inside a *relative*-error band around the exact probability,
+//     which stays meaningful down to P ≈ 1e-6 and below where any
+//     absolute band is vacuous. On the rare-event class the plain Monte
+//     Carlo band check is explicitly skipped — mcEpsilon swallows every
+//     rare probability, so it would assert nothing — and the degenerate
+//     single-level splitting run must instead reproduce the plain Monte
+//     Carlo estimate bit for bit on the same seed.
 //
 // The unrestricted timed class has no exact reference; there the engine
 // itself is the oracle: no strategy may trip an internal engine invariant
@@ -71,6 +80,36 @@ const (
 	// timedPaths is the number of paths sampled per strategy on the
 	// timed class.
 	timedPaths = 4
+	// splitEffort / rareEffort are the branches-per-stage budgets of the
+	// splitting oracle: modest on the broad Markovian and single-clock
+	// corpora, larger on the rare-event class where the estimate must
+	// stay inside a relative band around probabilities down to 1e-9.
+	splitEffort = 256
+	rareEffort  = 1024
+	// splitRareRuns is the number of independently seeded splitting runs
+	// averaged on the rare-event class before applying the relative band:
+	// the band is a claim about the estimator's mean, and a single run's
+	// relative variance compounds across stages at probabilities near 1e-9.
+	// The runs also supply the empirical spread that widens the band on
+	// the rarest models (see checkSplitting). splitRuns is the cheaper
+	// count used on the broad Markovian and single-clock corpora, where
+	// the absolute Chernoff band provides a second acceptance route.
+	splitRareRuns = 5
+	splitRuns     = 3
+	// Below splitDeepExact the estimator's per-run distribution is so
+	// right-skewed (a few huge overshoots balance many undershoots) that
+	// the mean of splitRareRuns runs sits a factor — not a fraction —
+	// away from the truth with non-negligible probability, so the band
+	// relaxes to agreement within splitDeepFactor. At P < 1e-6 plain
+	// Monte Carlo reports exactly zero, so even a factor-4 agreement is
+	// a sharp oracle claim.
+	splitDeepExact  = 1e-6
+	splitDeepFactor = 4.0
+	// splitRelBand bounds the relative error of the splitting estimate
+	// against the exact reference. Runs are seeded and single-worker, so
+	// a passing (class, seed) pair passes forever; the band absorbs the
+	// estimator's variance at the committed efforts.
+	splitRelBand = 0.5
 )
 
 // Strategies lists every automated scheduling strategy, in the order the
@@ -84,7 +123,7 @@ type Discrepancy struct {
 	Class modelgen.Class
 	Seed  uint64
 	// Oracle names the oracle that failed: load, lint, roundtrip,
-	// absint, strategies, exact, zone or engine.
+	// absint, strategies, exact, zone, splitting or engine.
 	Oracle string
 	// Detail describes the disagreement.
 	Detail string
@@ -146,6 +185,8 @@ func Check(g *modelgen.Generated) *Discrepancy {
 		return checkExact(g, m, fail)
 	case modelgen.SingleClockTimed:
 		return checkZone(g, m, fail)
+	case modelgen.RareEvent:
+		return checkRare(g, m, fail)
 	default:
 		return checkEngine(g, m, fail)
 	}
@@ -410,7 +451,7 @@ func checkExact(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepanc
 			prev = c.Probability
 		}
 	}
-	return nil
+	return checkSplitting(g, m, exact.Probability, splitEffort, false, fail)
 }
 
 // checkZone is oracle level 5: on the single-clock timed class the zone
@@ -458,6 +499,122 @@ func checkZone(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepancy
 	if diff := math.Abs(rep.Probability - exact.Probability); diff > mcEpsilon {
 		return fail("zone", "monte carlo estimate %.6f (%d paths, asap) outside the ±%g band around zone-exact %.10f (diff %.4f)",
 			rep.Probability, rep.Paths, mcEpsilon, exact.Probability, diff)
+	}
+	return checkSplitting(g, m, exact.Probability, splitEffort, false, fail)
+}
+
+// splitOpts returns the options of a seeded single-worker splitting run:
+// like the Monte Carlo oracle runs, the fixed seed makes the verdict of a
+// (class, seed) pair permanent.
+func splitOpts(g *modelgen.Generated, effort int) slimsim.Options {
+	o := opts(g, "asap", g.Seed+2)
+	o.Delta = mcDelta
+	o.Epsilon = mcEpsilon
+	o.Workers = 1
+	o.Effort = effort
+	return o
+}
+
+// checkSplitting is oracle level 6: the importance-splitting estimator
+// against an exact reference probability. The band is relative — diff/exact
+// at most splitRelBand — so it keeps asserting something as exact drops to
+// 1e-6 and below. With relOnly false an absolute mcEpsilon band is accepted
+// too, covering the non-rare models of the Markovian and single-clock
+// corpora where the splitting run degenerates toward plain sampling; the
+// rare-event class sets relOnly, because at P ≤ 1e-3 the absolute band
+// would accept an estimate of plain zero and assert nothing.
+func checkSplitting(g *modelgen.Generated, m *slimsim.Model, exact float64, effort int, relOnly bool, fail failf) *Discrepancy {
+	// The relative band is a claim about the estimator's mean, so the
+	// check averages a few independently seeded runs: a single run's
+	// relative variance (which compounds across stages) would need a
+	// vacuously wide band, at any probability.
+	runs := splitRuns
+	if relOnly {
+		runs = splitRareRuns
+	}
+	var mean float64
+	ests := make([]float64, 0, runs)
+	var rep slimsim.SplittingReport
+	for k := 0; k < runs; k++ {
+		o := splitOpts(g, effort)
+		o.Seed += uint64(k)
+		r, err := m.AnalyzeSplitting(o)
+		if err != nil {
+			return engineOr(fail, "splitting", "analyze: %v", err)
+		}
+		ests = append(ests, r.Probability)
+		mean += r.Probability
+		rep = r
+	}
+	mean /= float64(runs)
+	diff := math.Abs(mean - exact)
+	ok := exact > 0 && diff/exact <= splitRelBand
+	if !relOnly && diff <= mcEpsilon {
+		ok = true
+	}
+	if !ok && runs > 1 {
+		// The fixed bands alone are too tight at high-variance corners
+		// (fresh rare seeds near P ≈ 1e-8, or shallow two-level ladders
+		// at the survey effort), so the band widens by a Student-style
+		// empirical term — the same construction as the corpus
+		// unbiasedness test. It keys on the runs' own spread, so a
+		// genuinely biased estimator (whose runs agree with each other,
+		// not with the exact answer) still fails.
+		var varSum float64
+		for _, e := range ests {
+			varSum += (e - mean) * (e - mean)
+		}
+		sd := math.Sqrt(varSum / float64(runs-1))
+		ok = diff <= 4*sd/math.Sqrt(float64(runs))
+	}
+	if !ok && relOnly && exact > 0 && exact < splitDeepExact {
+		ratio := mean / exact
+		ok = ratio >= 1/splitDeepFactor && ratio <= splitDeepFactor
+	}
+	if !ok {
+		return fail("splitting", "splitting estimate %.6e (mean of %d runs; levels=%d, effort=%d, branches=%d, level=%s) outside the %g relative band around exact %.6e",
+			mean, runs, len(rep.Stages), rep.Effort, rep.Branches, rep.LevelSource, splitRelBand, exact)
+	}
+	return nil
+}
+
+// checkRare is the rare-event face of the splitting oracle: the exact CTMC
+// pipeline provides the reference, the splitting estimate must land inside
+// the relative band, and the degenerate single-level splitting run must
+// reproduce the plain Monte Carlo estimate bit for bit on the same seed.
+// The plain Monte Carlo band check of the Markovian oracle is explicitly
+// skipped: with exact probabilities down to 1e-9, an estimate of plain 0
+// sits comfortably inside ±mcEpsilon, so the check would assert nothing.
+func checkRare(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepancy {
+	exact, err := m.CheckCTMC(g.Goal, g.Bound, maxStates)
+	if err != nil {
+		return engineOr(fail, "exact", "CheckCTMC: %v", err)
+	}
+	if d := staticVsExact(g, m, exact.Probability, fail); d != nil {
+		return d
+	}
+	if exact.Probability > 1e-2 || exact.Probability <= 0 {
+		return fail("exact", "rare-event model is not rare: exact P = %.6e", exact.Probability)
+	}
+	if d := checkSplitting(g, m, exact.Probability, rareEffort, true, fail); d != nil {
+		return d
+	}
+	// Degenerate cross-check: a single-level splitting run is plain Monte
+	// Carlo by construction and must agree bit for bit, not just
+	// statistically.
+	dOpts := splitOpts(g, 0)
+	dOpts.Levels = 1
+	drep, err := m.AnalyzeSplitting(dOpts)
+	if err != nil {
+		return engineOr(fail, "splitting", "degenerate analyze: %v", err)
+	}
+	mcRep, err := m.Analyze(dOpts)
+	if err != nil {
+		return engineOr(fail, "splitting", "monte carlo: %v", err)
+	}
+	if !drep.Degenerate || drep.Probability != mcRep.Probability {
+		return fail("splitting", "single-level splitting %.10e is not bit-identical to plain Monte Carlo %.10e (degenerate=%v)",
+			drep.Probability, mcRep.Probability, drep.Degenerate)
 	}
 	return nil
 }

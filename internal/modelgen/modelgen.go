@@ -45,10 +45,18 @@ const (
 	// fragment zone.Analyze solves exactly, so Monte Carlo estimates can
 	// be boxed against ground truth even for timed behavior.
 	SingleClockTimed Class = "singleclock"
+	// RareEvent models live in the Markovian fragment but concentrate the
+	// probability mass away from the goal: a single unit fails only at the
+	// end of a deep wear chain whose every intermediate state is repaired
+	// at a much higher rate, so the goal probability is roughly
+	// (λ/μ)^depth — tunable down to 1e-6 and below via the seed. They are
+	// the corpus for the importance-splitting oracle, where plain Monte
+	// Carlo budgets see no successes at all.
+	RareEvent Class = "rareevent"
 )
 
 // Classes lists every generator class.
-var Classes = []Class{Markovian, Deterministic, Timed, SingleClockTimed}
+var Classes = []Class{Markovian, Deterministic, Timed, SingleClockTimed, RareEvent}
 
 // Generated is one random model plus the property the harness checks.
 type Generated struct {
@@ -81,6 +89,8 @@ func Generate(class Class, seed uint64) (*Generated, error) {
 		g = genTimed(r)
 	case SingleClockTimed:
 		g = genSingleClock(r)
+	case RareEvent:
+		g = genRareEvent(r)
 	default:
 		return nil, fmt.Errorf("modelgen: unknown class %q", class)
 	}
@@ -378,6 +388,108 @@ func genMarkovian(r *rng.Source) *Generated {
 		Goal:  goal,
 		Bound: float64(1+r.IntN(12)) * 0.25, // 0.25 .. 3.0
 	}
+}
+
+// genRareEvent builds the rare-event corpus: one unit whose error model is
+// a deep wear chain ok → w1 → … → w_{depth-1} → down with a slow advance
+// rate on every forward step and a fast repair rate racing it back to ok
+// from every intermediate state, plus the usual immediate alarm monitor.
+// Reaching down within the bound requires winning depth consecutive races
+// at odds λ/(λ+μ) each, so the goal probability is roughly
+// (λ/(λ+μ))^depth·λ·bound — between ~1e-3 and ~1e-9 across seeds. The
+// model stays inside the Markovian fragment, so ctmc.Build provides the
+// exact reference the splitting oracle is verified against.
+func genRareEvent(r *rng.Source) *Generated {
+	m := newModel()
+	depth := 4 + r.IntN(3)               // 4 .. 6 forward steps
+	lam := float64(2+r.IntN(5)) * 0.05   // 0.10 .. 0.30
+	mu := float64(4+r.IntN(9)) * 0.5     // 2.0 .. 6.0
+	degraded := r.Bernoulli(0.5)         // inject health=1 on the last wear state
+	bound := float64(8+r.IntN(17)) * 0.5 // 4.0 .. 12.0
+
+	root := &slim.ComponentImpl{TypeName: "Main", ImplName: "Imp"}
+	ct := &slim.ComponentType{Name: "Unit0", Features: []*slim.Feature{
+		{Name: "health", Out: true, Type: intType(0, 2), Default: intLit(2)},
+	}}
+	ci := &slim.ComponentImpl{TypeName: "Unit0", ImplName: "Imp",
+		Modes: []*slim.Mode{{Name: "run", Initial: true}}}
+	addComponent(m, ct, ci)
+
+	et := &slim.ErrorType{Name: "Wear0", States: []slim.ErrorState{
+		{Name: "ok", Initial: true},
+	}}
+	ei := &slim.ErrorImpl{TypeName: "Wear0", ImplName: "Imp"}
+	stateName := func(j int) string {
+		if j == 0 {
+			return "ok"
+		}
+		if j == depth {
+			return "down"
+		}
+		return fmt.Sprintf("w%d", j)
+	}
+	for j := 1; j < depth; j++ {
+		et.States = append(et.States, slim.ErrorState{Name: stateName(j)})
+	}
+	et.States = append(et.States, slim.ErrorState{Name: "down"})
+	for j := 0; j < depth; j++ {
+		adv := fmt.Sprintf("adv%d", j+1)
+		ei.Events = append(ei.Events,
+			&slim.ErrorEvent{Name: adv, Kind: slim.ErrEventInternal, HasRate: true, Rate: lam})
+		ei.Transitions = append(ei.Transitions,
+			&slim.ErrorTransition{From: stateName(j), To: stateName(j + 1), Event: adv})
+		if j > 0 {
+			rep := fmt.Sprintf("rep%d", j)
+			ei.Events = append(ei.Events,
+				&slim.ErrorEvent{Name: rep, Kind: slim.ErrEventInternal, HasRate: true, Rate: mu})
+			ei.Transitions = append(ei.Transitions,
+				&slim.ErrorTransition{From: stateName(j), To: "ok", Event: rep})
+		}
+	}
+	ext := &slim.Extension{
+		Target:       []string{"u0"},
+		ErrorImplRef: "Wear0.Imp",
+		Injections: []*slim.Injection{
+			{State: "down", Target: []string{"health"}, Value: intLit(0)},
+		},
+	}
+	if degraded {
+		ext.Injections = append(ext.Injections,
+			&slim.Injection{State: stateName(depth - 1), Target: []string{"health"}, Value: intLit(1)})
+	}
+	m.ErrorTypes["Wear0"] = et
+	m.ErrorImpls[ei.Name()] = ei
+	m.Extensions = append(m.Extensions, ext)
+	root.Subcomponents = append(root.Subcomponents,
+		&slim.Subcomponent{Name: "u0", ImplRef: "Unit0.Imp"})
+
+	// The alarm monitor latches the instant the unit goes down, exactly as
+	// in the Markovian class — the goal-distance level function sees the
+	// wear chain through the monitor's guard.
+	ct = &slim.ComponentType{Name: "Alarm", Features: []*slim.Feature{
+		{Name: "h0", Type: intType(0, 2), Default: intLit(2)},
+		boolPort("alarm", true),
+	}}
+	ci = &slim.ComponentImpl{TypeName: "Alarm", ImplName: "Imp",
+		Modes: []*slim.Mode{{Name: "watch", Initial: true}, {Name: "tripped"}},
+		Transitions: []*slim.Transition{{
+			From: "watch", To: "tripped", Guard: bin("=", ref("h0"), intLit(0)),
+			Effects: []slim.Assign{{Target: []string{"alarm"}, Value: boolLit(true)}},
+		}},
+	}
+	addComponent(m, ct, ci)
+	root.Subcomponents = append(root.Subcomponents, &slim.Subcomponent{Name: "mon", ImplRef: "Alarm.Imp"})
+	root.Connections = append(root.Connections, dataConn("u0.health", "mon.h0"))
+
+	m.ComponentTypes["Main"] = &slim.ComponentType{Name: "Main", Category: "system"}
+	m.ComponentImpls["Main.Imp"] = root
+	m.Root = "Main.Imp"
+
+	goal := "mon.alarm"
+	if r.Bernoulli(0.5) {
+		goal = "u0.health = 0"
+	}
+	return &Generated{Model: m, Goal: goal, Bound: bound}
 }
 
 // genTimed builds leaves of four flavors — clock components with genuinely

@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunFixedOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		got, err := RunFixed(100, func(i int) (int, error) { return i * i, nil },
+			FixedOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// The result slice — and the OnResult consumption order — must not depend
+// on the worker count: splitting estimates derived from it are promised to
+// be invariant under parallelism.
+func TestRunFixedWorkerCountInvariant(t *testing.T) {
+	run := func(workers int) ([]string, []int) {
+		var order []int
+		out, err := RunFixed(37, func(i int) (string, error) {
+			return fmt.Sprintf("r%d", i), nil
+		}, FixedOptions{Workers: workers, OnResult: func(i int) { order = append(order, i) }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, order
+	}
+	refOut, refOrder := run(1)
+	for _, workers := range []int{2, 5, 64} {
+		out, order := run(workers)
+		for i := range refOut {
+			if out[i] != refOut[i] {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, out[i], refOut[i])
+			}
+		}
+		if len(order) != len(refOrder) {
+			t.Fatalf("workers=%d: consumed %d, want %d", workers, len(order), len(refOrder))
+		}
+		for i := range order {
+			if order[i] != refOrder[i] {
+				t.Fatalf("workers=%d: consumption order[%d] = %d, want %d", workers, i, order[i], refOrder[i])
+			}
+		}
+	}
+}
+
+func TestRunFixedPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := RunFixed(50, func(i int) (int, error) {
+			if i == 13 {
+				return 0, boom
+			}
+			return i, nil
+		}, FixedOptions{Workers: workers})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+	}
+}
+
+func TestRunFixedEmptyAndClampedWorkers(t *testing.T) {
+	out, err := RunFixed(0, func(i int) (int, error) { return i, nil }, FixedOptions{Workers: 4})
+	if err != nil || out != nil {
+		t.Fatalf("n=0: out=%v err=%v", out, err)
+	}
+	// More workers than items must not spawn idle producers that deadlock
+	// the round-based collector.
+	var calls atomic.Int64
+	out, err = RunFixed(3, func(i int) (int, error) {
+		calls.Add(1)
+		return i, nil
+	}, FixedOptions{Workers: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || calls.Load() != 3 {
+		t.Fatalf("out=%v calls=%d", out, calls.Load())
+	}
+}

@@ -20,6 +20,12 @@ type AnalysisConfig struct {
 	// Method selects the sample-count generator (default
 	// Chernoff–Hoeffding).
 	Method stats.Method
+	// RelErr, when positive, replaces the absolute-error generator with
+	// the relative-error sequential rule (stats.NewRelative): sampling
+	// continues until the CLT half-width is at most RelErr·p̂. This is the
+	// stopping rule for rare-event runs, where any fixed absolute ε is
+	// either hopeless or meaningless.
+	RelErr float64
 	// Workers is the number of parallel samplers (default 1).
 	Workers int
 	// Seed makes the run reproducible; runs with equal seeds and worker
@@ -138,7 +144,13 @@ func Analyze(rt *network.Runtime, cfg AnalysisConfig) (Report, error) {
 	if method == 0 {
 		method = stats.MethodChernoff
 	}
-	gen, err := stats.NewGenerator(method, cfg.Params)
+	var gen stats.Generator
+	if cfg.RelErr > 0 {
+		method = stats.MethodRelative
+		gen, err = stats.NewRelative(cfg.Params.Delta, cfg.RelErr)
+	} else {
+		gen, err = stats.NewGenerator(method, cfg.Params)
+	}
 	if err != nil {
 		return Report{}, err
 	}

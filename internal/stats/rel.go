@@ -1,0 +1,71 @@
+// Relative-error stopping: the sequential generator for rare-event runs.
+// Absolute-error stopping rules (Chernoff, Gauss, Chow–Robbins at ε) are
+// useless when the true probability is far below ε — they stop long before
+// a single success has been observed and report 0 ± ε. The relative rule
+// instead continues until the CLT half-width is at most Rel·p̂, which for
+// Bernoulli outcomes needs on the order of z²/(Rel²·p) samples: the cost
+// scales with 1/p, but the answer carries the same number of significant
+// digits at every magnitude.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// relMinSamples and relMinSuccesses guard the anticonservative small-sample
+// regime: the CLT interval is meaningless before a handful of successes, and
+// with p̂ = 0 the target half-width Rel·p̂ is 0 — the rule must never stop on
+// an all-failure prefix, however long (the "tiny-P" trap: a plain Gauss rule
+// with a variance floor stops at minN having seen nothing).
+const (
+	relMinSamples   = 50
+	relMinSuccesses = 10
+)
+
+// relGenerator stops when z_{1−δ/2}·sqrt(p̂(1−p̂)/n) ≤ rel·p̂, with at least
+// relMinSamples samples and relMinSuccesses successes.
+type relGenerator struct {
+	est Estimate
+	rel float64
+	z   float64
+}
+
+var _ Generator = (*relGenerator)(nil)
+
+// NewRelative returns the relative-error sequential generator: sampling
+// stops once the two-sided CLT confidence half-width at risk delta drops to
+// rel·p̂ or below. Both delta and rel must lie in (0, 1). The stopping time
+// is data-dependent and grows like 1/p, so pair it with a rare-event-capable
+// sampler (importance splitting) or an explicit budget for very small p.
+func NewRelative(delta, rel float64) (Generator, error) {
+	if !(delta > 0 && delta < 1) {
+		return nil, fmt.Errorf("stats: δ must lie in (0,1), got %g", delta)
+	}
+	if !(rel > 0 && rel < 1) {
+		return nil, fmt.Errorf("stats: relative error must lie in (0,1), got %g", rel)
+	}
+	return &relGenerator{rel: rel, z: upperQuantile(delta)}, nil
+}
+
+func (g *relGenerator) Add(success bool) { g.est.Add(success) }
+
+func (g *relGenerator) Done() bool {
+	n := g.est.Trials
+	if n < relMinSamples || g.est.Successes < relMinSuccesses {
+		return false
+	}
+	p := g.est.Mean()
+	// p > 0 here (successes ≥ relMinSuccesses). The variance floor mirrors
+	// the Gauss generator: with p̂ = 1 the empirical variance vanishes and
+	// the rule would stop instantly; 1/(4n) keeps a non-trivial width.
+	v := g.est.Variance()
+	if v == 0 {
+		v = 1 / float64(4*n)
+	}
+	half := g.z * math.Sqrt(v/float64(n))
+	return half <= g.rel*p
+}
+
+func (g *relGenerator) Estimate() Estimate { return g.est }
+func (g *relGenerator) Planned() int       { return 0 }

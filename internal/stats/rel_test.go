@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"slimsim/internal/rng"
+)
+
+func TestNewRelativeValidatesRanges(t *testing.T) {
+	bad := []struct{ delta, rel float64 }{
+		{0, 0.1}, {1, 0.1}, {-0.5, 0.1}, {math.NaN(), 0.1},
+		{0.05, 0}, {0.05, 1}, {0.05, -0.1}, {0.05, math.NaN()}, {0.05, 1.5},
+	}
+	for _, c := range bad {
+		if _, err := NewRelative(c.delta, c.rel); err == nil {
+			t.Errorf("NewRelative(%g, %g): want error, got nil", c.delta, c.rel)
+		}
+	}
+	if _, err := NewRelative(0.05, 0.05); err != nil {
+		t.Fatalf("NewRelative(0.05, 0.05): %v", err)
+	}
+}
+
+// The tiny-P trap: a run that has seen no success must never be declared
+// converged, no matter how many failures accumulate — p̂ = 0 makes the
+// relative target 0·rel = 0 and any stop would report a confident zero.
+func TestRelativeNeverStopsWithoutSuccesses(t *testing.T) {
+	g, err := NewRelative(0.05, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200_000; i++ {
+		if g.Done() {
+			t.Fatalf("generator stopped after %d all-failure samples", i)
+		}
+		g.Add(false)
+	}
+	if g.Done() {
+		t.Fatal("generator stopped on an all-failure stream")
+	}
+}
+
+// Fewer than relMinSuccesses successes must not stop the run either, even
+// past the minimum sample count: one lucky early success at a tiny p would
+// otherwise freeze a wildly overestimated p̂.
+func TestRelativeRequiresMinimumSuccesses(t *testing.T) {
+	g, err := NewRelative(0.05, 0.5) // loose target to isolate the guard
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < relMinSuccesses-1; i++ {
+		g.Add(true)
+	}
+	for i := 0; i < 100_000; i++ {
+		g.Add(false)
+		if g.Done() {
+			t.Fatalf("stopped with %d successes after %d samples", g.Estimate().Successes, g.Estimate().Trials)
+		}
+	}
+}
+
+// On a genuinely rare stream the rule stops with the promised relative
+// width, needing on the order of z²(1−p)/(rel²·p) samples.
+func TestRelativeStopsAtTinyP(t *testing.T) {
+	const p = 0.001
+	const rel = 0.2
+	g, err := NewRelative(0.05, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(7)
+	n := 0
+	for !g.Done() {
+		g.Add(src.Bernoulli(p))
+		n++
+		if n > 10_000_000 {
+			t.Fatal("generator did not converge within 1e7 samples")
+		}
+	}
+	est := g.Estimate()
+	if est.Successes < relMinSuccesses {
+		t.Fatalf("stopped with %d successes", est.Successes)
+	}
+	lo, hi := ConfidenceInterval(est, 0.05)
+	if half := (hi - lo) / 2; half > rel*est.Mean()*1.0001 {
+		t.Fatalf("stopped with half-width %g > rel·p̂ = %g", half, rel*est.Mean())
+	}
+	// z²(1−p)/(rel²p) ≈ 95 900 for these parameters; allow generous slack
+	// for the binomial noise in p̂ at the stopping time.
+	if n < 20_000 || n > 1_000_000 {
+		t.Fatalf("stopping time %d implausible for p=%g rel=%g", n, p, rel)
+	}
+}
+
+// A degenerate all-success stream stops once the minimums are met: the
+// variance floor keeps the width finite and p̂ = 1 needs no refinement.
+func TestRelativeAllSuccessesStops(t *testing.T) {
+	g, err := NewRelative(0.05, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		g.Add(true)
+		if g.Done() {
+			if n := g.Estimate().Trials; n < relMinSamples {
+				t.Fatalf("stopped before minimum sample count: %d", n)
+			}
+			return
+		}
+	}
+	t.Fatal("all-success stream never converged")
+}
+
+func TestRelativePlannedIsDataDependent(t *testing.T) {
+	g, err := NewRelative(0.05, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Planned(); got != 0 {
+		t.Fatalf("Planned() = %d, want 0 (sequential)", got)
+	}
+	if MethodRelative.String() != "rel" {
+		t.Fatalf("MethodRelative.String() = %q", MethodRelative.String())
+	}
+}

@@ -245,6 +245,10 @@ const (
 	MethodChernoff Method = iota + 1
 	MethodGauss
 	MethodChowRobbins
+	// MethodRelative is the relative-error sequential rule (NewRelative).
+	// It is selected by the -rel knob rather than -method because it takes
+	// the target relative error as an extra parameter.
+	MethodRelative
 )
 
 // String returns the method's CLI name.
@@ -256,6 +260,8 @@ func (m Method) String() string {
 		return "gauss"
 	case MethodChowRobbins:
 		return "chow-robbins"
+	case MethodRelative:
+		return "rel"
 	default:
 		return "invalid"
 	}

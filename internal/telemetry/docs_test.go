@@ -112,6 +112,9 @@ func TestExampleReportMatchesSchema(t *testing.T) {
 	cases := map[string][]string{
 		"report.json":       {`"schemaVersion": 1`, `"tool"`, `"model"`, `"sampling"`},
 		"sweep_report.json": {`"schemaVersion": 1`, `"tool"`, `"model"`, `"sampling"`, `"sweep"`, `"sharedPaths"`, `"cells"`, `"bound"`},
+		"splitting_report.json": {`"schemaVersion": 1`, `"tool"`, `"model"`, `"sampling"`,
+			`"splitting"`, `"levels"`, `"effort"`, `"branches"`, `"levelFunction"`, `"stages"`,
+			`"promoted"`, `"weight"`, `"contribution"`},
 	}
 	for name, keys := range cases {
 		data, err := os.ReadFile(filepath.Join("..", "..", "docs", "examples", name))

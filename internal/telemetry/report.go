@@ -45,6 +45,11 @@ type Report struct {
 	// Sweep holds the per-cell results of a multi-bound run
 	// (slimsim -bounds flow); it accompanies Sampling.
 	Sweep *SweepMetrics `json:"sweep,omitempty"`
+	// Splitting holds the per-stage results of an importance-splitting
+	// run (slimsim -splitting flow); it accompanies Sampling, whose
+	// section then describes the raw branch outcomes (the splitting
+	// estimate lives here, not in sampling.estimate).
+	Splitting *SplittingMetrics `json:"splitting,omitempty"`
 	// CTMC holds the numerical-baseline metrics (slimcheck flow).
 	CTMC *CTMCMetrics `json:"ctmc,omitempty"`
 	// Experiment holds benchmark sweep rows (slimbench flow).
@@ -164,6 +169,46 @@ type SweepCell struct {
 	ConfidenceInterval *CI `json:"confidenceInterval,omitempty"`
 }
 
+// SplittingMetrics is the per-stage results table of an importance-
+// splitting run. Like SamplingMetrics it is deterministic for a fixed seed
+// and model — and, unlike plain sampling, even invariant under the worker
+// count (branch randomness is keyed on the global branch index).
+type SplittingMetrics struct {
+	// Levels is the number of splitting stages actually run.
+	Levels int `json:"levels"`
+	// Effort is the number of branches per stage.
+	Effort int `json:"effort"`
+	// Branches is the total branch count over all stages.
+	Branches int `json:"branches"`
+	// Estimate is the unbiased product-estimator probability — the run's
+	// answer (the accompanying sampling.estimate is the raw fraction of
+	// satisfied branches, which overstates the probability).
+	Estimate float64 `json:"estimate"`
+	// LevelFunction names the level derivation: "goal-distance" (absint
+	// map) or "displaced-processes" (fallback).
+	LevelFunction string `json:"levelFunction"`
+	// Stages holds the per-stage breakdown in execution order.
+	Stages []SplittingStage `json:"stages"`
+}
+
+// SplittingStage is one stage of a splitting run.
+type SplittingStage struct {
+	// Target is the importance threshold of the stage; -1 marks the final
+	// stage, whose branches run to a verdict.
+	Target int `json:"target"`
+	// Entries is the entry-pool size (0 for the first stage).
+	Entries int `json:"entries"`
+	// Branches, Promoted, Satisfied and Dead count the branch outcomes.
+	Branches  int `json:"branches"`
+	Promoted  int `json:"promoted"`
+	Satisfied int `json:"satisfied"`
+	Dead      int `json:"dead"`
+	// Weight is the product-estimator weight entering the stage;
+	// Contribution is the stage's term weight·satisfied/branches.
+	Weight       float64 `json:"weight"`
+	Contribution float64 `json:"contribution"`
+}
+
 // CTMCMetrics is the numerical-baseline section (slimcheck flow).
 type CTMCMetrics struct {
 	Probability  float64 `json:"probability"`
@@ -237,6 +282,7 @@ func (c *Collector) Report() Report {
 		Workers:       c.info.Workers,
 		Sampling:      m,
 		Sweep:         c.sweep,
+		Splitting:     c.splitting,
 	}
 	if !c.started.IsZero() {
 		t := &Timing{

@@ -41,6 +41,7 @@ import (
 	"slimsim/internal/rng"
 	"slimsim/internal/sim"
 	"slimsim/internal/slim"
+	"slimsim/internal/splitting"
 	"slimsim/internal/stats"
 	"slimsim/internal/strategy"
 	"slimsim/internal/telemetry"
@@ -188,6 +189,20 @@ type Options struct {
 	// Method selects the sample-count generator: chernoff (default),
 	// gauss or chow-robbins.
 	Method string
+	// RelErr, when positive (in (0,1)), switches sequential sampling to
+	// the relative-error stopping rule: the run continues until the CLT
+	// half-width is at most RelErr·p̂ — the meaningful accuracy target for
+	// rare events, where any fixed absolute ε is either hopeless or
+	// trivially met by p̂ = 0.
+	RelErr float64
+	// Levels selects the number of importance-splitting levels for
+	// AnalyzeSplitting: 0 (default) derives them from the static
+	// goal-distance map, 1 degenerates to plain Monte Carlo, L ≥ 2 spreads
+	// L−1 thresholds over the level range. Ignored by Analyze.
+	Levels int
+	// Effort is the branches-per-stage budget of AnalyzeSplitting
+	// (default 4096). Ignored by Analyze.
+	Effort int
 	// Workers is the number of parallel samplers (default 1).
 	Workers int
 	// Seed makes runs reproducible (default 1).
@@ -227,6 +242,10 @@ type SweepReport = sim.SweepReport
 
 // CellReport is one (property, bound) cell of a sweep; see sim.CellReport.
 type CellReport = sim.CellReport
+
+// SplittingReport is the outcome of an importance-splitting analysis; see
+// splitting.Report.
+type SplittingReport = splitting.Report
 
 // CompileProperty resolves the property described by opts against the
 // model.
@@ -340,6 +359,9 @@ func (m *Model) analysisConfig(opts Options, p prop.Property) (sim.AnalysisConfi
 	default:
 		return sim.AnalysisConfig{}, fmt.Errorf("slimsim: unknown lock policy %q (want violate or error)", opts.OnLock)
 	}
+	if opts.RelErr != 0 && !(opts.RelErr > 0 && opts.RelErr < 1) {
+		return sim.AnalysisConfig{}, fmt.Errorf("slimsim: relative error must lie in (0,1), got %g", opts.RelErr)
+	}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 1
@@ -353,6 +375,7 @@ func (m *Model) analysisConfig(opts Options, p prop.Property) (sim.AnalysisConfi
 		},
 		Params:    stats.Params{Delta: delta, Epsilon: eps},
 		Method:    method,
+		RelErr:    opts.RelErr,
 		Workers:   opts.Workers,
 		Seed:      seed,
 		Telemetry: opts.Telemetry,
@@ -405,6 +428,37 @@ func (m *Model) AnalyzeSweep(opts Options, bounds []float64) (SweepReport, error
 		opts.Telemetry.SetRun(telemetry.RunInfo{Property: propertyText(opts)})
 	}
 	return sim.AnalyzeSweep(m.rt, cfg, bounds)
+}
+
+// AnalyzeSplitting estimates the probability of the property with
+// fixed-effort importance splitting: the abstract interpreter's
+// goal-distance map (CheckStatic) becomes the level function, paths are
+// restarted from states recorded at level crossings, and the per-level
+// conditional fractions compose into an unbiased product estimator — the
+// rare-event regime (P ≤ 1e-6) plain Monte Carlo cannot reach. Levels and
+// effort come from Options.Levels / Options.Effort (0 = automatic); with a
+// single level the run degenerates to plain Monte Carlo and reproduces
+// Analyze bit-for-bit for the same seed and workers. The estimate is a
+// pure function of (model, property, seed), invariant under Workers.
+func (m *Model) AnalyzeSplitting(opts Options) (SplittingReport, error) {
+	p, err := m.CompileProperty(opts)
+	if err != nil {
+		return SplittingReport{}, err
+	}
+	cfg, err := m.analysisConfig(opts, p)
+	if err != nil {
+		return SplittingReport{}, err
+	}
+	if opts.Telemetry != nil {
+		opts.Telemetry.SetRun(telemetry.RunInfo{Property: propertyText(opts)})
+	}
+	static := m.analysis.Decide(p)
+	return splitting.Analyze(m.rt, splitting.Config{
+		AnalysisConfig: cfg,
+		Levels:         opts.Levels,
+		Effort:         opts.Effort,
+		Static:         &static,
+	})
 }
 
 // propertyText renders the analyzed property in the pattern notation used
