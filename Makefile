@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet nopanic staticcheck vulncheck fmtcheck lint race verify ci bench bench-smoke bench-compare bench-json bench-fig5 bench-fig5-smoke bench-rare bench-rare-smoke difftest soundness fuzz-smoke fuzz-long
+.PHONY: build test vet nopanic staticcheck vulncheck fmtcheck lint race verify ci bench bench-smoke bench-compare bench-json bench-table1 bench-table1-smoke bench-fig5 bench-fig5-smoke bench-rare bench-rare-smoke difftest soundness fuzz-smoke fuzz-long
 
 build:
 	$(GO) build ./...
@@ -63,11 +63,12 @@ difftest:
 
 # soundness runs the fresh-seed tiers of the nightly job: a static 0/1
 # verdict must agree with the exact analyses, dead-transition pruning must
-# leave every sampled trace bit-identical, and on fresh rare-event models
-# the splitting estimate must hold its relative band against the exact
-# CTMC reference.
+# leave every sampled trace bit-identical, on fresh rare-event models the
+# splitting estimate must hold its relative band against the exact CTMC
+# reference, and on fresh symmetric replica farms the counter-abstracted
+# quotient must match the explicit chain to 1e-12.
 soundness:
-	$(GO) test -count=1 -run 'TestAbsintSoundnessFreshSweep|TestPruningEngagesAndStaysTransparent|TestSplittingSoundnessFreshSweep' ./internal/difftest/
+	$(GO) test -count=1 -run 'TestAbsintSoundnessFreshSweep|TestPruningEngagesAndStaysTransparent|TestSplittingSoundnessFreshSweep|TestSymmetrySoundnessFreshSweep' ./internal/difftest/
 
 # fuzz-smoke runs each native fuzz target for 30s — enough to re-cover
 # the committed corpus and take a short random walk beyond it.
@@ -88,12 +89,13 @@ fuzz-long: build
 
 verify: build test
 
-ci: verify vet staticcheck vulncheck fmtcheck race lint difftest bench-smoke bench-fig5-smoke bench-rare-smoke fuzz-smoke
+ci: verify vet staticcheck vulncheck fmtcheck race lint difftest bench-smoke bench-table1-smoke bench-fig5-smoke bench-rare-smoke fuzz-smoke
 
 # BENCH_PKGS are the packages carrying the hot-path micro-benchmarks
 # (engine step, move memoization, compiled expression evaluation, pooled
-# splitting clones) and their AllocsPerRun regression gates.
-BENCH_PKGS = ./internal/sim/ ./internal/network/ ./internal/expr/ ./internal/splitting/
+# splitting clones, CTMC construction and lumping) and their AllocsPerRun
+# regression gates.
+BENCH_PKGS = ./internal/sim/ ./internal/network/ ./internal/expr/ ./internal/splitting/ ./internal/ctmc/ ./internal/bisim/
 
 # bench runs the micro-benchmarks at a publishable benchtime.
 bench:
@@ -127,12 +129,23 @@ bench-compare:
 
 # bench-json regenerates the machine-readable perf trajectory: one
 # BENCH_<experiment>.json per case-study experiment, in the report schema
-# of docs/OBSERVABILITY.md (see EXPERIMENTS.md for the workflow). table1
-# is capped at size 6 to keep a full regeneration under a minute.
-bench-json: build bench-fig5
-	$(GO) run ./cmd/slimbench -experiment table1 -max-size 6 -report BENCH_table1.json
+# of docs/OBSERVABILITY.md (see EXPERIMENTS.md for the workflow).
+bench-json: build bench-fig5 bench-table1
 	$(GO) run ./cmd/slimbench -experiment generators -report BENCH_generators.json
 	$(GO) run ./cmd/slimbench -experiment rare-events -report BENCH_rare-events.json
+
+# bench-table1 regenerates the Table I artifact at the defaults: the
+# counter-abstracted quotient flow to N=14, the explicit flow and
+# simulator to N=8 (see docs/SYMMETRY.md for the quotient semantics).
+bench-table1: build
+	$(GO) run ./cmd/slimbench -experiment table1 -report BENCH_table1.json
+
+# bench-table1-smoke is the CI form: small sizes, a tiny explicit window
+# and loose simulator accuracy prove all three table1 flows — including
+# the quotient-vs-explicit cross-check — end to end in seconds without
+# touching the committed artifact.
+bench-table1-smoke: build
+	$(GO) run ./cmd/slimbench -experiment table1 -max-size 6 -explicit-max 4 -sim-max 2 -delta 0.2 -eps 0.1 >/dev/null
 
 # bench-fig5 regenerates the Fig. 5 sweep artifacts: one shared-path
 # sweep per strategy (docs/SWEEPS.md) plus, with -baseline, the per-bound

@@ -101,20 +101,22 @@ func (b *bench) report(elapsed time.Duration) telemetry.Report {
 func run(args []string) error {
 	fs := flag.NewFlagSet("slimbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "table1", "table1, fig5-permanent, fig5-recoverable, generators or rare-events")
-		delta      = fs.Float64("delta", 0.05, "statistical risk δ")
-		eps        = fs.Float64("eps", 0.01, "error bound ε")
-		maxSize    = fs.Int("max-size", 8, "largest redundancy degree for table1")
-		bound      = fs.Float64("bound", 150, "property time bound for table1")
-		uMax       = fs.Float64("umax", 1200, "largest time bound in fig5 sweeps")
-		points     = fs.Int("points", 6, "number of sweep points in fig5")
-		method     = fs.String("method", "chernoff", "sample-count generator: chernoff, gauss or chow-robbins")
-		baseline   = fs.Bool("baseline", false, "in fig5, also time the per-bound baseline (one Analyze per point) and report the sweep speedup")
-		effort     = fs.Int("effort", 8192, "importance-splitting branches per stage in the rare-events experiment")
-		workers    = fs.Int("workers", runtime.NumCPU(), "simulator workers")
-		seed       = fs.Uint64("seed", 1, "random seed")
-		reportPath = fs.String("report", "", "write a JSON experiment report (schema in docs/OBSERVABILITY.md) to this path")
-		progress   = fs.Bool("progress", false, "print per-sub-run progress (samples, rate, ETA, running p̂) to stderr")
+		experiment  = fs.String("experiment", "table1", "table1, fig5-permanent, fig5-recoverable, generators or rare-events")
+		delta       = fs.Float64("delta", 0.05, "statistical risk δ")
+		eps         = fs.Float64("eps", 0.01, "error bound ε")
+		maxSize     = fs.Int("max-size", 14, "largest redundancy degree for table1 (counter-abstracted quotient flow)")
+		explicitMax = fs.Int("explicit-max", 8, "largest redundancy degree to also run the explicit (no-symmetry) flow at in table1")
+		simMax      = fs.Int("sim-max", 8, "largest redundancy degree to also run the simulator at in table1")
+		bound       = fs.Float64("bound", 150, "property time bound for table1")
+		uMax        = fs.Float64("umax", 1200, "largest time bound in fig5 sweeps")
+		points      = fs.Int("points", 6, "number of sweep points in fig5")
+		method      = fs.String("method", "chernoff", "sample-count generator: chernoff, gauss or chow-robbins")
+		baseline    = fs.Bool("baseline", false, "in fig5, also time the per-bound baseline (one Analyze per point) and report the sweep speedup")
+		effort      = fs.Int("effort", 8192, "importance-splitting branches per stage in the rare-events experiment")
+		workers     = fs.Int("workers", runtime.NumCPU(), "simulator workers")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		reportPath  = fs.String("report", "", "write a JSON experiment report (schema in docs/OBSERVABILITY.md) to this path")
+		progress    = fs.Bool("progress", false, "print per-sub-run progress (samples, rate, ETA, running p̂) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -142,7 +144,7 @@ func run(args []string) error {
 	var err error
 	switch *experiment {
 	case "table1":
-		err = table1(b, *maxSize, *bound)
+		err = table1(b, *maxSize, *explicitMax, *simMax, *bound)
 	case "fig5-permanent":
 		err = fig5(b, casestudy.FaultsPermanent, *uMax, *points)
 	case "fig5-recoverable":
@@ -163,7 +165,10 @@ func run(args []string) error {
 	return nil
 }
 
-// heapDelta runs fn and reports its wall time and the growth of live heap.
+// heapDelta runs fn and reports its wall time and the growth of the heap
+// over the run, relative to a post-collection baseline — measured as a
+// delta so that dead-but-unswept memory left over from an earlier sub-run
+// cannot bleed into a later row's column.
 func heapDelta(fn func() error) (time.Duration, float64, error) {
 	runtime.GC()
 	var before runtime.MemStats
@@ -173,18 +178,31 @@ func heapDelta(fn func() error) (time.Duration, float64, error) {
 	elapsed := time.Since(start)
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
-	mb := float64(after.HeapAlloc) / (1 << 20)
-	_ = before
-	return elapsed, mb, err
+	grown := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if grown < 0 {
+		grown = 0
+	}
+	return elapsed, float64(grown) / (1 << 20), err
 }
 
 // table1 reproduces the Table I comparison on the sensor-filter family.
-func table1(b *bench, maxSize int, bound float64) error {
+// The counter-abstracted quotient flow (the symmetry fast path) runs at
+// every size up to maxSize; the explicit (no-symmetry) flow — the paper's
+// original CTMC column, whose state count grows as 4^N — only up to
+// explicitMax, and the simulator only up to simMax. Where both exact
+// flows run, the report carries their disagreement (absDiffQuotient),
+// which must sit at solver precision: above explicitMax the quotient is
+// the only exact oracle, which is what carries the table to N=14.
+func table1(b *bench, maxSize, explicitMax, simMax int, bound float64) error {
 	fmt.Printf("Table I reproduction: sensor-filter redundancy benchmark\n")
-	fmt.Printf("property: P(<> [0,%g] %s), δ=%g ε=%g\n\n", bound, casestudy.SensorFilterGoal, b.delta, b.eps)
-	fmt.Printf("%-5s | %12s %10s %10s %8s | %12s %10s %8s | %s\n",
-		"size", "ctmc-time", "ctmc-mem", "states", "lumped", "sim-time", "sim-mem", "paths", "|P_ctmc - P_sim|")
-	fmt.Println("------+--------------------------------------------------+----------------------------------+------------------")
+	fmt.Printf("property: P(<> [0,%g] %s), δ=%g ε=%g\n", bound, casestudy.SensorFilterGoal, b.delta, b.eps)
+	fmt.Printf("counter-abstracted quotient at every size; explicit flow to size %d, simulator to size %d\n\n",
+		explicitMax, simMax)
+	fmt.Printf("%-5s | %10s %9s %8s %7s | %10s %9s %9s | %9s | %10s %8s | %s\n",
+		"size", "q-time", "q-mem", "q-states", "q-lump",
+		"x-time", "x-mem", "x-states",
+		"|Pq-Px|", "sim-time", "paths", "|P - P_sim|")
+	fmt.Println("------+-------------------------------------------+--------------------------------+-----------+---------------------+------------")
 
 	for size := 2; size <= maxSize; size += 2 {
 		src, err := casestudy.SensorFilter(casestudy.DefaultSensorFilter(size))
@@ -196,52 +214,94 @@ func table1(b *bench, maxSize int, bound float64) error {
 			return err
 		}
 		label := fmt.Sprintf("size=%d", size)
+		values := map[string]float64{}
 
-		var ctmcRep slimsim.CTMCReport
-		ctmcTime, ctmcMem, ctmcErr := heapDelta(func() error {
+		// Quotient flow: CheckCTMC's default path, which on this family
+		// must engage the symmetry reduction.
+		var qRep slimsim.CTMCReport
+		qTime, qMem, err := heapDelta(func() error {
 			var err error
-			ctmcRep, err = m.CheckCTMC(casestudy.SensorFilterGoal, bound, 1<<21)
+			qRep, err = m.CheckCTMC(casestudy.SensorFilterGoal, bound, 1<<21)
 			return err
 		})
+		if err != nil {
+			return fmt.Errorf("size %d: quotient flow: %w", size, err)
+		}
+		if qRep.Symmetry == nil {
+			return fmt.Errorf("size %d: symmetry reduction did not engage on the sensor-filter family", size)
+		}
+		values["qMs"] = float64(qTime) / float64(time.Millisecond)
+		values["qMemMB"] = qMem
+		values["qStates"] = float64(qRep.States)
+		values["qLumped"] = float64(qRep.LumpedStates)
+		values["pQuotient"] = qRep.Probability
 
-		var simRep slimsim.Report
-		simTime, simMem, simErr := heapDelta(func() error {
-			var err error
-			simRep, err = b.analyze(m, label, slimsim.Options{
-				Goal: casestudy.SensorFilterGoal, Bound: bound,
-				Strategy: "asap", Delta: b.delta, Epsilon: b.eps, Method: b.method,
-				Workers: b.workers, Seed: b.seed,
+		// Explicit flow, while the 4^N product still fits.
+		xCols := []string{"—", "—", "—", "—"}
+		if size <= explicitMax {
+			var xRep slimsim.CTMCReport
+			xTime, xMem, xErr := heapDelta(func() error {
+				var err error
+				xRep, err = m.CheckCTMC(casestudy.SensorFilterGoal, bound, 1<<21, slimsim.WithoutSymmetry())
+				return err
 			})
-			return err
-		})
-		if simErr != nil {
-			return simErr
-		}
-		values := map[string]float64{
-			"simMs":    float64(simTime) / float64(time.Millisecond),
-			"simMemMB": simMem,
-			"paths":    float64(simRep.Paths),
-			"pSim":     simRep.Probability,
+			if xErr != nil {
+				xCols[3] = fmt.Sprintf("(explicit: %v)", xErr)
+			} else {
+				values["ctmcMs"] = float64(xTime) / float64(time.Millisecond)
+				values["ctmcMemMB"] = xMem
+				values["states"] = float64(xRep.States)
+				values["lumped"] = float64(xRep.LumpedStates)
+				values["pCtmc"] = xRep.Probability
+				values["absDiffQuotient"] = math.Abs(qRep.Probability - xRep.Probability)
+				xCols = []string{
+					fmt.Sprint(xTime.Round(time.Millisecond)),
+					fmt.Sprintf("%.1fM", xMem),
+					fmt.Sprint(xRep.States),
+					fmt.Sprintf("%.2e", values["absDiffQuotient"]),
+				}
+			}
 		}
 
-		if ctmcErr != nil {
-			fmt.Printf("%-5d | %12s %10s %10s %8s | %12s %9.1fM %8d | (ctmc: %v)\n",
-				size, "—", "—", "—", "—", simTime.Round(time.Millisecond), simMem, simRep.Paths, ctmcErr)
-			b.row(label, values)
-			continue
+		// Simulator column; its exact reference is the explicit flow when
+		// that ran, the quotient otherwise.
+		simCols := []string{"—", "—", "—"}
+		if size <= simMax {
+			var simRep slimsim.Report
+			simTime, simMem, simErr := heapDelta(func() error {
+				var err error
+				simRep, err = b.analyze(m, label, slimsim.Options{
+					Goal: casestudy.SensorFilterGoal, Bound: bound,
+					Strategy: "asap", Delta: b.delta, Epsilon: b.eps, Method: b.method,
+					Workers: b.workers, Seed: b.seed,
+				})
+				return err
+			})
+			if simErr != nil {
+				return simErr
+			}
+			values["simMs"] = float64(simTime) / float64(time.Millisecond)
+			values["simMemMB"] = simMem
+			values["paths"] = float64(simRep.Paths)
+			values["pSim"] = simRep.Probability
+			exact := qRep.Probability
+			if p, ok := values["pCtmc"]; ok {
+				exact = p
+			}
+			values["absDiff"] = math.Abs(exact - simRep.Probability)
+			simCols = []string{
+				fmt.Sprint(simTime.Round(time.Millisecond)),
+				fmt.Sprint(simRep.Paths),
+				fmt.Sprintf("%.4f", values["absDiff"]),
+			}
 		}
-		values["ctmcMs"] = float64(ctmcTime) / float64(time.Millisecond)
-		values["ctmcMemMB"] = ctmcMem
-		values["states"] = float64(ctmcRep.States)
-		values["lumped"] = float64(ctmcRep.LumpedStates)
-		values["pCtmc"] = ctmcRep.Probability
-		values["absDiff"] = math.Abs(ctmcRep.Probability - simRep.Probability)
+
 		b.row(label, values)
-		fmt.Printf("%-5d | %12s %9.1fM %10d %8d | %12s %9.1fM %8d | %.4f\n",
+		fmt.Printf("%-5d | %10s %8.1fM %8d %7d | %10s %9s %9s | %9s | %10s %8s | %s\n",
 			size,
-			ctmcTime.Round(time.Millisecond), ctmcMem, ctmcRep.States, ctmcRep.LumpedStates,
-			simTime.Round(time.Millisecond), simMem, simRep.Paths,
-			math.Abs(ctmcRep.Probability-simRep.Probability))
+			qTime.Round(time.Millisecond), qMem, qRep.States, qRep.LumpedStates,
+			xCols[0], xCols[1], xCols[2], xCols[3],
+			simCols[0], simCols[1], simCols[2])
 	}
 	return nil
 }

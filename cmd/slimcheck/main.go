@@ -2,9 +2,12 @@
 // untimed (Markovian) fragment of a SLIM model: explicit state-space
 // construction (the NuSMV step), bisimulation lumping (the Sigref step) and
 // uniformization-based time-bounded reachability (the MRMC step). It is the
-// comparator used for Table I. With -exact it instead runs the exact
-// single-clock zone analysis, which additionally admits one clock with
-// integer-bounded guards and invariants.
+// comparator used for Table I. When the model's replicas form certified
+// symmetry groups, the state space is built as the counter-abstracted
+// quotient directly (disable with -no-symmetry). With -exact, timed models
+// are routed to the exact single-clock zone analysis, which admits one
+// clock with integer-bounded guards and invariants; untimed models keep
+// the (already exact) CTMC pipeline.
 //
 // Example:
 //
@@ -13,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,10 +42,11 @@ func run(args []string) error {
 		goal       = fs.String("goal", "", "goal predicate over instance paths (required)")
 		bound      = fs.Float64("bound", 0, "time bound u of the property (required)")
 		maxStates  = fs.Int("max-states", 1<<20, "explicit state-space cap")
-		exact      = fs.Bool("exact", false, "use the exact single-clock zone analyzer (admits one clock and timed guards; the default pipeline handles only the untimed fragment)")
+		exact      = fs.Bool("exact", false, "force an exact analysis: the symmetry-reduced CTMC pipeline on untimed models, the single-clock zone analyzer on timed ones")
 		quiet      = fs.Bool("q", false, "print only the probability")
 		noLint     = fs.Bool("no-lint", false, "skip the static analysis that rejects defective models")
 		noStatic   = fs.Bool("no-static", false, "skip the abstract-interpretation fast path that decides trivial properties without building the state space")
+		noSymmetry = fs.Bool("no-symmetry", false, "disable the counter-abstraction symmetry reduction and always build the explicit state space")
 		reportPath = fs.String("report", "", "write a JSON run report (schema in docs/OBSERVABILITY.md) to this path")
 		progress   = fs.Bool("progress", false, "print pipeline phase progress to stderr")
 	)
@@ -77,16 +82,27 @@ func run(args []string) error {
 			return nil
 		}
 	}
-	if *exact {
+	// -exact on the untimed fragment is the CTMC pipeline itself (it is
+	// exact there, and the symmetry reduction extends its reach); only
+	// timed models need the zone analyzer.
+	if *exact && !m.Untimed() {
 		return runZone(m, *modelPath, *goal, *bound, *maxStates, *quiet, *progress, *reportPath)
 	}
 	if *progress {
 		fmt.Fprintf(os.Stderr, "slimcheck: state space -> lumping -> uniformization on %s (bound %g)...\n",
 			*modelPath, *bound)
 	}
+	var opts []slimsim.CTMCOption
+	if *noSymmetry {
+		opts = append(opts, slimsim.WithoutSymmetry())
+	}
 	start := time.Now()
-	rep, err := m.CheckCTMC(*goal, *bound, *maxStates)
+	rep, err := m.CheckCTMC(*goal, *bound, *maxStates, opts...)
 	if err != nil {
+		var of *slimsim.OverflowError
+		if errors.As(err, &of) {
+			return fmt.Errorf("state space exceeds -max-states=%d (%d tangible states, %d vanishing resolved; frontier key prefix %q) — raise -max-states, or check that the model's replicas are symmetric so the counter abstraction can engage", of.Limit, of.Explored, of.Vanishing, of.KeyPrefix)
+		}
 		return err
 	}
 	if *progress {
@@ -112,6 +128,10 @@ func run(args []string) error {
 				SolveMS:      float64(rep.SolveTime) / float64(time.Millisecond),
 			},
 		}
+		if rep.Symmetry != nil {
+			out.CTMC.SymmetryGroups = rep.Symmetry.Groups
+			out.CTMC.SymmetryReplicas = rep.Symmetry.Replicas
+		}
 		if err := out.WriteFile(*reportPath); err != nil {
 			return err
 		}
@@ -121,6 +141,10 @@ func run(args []string) error {
 		return nil
 	}
 	fmt.Printf("P = %.10f\n", rep.Probability)
+	if rep.Symmetry != nil {
+		fmt.Printf("symmetry: %d replica group(s) %v, counter-abstracted quotient built directly\n",
+			rep.Symmetry.Groups, rep.Symmetry.Replicas)
+	}
 	fmt.Printf("states: %d tangible (%d explored), lumped to %d blocks\n",
 		rep.States, rep.Explored, rep.LumpedStates)
 	fmt.Printf("time: build %s, lump %s, solve %s\n", rep.BuildTime, rep.LumpTime, rep.SolveTime)

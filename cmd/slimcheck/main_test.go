@@ -4,9 +4,11 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"slimsim"
+	"slimsim/internal/casestudy"
 )
 
 // divTrap passes every static check (the type of 1 / input is fine) but
@@ -135,6 +137,52 @@ root Main.Imp;
 	}
 	if !errors.Is(err, slimsim.ErrZoneIneligible) {
 		t.Fatalf("error %v is not ErrZoneIneligible", err)
+	}
+	if got := slimsim.ExitCode(err); got != 1 {
+		t.Fatalf("ExitCode = %d, want 1 for %v", got, err)
+	}
+}
+
+// writeSensorFilter materializes the generated sensor-filter model at size n.
+func writeSensorFilter(t *testing.T, n int) string {
+	t.Helper()
+	src, err := casestudy.SensorFilter(casestudy.DefaultSensorFilter(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sensorfilter.slim")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestExactUntimedUsesCTMC checks that -exact on an untimed model routes to
+// the (symmetry-reduced) CTMC pipeline instead of the zone analyzer — at
+// N=10 the explicit product has 4^10-1 states, far over the tiny cap given
+// here, so success proves the counter abstraction engaged.
+func TestExactUntimedUsesCTMC(t *testing.T) {
+	path := writeSensorFilter(t, 10)
+	err := run([]string{"-exact", "-model", path, "-goal", casestudy.SensorFilterGoal,
+		"-bound", "150", "-max-states", "4096", "-q"})
+	if err != nil {
+		t.Fatalf("-exact on untimed sensor-filter N=10: %v", err)
+	}
+}
+
+// TestNoSymmetryOverflowSurfacing checks that -no-symmetry forces the
+// explicit build (which must then overflow the same cap) and that the
+// overflow is reported as an ordinary resource error, not an
+// engine-internal one.
+func TestNoSymmetryOverflowSurfacing(t *testing.T) {
+	path := writeSensorFilter(t, 10)
+	err := run([]string{"-exact", "-no-symmetry", "-model", path, "-goal", casestudy.SensorFilterGoal,
+		"-bound", "150", "-max-states", "4096", "-q"})
+	if err == nil {
+		t.Fatal("explicit build of 4^10 states fit in 4096")
+	}
+	if !strings.Contains(err.Error(), "-max-states") {
+		t.Fatalf("overflow not surfaced with guidance: %v", err)
 	}
 	if got := slimsim.ExitCode(err); got != 1 {
 		t.Fatalf("ExitCode = %d, want 1 for %v", got, err)

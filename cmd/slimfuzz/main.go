@@ -41,7 +41,7 @@ func main() {
 func run(args []string, out *os.File) (found int, err error) {
 	fs := flag.NewFlagSet("slimfuzz", flag.ContinueOnError)
 	var (
-		classFlag = fs.String("class", "all", "model class to generate: markovian, deterministic, timed, singleclock or all")
+		classFlag = fs.String("class", "all", "model class to generate: markovian, deterministic, timed, singleclock, rareevent, symmetric or all")
 		n         = fs.Int("n", 100, "number of seeds to explore per class")
 		base      = fs.Uint64("base", 0, "first seed (default: derived from the current time)")
 		seedsFlag = fs.String("seeds", "", "comma-separated explicit seeds (overrides -n/-base)")

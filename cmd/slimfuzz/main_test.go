@@ -62,8 +62,8 @@ func TestExplicitSeeds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 2 seeds across 5 classes.
-	if !strings.Contains(string(data), "10 models checked") {
+	// 2 seeds across 6 classes.
+	if !strings.Contains(string(data), "12 models checked") {
 		t.Fatalf("summary missing from output: %q", data)
 	}
 }

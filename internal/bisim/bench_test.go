@@ -1,0 +1,62 @@
+package bisim_test
+
+import (
+	"testing"
+
+	"slimsim/internal/bisim"
+	"slimsim/internal/casestudy"
+	"slimsim/internal/ctmc"
+	"slimsim/internal/model"
+	"slimsim/internal/network"
+	"slimsim/internal/slim"
+)
+
+// table1Chain builds the explicit sensor-filter chain at the given
+// redundancy — the exact workload Lump faces in the Table I pipeline
+// (4095 states lumping to 37 blocks at n = 6).
+func table1Chain(tb testing.TB, n int) *ctmc.CTMC {
+	tb.Helper()
+	src, err := casestudy.SensorFilter(casestudy.DefaultSensorFilter(n))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	parsed, err := slim.Parse(src)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	built, err := model.Instantiate(parsed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rt, err := network.New(built.Net)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	goal, err := built.CompileExpr(casestudy.SensorFilterGoal)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	br, err := ctmc.Build(rt, goal, 1<<20)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return br.Chain
+}
+
+// BenchmarkLump measures partition refinement on the Table I chain; the
+// numeric-signature rewrite is pinned against the old string-rendered
+// signatures in docs/PERFORMANCE.md.
+func BenchmarkLump(b *testing.B) {
+	chain := table1Chain(b, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bisim.Lump(chain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Blocks != 37 {
+			b.Fatalf("blocks = %d, want 37", res.Blocks)
+		}
+	}
+}

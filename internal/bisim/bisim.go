@@ -13,6 +13,7 @@ package bisim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"slimsim/internal/ctmc"
@@ -55,33 +56,73 @@ func Lump(c *ctmc.CTMC) (*Result, error) {
 		numBlocks = 1
 	}
 
-	// Refine until stable.
+	// Refine until stable. Each iteration computes every state's
+	// signature — its old block plus the sorted (target block, cumulative
+	// rate) pairs — as a numeric slice in one shared arena, hashes it
+	// (FNV-1a over the raw words), and assigns new block ids by exact
+	// comparison within hash buckets. Rates enter the signature quantized
+	// to 40 significant mantissa bits (~12 decimal digits, matching the
+	// "%.12g" string rendering this replaced): cumulative rates of
+	// bisimilar states can disagree in the final ulps because the
+	// explicit chain lists their edges in different orders, and comparing
+	// them exactly would shatter the blocks. The difftest exact tier
+	// bounds the error this tolerance can introduce.
+	var (
+		entries    []sigEntry // signature arena, reused across iterations
+		starts     = make([]int32, n+1)
+		hashes     = make([]uint64, n)
+		newBlockOf = make([]int, n)
+		acc        = make(map[int]float64) // per-state block→rate scratch
+		blocks     []int                   // sorted acc keys scratch
+	)
 	for {
-		type sig struct {
-			old   int
-			rates string
-		}
-		sigOf := make([]sig, n)
+		entries = entries[:0]
 		for s := 0; s < n; s++ {
-			sigOf[s] = sig{old: blockOf[s], rates: signature(c, s, blockOf)}
+			starts[s] = int32(len(entries))
+			for _, e := range c.Edges[s] {
+				acc[blockOf[e.To]] += e.Rate
+			}
+			blocks = blocks[:0]
+			for b := range acc {
+				blocks = append(blocks, b)
+			}
+			sort.Ints(blocks)
+			h := fnvMix(fnvOffset, uint64(blockOf[s]))
+			for _, b := range blocks {
+				mant, exp := quantize(acc[b])
+				entries = append(entries, sigEntry{block: int32(b), exp: int32(exp), mant: mant})
+				h = fnvMix(h, uint64(b))
+				h = fnvMix(h, uint64(mant))
+				h = fnvMix(h, uint64(int64(exp)))
+				delete(acc, b)
+			}
+			hashes[s] = h
 		}
-		next := make(map[sig]int)
-		newBlockOf := make([]int, n)
+		starts[n] = int32(len(entries))
+
+		bucket := make(map[uint64][]int, numBlocks)
+		nextID := 0
 		for s := 0; s < n; s++ {
-			id, ok := next[sigOf[s]]
-			if !ok {
-				id = len(next)
-				next[sigOf[s]] = id
+			id := -1
+			for _, r := range bucket[hashes[s]] {
+				if blockOf[s] == blockOf[r] && sigEqual(entries, starts, s, r) {
+					id = newBlockOf[r]
+					break
+				}
+			}
+			if id < 0 {
+				id = nextID
+				nextID++
+				bucket[hashes[s]] = append(bucket[hashes[s]], s)
 			}
 			newBlockOf[s] = id
 		}
-		if len(next) == numBlocks {
-			blockOf = newBlockOf
-			numBlocks = len(next)
+		stable := nextID == numBlocks
+		copy(blockOf, newBlockOf)
+		numBlocks = nextID
+		if stable {
 			break
 		}
-		blockOf = newBlockOf
-		numBlocks = len(next)
 	}
 
 	// Build the quotient: rates from a representative of each block.
@@ -122,23 +163,44 @@ func Lump(c *ctmc.CTMC) (*Result, error) {
 	return &Result{Quotient: q, BlockOf: blockOf, Blocks: numBlocks}, nil
 }
 
-// signature renders state s's cumulative rates into current blocks as a
-// canonical string.
-func signature(c *ctmc.CTMC, s int, blockOf []int) string {
-	acc := make(map[int]float64)
-	for _, e := range c.Edges[s] {
-		acc[blockOf[e.To]] += e.Rate
+// sigEntry is one (target block, cumulative rate) component of a state's
+// refinement signature, with the rate in quantized mantissa/exponent form.
+type sigEntry struct {
+	block, exp int32
+	mant       int64
+}
+
+// quantize rounds r to 40 significant mantissa bits. Signatures compare
+// rates at this relative precision so that ulp-level noise from edge
+// ordering cannot split bisimilar states.
+func quantize(r float64) (int64, int) {
+	mant, exp := math.Frexp(r)
+	return int64(math.Round(mant * (1 << 40))), exp
+}
+
+// FNV-1a constants, applied word-wise rather than byte-wise: the mix only
+// routes states into buckets, equality is always reverified exactly.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 { return (h ^ v) * fnvPrime }
+
+// sigEqual reports whether states s and r have identical signature slices
+// in the shared arena.
+func sigEqual(entries []sigEntry, starts []int32, s, r int) bool {
+	ss, se := starts[s], starts[s+1]
+	rs, re := starts[r], starts[r+1]
+	if se-ss != re-rs {
+		return false
 	}
-	blocks := make([]int, 0, len(acc))
-	for b := range acc {
-		blocks = append(blocks, b)
+	for i := int32(0); i < se-ss; i++ {
+		if entries[ss+i] != entries[rs+i] {
+			return false
+		}
 	}
-	sort.Ints(blocks)
-	var out []byte
-	for _, b := range blocks {
-		out = fmt.Appendf(out, "%d:%.12g;", b, acc[b])
-	}
-	return string(out)
+	return true
 }
 
 func allSame(xs []bool) bool {

@@ -1,0 +1,92 @@
+package ctmc
+
+import (
+	"testing"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/network"
+	"slimsim/internal/sta"
+)
+
+// benchNetK assembles k independent failure/repair units, each watched by
+// an immediate monitor that latches an alarm on the first failure: 3^k
+// tangible states with a vanishing hop behind every first failure, the
+// same tangible/vanishing mix Build faces on the benchmark families.
+func benchNetK(tb testing.TB, k int) (*network.Runtime, expr.Expr) {
+	tb.Helper()
+	var procs []*sta.Process
+	var decls []sta.VarDecl
+	goal := expr.Expr(expr.True())
+	for i := 0; i < k; i++ {
+		failedID := expr.VarID(2 * i)
+		alarmID := expr.VarID(2*i + 1)
+		failedName := "failed" + string(rune('a'+i))
+		alarmName := "alarm" + string(rune('a'+i))
+		procs = append(procs, &sta.Process{
+			Name:      "unit" + string(rune('a'+i)),
+			Locations: []sta.Location{{Name: "ok"}, {Name: "failed"}},
+			Initial:   0,
+			Transitions: []sta.Transition{
+				{From: 0, To: 1, Action: sta.Tau, Rate: 0.4,
+					Effects: []sta.Assignment{{Var: failedID, Name: failedName, Expr: expr.True()}}},
+				{From: 1, To: 0, Action: sta.Tau, Rate: 2.0,
+					Effects: []sta.Assignment{{Var: failedID, Name: failedName, Expr: expr.False()}}},
+			},
+			Vars: []expr.VarID{failedID},
+		}, &sta.Process{
+			Name:      "monitor" + string(rune('a'+i)),
+			Locations: []sta.Location{{Name: "watch"}, {Name: "raised"}},
+			Initial:   0,
+			Transitions: []sta.Transition{
+				{From: 0, To: 1, Action: sta.Tau,
+					Guard:   expr.Var(failedName, failedID),
+					Effects: []sta.Assignment{{Var: alarmID, Name: alarmName, Expr: expr.True()}}},
+			},
+			Vars: []expr.VarID{alarmID},
+		})
+		decls = append(decls,
+			sta.VarDecl{Name: failedName, Type: expr.BoolType(), Init: expr.BoolVal(false)},
+			sta.VarDecl{Name: alarmName, Type: expr.BoolType(), Init: expr.BoolVal(false)})
+		goal = expr.And(goal, expr.Var(alarmName, alarmID))
+	}
+	rt, err := network.New(&sta.Network{Processes: procs, Vars: decls})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rt, goal
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rt, goal := benchNetK(b, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Build(rt, goal, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Vanishing == 0 {
+			b.Fatal("expected vanishing states")
+		}
+	}
+}
+
+// TestBuildAllocs gates the allocation profile of a full Build on the
+// reference net: the cycle-detection set and the edge-merging scratch are
+// builder-owned, so the only per-state allocations left are the interned
+// states, keys and distributions themselves. The budget has ~30% headroom
+// over the measured count (≈26.7k); letting per-visit scratch escape to
+// the heap again blows through it.
+func TestBuildAllocs(t *testing.T) {
+	rt, goal := benchNetK(t, 5)
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := Build(rt, goal, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 35000
+	if avg > budget {
+		t.Errorf("allocs per Build: %.0f, want at most %d", avg, budget)
+	}
+	t.Logf("allocs per Build: %.0f (budget %d)", avg, budget)
+}

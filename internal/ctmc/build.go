@@ -2,6 +2,7 @@ package ctmc
 
 import (
 	"fmt"
+	"sort"
 
 	"slimsim/internal/expr"
 	"slimsim/internal/network"
@@ -19,6 +20,40 @@ type BuildResult struct {
 	Vanishing int
 }
 
+// OverflowError reports that exploration hit the maxStates cap. It carries
+// the exploration statistics at the moment of the overflow plus a prefix of
+// the offending state key, so callers (slimcheck in particular) can tell a
+// genuinely too-large model apart from an engine failure and suggest a
+// remedy.
+type OverflowError struct {
+	// Limit is the configured tangible-state cap.
+	Limit int
+	// Explored and Vanishing are the exploration counters when the cap
+	// was hit.
+	Explored, Vanishing int
+	// KeyPrefix is a prefix of the canonical key of the state that did
+	// not fit.
+	KeyPrefix string
+}
+
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("ctmc: state space exceeds %d tangible states (%d states explored, %d vanishing eliminated; overflowed at state %s...)",
+		e.Limit, e.Explored, e.Vanishing, e.KeyPrefix)
+}
+
+// BuildOptions tunes Build. The zero value reproduces the plain explicit
+// construction.
+type BuildOptions struct {
+	// Canon, when non-nil, rewrites every discovered state to a
+	// canonical representative of its equivalence class before it is
+	// keyed, so the chain is built over the quotient directly. The
+	// caller must guarantee the classes form a strong bisimulation that
+	// respects the goal labeling (internal/symmetry certifies this for
+	// replica-permutation classes); Build itself treats the hook as
+	// opaque.
+	Canon func(*network.State)
+}
+
 // Build unfolds the network's reachable discrete state space into a CTMC.
 //
 // The untimed (Markovian) fragment of SLIM is required: the model may not
@@ -27,8 +62,13 @@ type BuildResult struct {
 // fires immediately under maximal progress, chosen uniformly) or *tangible*
 // (only Markovian moves, raced by rate) or absorbing. goal labels the
 // target states of the reachability property. maxStates bounds the
-// exploration.
+// exploration; on overflow the error is an *OverflowError.
 func Build(rt *network.Runtime, goal expr.Expr, maxStates int) (*BuildResult, error) {
+	return BuildWith(rt, goal, maxStates, BuildOptions{})
+}
+
+// BuildWith is Build with options; see BuildOptions.
+func BuildWith(rt *network.Runtime, goal expr.Expr, maxStates int, opts BuildOptions) (*BuildResult, error) {
 	for _, d := range rt.Net().Vars {
 		if d.Type.Timed() {
 			return nil, fmt.Errorf("ctmc: model has timed variable %s; the CTMC flow handles only the untimed fragment", d.Name)
@@ -45,14 +85,19 @@ func Build(rt *network.Runtime, goal expr.Expr, maxStates int) (*BuildResult, er
 		rt:        rt,
 		goal:      goal,
 		maxStates: maxStates,
+		canon:     opts.Canon,
 		index:     make(map[string]int),
 		resolved:  make(map[string][]weighted),
+		onPath:    make(map[string]bool),
 	}
 	init, err := rt.InitialState()
 	if err != nil {
 		return nil, err
 	}
-	initDist, err := b.resolve(&init, make(map[string]bool))
+	if b.canon != nil {
+		b.canon(&init)
+	}
+	initDist, err := b.resolve(&init)
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +147,7 @@ type builder struct {
 	rt        *network.Runtime
 	goal      expr.Expr
 	maxStates int
+	canon     func(*network.State)
 
 	states    []*network.State // tangible states by index
 	index     map[string]int   // state key -> tangible index
@@ -109,6 +155,9 @@ type builder struct {
 	edges     [][]Edge
 	resolved  map[string][]weighted // memoized vanishing resolution
 	keyBuf    []byte                // scratch for stateKey
+	onPath    map[string]bool       // immediate-cycle detection, reused across resolve calls
+	rateAcc   map[int]float64       // per-expand edge merging scratch
+	targets   []int                 // sorted rateAcc keys scratch
 	explored  int
 	vanishing int
 }
@@ -130,7 +179,16 @@ func (b *builder) tangible(st *network.State) (int, error) {
 	}
 	key := string(buf)
 	if len(b.states) >= b.maxStates {
-		return 0, fmt.Errorf("ctmc: state space exceeds %d tangible states", b.maxStates)
+		prefix := key
+		if len(prefix) > 48 {
+			prefix = prefix[:48]
+		}
+		return 0, &OverflowError{
+			Limit:     b.maxStates,
+			Explored:  b.explored,
+			Vanishing: b.vanishing,
+			KeyPrefix: prefix,
+		}
 	}
 	idx := len(b.states)
 	cp := st.Clone()
@@ -167,13 +225,16 @@ func (b *builder) immediateMoves(st *network.State) ([]network.Move, []network.M
 
 // resolve eliminates vanishing states: starting from st, follow immediate
 // transitions (uniformly probable, maximal progress) until tangible states
-// are reached. onPath detects cycles of immediate transitions.
-func (b *builder) resolve(st *network.State, onPath map[string]bool) ([]weighted, error) {
+// are reached. st must already be canonical when a Canon hook is set. The
+// builder-owned onPath set detects cycles of immediate transitions; each
+// recursion removes its key on unwind, so the set is empty again after
+// every top-level call and never reallocated.
+func (b *builder) resolve(st *network.State) ([]weighted, error) {
 	buf := b.stateKey(st)
 	if cached, ok := b.resolved[string(buf)]; ok {
 		return cached, nil
 	}
-	if onPath[string(buf)] {
+	if b.onPath[string(buf)] {
 		return nil, fmt.Errorf("ctmc: cycle of immediate transitions through state %s", string(buf))
 	}
 	// Materialize the key once: it outlives the recursive calls below,
@@ -190,8 +251,8 @@ func (b *builder) resolve(st *network.State, onPath map[string]bool) ([]weighted
 		return out, nil
 	}
 	b.vanishing++
-	onPath[key] = true
-	defer delete(onPath, key)
+	b.onPath[key] = true
+	defer delete(b.onPath, key)
 
 	acc := make(map[string]*weighted)
 	share := 1 / float64(len(immediate))
@@ -200,7 +261,10 @@ func (b *builder) resolve(st *network.State, onPath map[string]bool) ([]weighted
 		if err != nil {
 			return nil, err
 		}
-		sub, err := b.resolve(&succ, onPath)
+		if b.canon != nil {
+			b.canon(&succ)
+		}
+		sub, err := b.resolve(&succ)
 		if err != nil {
 			return nil, err
 		}
@@ -222,19 +286,28 @@ func (b *builder) resolve(st *network.State, onPath map[string]bool) ([]weighted
 }
 
 // expand adds the Markovian edges of tangible state idx, exploring
-// successors.
+// successors. Parallel edges into the same target are merged (rates add in
+// a CTMC race); under a Canon hook this merging is what produces the
+// counter-abstraction's scaled rates — k interchangeable replicas firing
+// the same transition collapse into one edge of k times the rate.
 func (b *builder) expand(idx int) error {
 	st := b.states[idx]
 	_, markovian, err := b.immediateMoves(st)
 	if err != nil {
 		return err
 	}
+	if b.rateAcc == nil {
+		b.rateAcc = make(map[int]float64)
+	}
 	for i := range markovian {
 		succ, err := b.rt.Apply(st, &markovian[i])
 		if err != nil {
 			return err
 		}
-		dist, err := b.resolve(&succ, make(map[string]bool))
+		if b.canon != nil {
+			b.canon(&succ)
+		}
+		dist, err := b.resolve(&succ)
 		if err != nil {
 			return err
 		}
@@ -243,8 +316,17 @@ func (b *builder) expand(idx int) error {
 			if err != nil {
 				return err
 			}
-			b.edges[idx] = append(b.edges[idx], Edge{To: tIdx, Rate: markovian[i].Rate * w.p})
+			b.rateAcc[tIdx] += markovian[i].Rate * w.p
 		}
+	}
+	b.targets = b.targets[:0]
+	for t := range b.rateAcc {
+		b.targets = append(b.targets, t)
+	}
+	sort.Ints(b.targets)
+	for _, t := range b.targets {
+		b.edges[idx] = append(b.edges[idx], Edge{To: t, Rate: b.rateAcc[t]})
+		delete(b.rateAcc, t)
 	}
 	return nil
 }

@@ -41,6 +41,15 @@
 //     rare probability, so it would assert nothing — and the degenerate
 //     single-level splitting run must instead reproduce the plain Monte
 //     Carlo estimate bit for bit on the same seed.
+//  8. symmetry    — on the symmetric replica class the counter-abstraction
+//     pipeline is exercised end to end: the detector must certify at
+//     least one replica group (the generator builds models symmetric by
+//     construction, so a missed group is a detector bug), the quotient
+//     chain lumped must agree with the explicit chain lumped to 1e-12,
+//     and the public CheckCTMC must give the same probability with and
+//     without the fast path. Above the explicit ceiling the quotient is
+//     the only exact oracle; this tier is what licenses trusting it
+//     there.
 //
 // The unrestricted timed class has no exact reference; there the engine
 // itself is the oracle: no strategy may trip an internal engine invariant
@@ -60,6 +69,7 @@ import (
 	"slimsim/internal/modelgen"
 	"slimsim/internal/network"
 	"slimsim/internal/slim"
+	"slimsim/internal/symmetry"
 	"slimsim/internal/zone"
 )
 
@@ -77,6 +87,13 @@ const (
 	solverTol = 1e-7
 	// maxStates caps explicit state-space construction.
 	maxStates = 1 << 18
+	// symTol bounds the disagreement between the lumped quotient and the
+	// lumped explicit chain on the symmetric class. Both are solved with a
+	// 1e-13 uniformization tail (symTail) — tighter than the default
+	// 1e-10, which would swamp the claim — and lump to isomorphic chains,
+	// so agreement holds to the last few ulps.
+	symTol  = 1e-12
+	symTail = 1e-13
 	// timedPaths is the number of paths sampled per strategy on the
 	// timed class.
 	timedPaths = 4
@@ -187,6 +204,8 @@ func Check(g *modelgen.Generated) *Discrepancy {
 		return checkZone(g, m, fail)
 	case modelgen.RareEvent:
 		return checkRare(g, m, fail)
+	case modelgen.Symmetric:
+		return checkSymmetric(g, m, fail)
 	default:
 		return checkEngine(g, m, fail)
 	}
@@ -615,6 +634,113 @@ func checkRare(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepancy
 	if !drep.Degenerate || drep.Probability != mcRep.Probability {
 		return fail("splitting", "single-level splitting %.10e is not bit-identical to plain Monte Carlo %.10e (degenerate=%v)",
 			drep.Probability, mcRep.Probability, drep.Degenerate)
+	}
+	return nil
+}
+
+// checkSymmetric is oracle level 8: on the symmetric replica class the
+// counter-abstraction pipeline is the subject under test. The detector
+// must certify a replica group (the generator makes the model symmetric by
+// construction), the goal must be permutation-invariant, the quotient
+// chain after lumping must agree with the explicit chain after lumping to
+// symTol at a symTail uniformization tail, and the public CheckCTMC must
+// produce the same probability with the fast path engaged and disabled.
+// The standard Monte Carlo band then ties the exact answer to sampling.
+func checkSymmetric(g *modelgen.Generated, m *slimsim.Model, fail failf) *Discrepancy {
+	parsed, err := slim.Parse(g.Source)
+	if err != nil {
+		return fail("symmetry", "reparse: %v", err)
+	}
+	built, err := model.Instantiate(parsed)
+	if err != nil {
+		return fail("symmetry", "instantiate: %v", err)
+	}
+	rt, err := network.New(built.Net)
+	if err != nil {
+		return fail("symmetry", "network: %v", err)
+	}
+	goal, err := built.CompileExpr(g.Goal)
+	if err != nil {
+		return fail("symmetry", "goal %q: %v", g.Goal, err)
+	}
+	red := symmetry.Detect(rt)
+	if red == nil {
+		return fail("symmetry", "no certified replica group on a generated symmetric model")
+	}
+	if !red.Invariant(goal) {
+		return fail("symmetry", "goal %q is not invariant under the certified permutations", g.Goal)
+	}
+	qr, err := symmetry.BuildQuotient(rt, red, goal, maxStates)
+	if err != nil {
+		return engineOr(fail, "symmetry", "quotient build: %v", err)
+	}
+	er, err := ctmc.Build(rt, goal, maxStates)
+	if err != nil {
+		return engineOr(fail, "symmetry", "explicit build: %v", err)
+	}
+	if qr.Chain.NumStates() > er.Chain.NumStates() {
+		return fail("symmetry", "quotient has %d states, explicit only %d — canonicalization split orbits",
+			qr.Chain.NumStates(), er.Chain.NumStates())
+	}
+	lq, err := bisim.Lump(qr.Chain)
+	if err != nil {
+		return fail("symmetry", "lump quotient: %v", err)
+	}
+	le, err := bisim.Lump(er.Chain)
+	if err != nil {
+		return fail("symmetry", "lump explicit: %v", err)
+	}
+	if lq.Blocks != le.Blocks {
+		return fail("symmetry", "quotient lumps to %d blocks, explicit to %d — the counter abstraction is not a lumping refinement",
+			lq.Blocks, le.Blocks)
+	}
+	pq, err := lq.Quotient.ReachWithin(g.Bound, symTail)
+	if err != nil {
+		return fail("symmetry", "quotient solve: %v", err)
+	}
+	pe, err := le.Quotient.ReachWithin(g.Bound, symTail)
+	if err != nil {
+		return fail("symmetry", "explicit solve: %v", err)
+	}
+	if diff := math.Abs(pq - pe); diff > symTol {
+		return fail("symmetry", "quotient (%d states) gives %.15f, explicit (%d states) gives %.15f (diff %.2e > %.0e)",
+			qr.Chain.NumStates(), pq, er.Chain.NumStates(), pe, diff, symTol)
+	}
+	// The public pipeline must engage the fast path and agree with the
+	// forced-explicit run to solver precision (both solve at the default
+	// 1e-10 tail, possibly on differently-lumped but bisimilar chains).
+	def, err := m.CheckCTMC(g.Goal, g.Bound, maxStates)
+	if err != nil {
+		return engineOr(fail, "symmetry", "CheckCTMC: %v", err)
+	}
+	if def.Symmetry == nil {
+		return fail("symmetry", "CheckCTMC did not engage the symmetry fast path on a certified model")
+	}
+	exp, err := m.CheckCTMC(g.Goal, g.Bound, maxStates, slimsim.WithoutSymmetry())
+	if err != nil {
+		return engineOr(fail, "symmetry", "CheckCTMC without symmetry: %v", err)
+	}
+	if exp.Symmetry != nil {
+		return fail("symmetry", "WithoutSymmetry still reports a reduction")
+	}
+	if diff := math.Abs(def.Probability - exp.Probability); diff > solverTol {
+		return fail("symmetry", "CheckCTMC gives %.10f with the fast path, %.10f without (diff %.2e)",
+			def.Probability, exp.Probability, diff)
+	}
+	if d := staticVsExact(g, m, def.Probability, fail); d != nil {
+		return d
+	}
+	mcOpts := opts(g, "asap", g.Seed+1)
+	mcOpts.Delta = mcDelta
+	mcOpts.Epsilon = mcEpsilon
+	mcOpts.Workers = 1
+	rep, err := m.Analyze(mcOpts)
+	if err != nil {
+		return engineOr(fail, "symmetry", "monte carlo: %v", err)
+	}
+	if diff := math.Abs(rep.Probability - def.Probability); diff > mcEpsilon {
+		return fail("symmetry", "monte carlo estimate %.6f (%d paths, asap) outside the ±%g band around exact %.10f (diff %.4f)",
+			rep.Probability, rep.Paths, mcEpsilon, def.Probability, diff)
 	}
 	return nil
 }

@@ -1,0 +1,147 @@
+package difftest
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"slimsim/internal/bisim"
+	"slimsim/internal/ctmc"
+	"slimsim/internal/model"
+	"slimsim/internal/modelgen"
+	"slimsim/internal/network"
+	"slimsim/internal/slim"
+)
+
+// TestSymmetrySoundnessFreshSweep explores fresh symmetric-class seeds
+// outside the committed corpus, derived from the current time: the full
+// oracle hierarchy — detection, the 1e-12 quotient-vs-explicit agreement,
+// both CheckCTMC paths and the Monte Carlo band — must hold on ground the
+// corpus has never seen. Run by the nightly soundness sweep; the base is
+// logged so findings reproduce.
+func TestSymmetrySoundnessFreshSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fresh-seed exploration is skipped in -short mode")
+	}
+	base := uint64(time.Now().UnixNano())
+	t.Logf("fresh-seed base: %d", base)
+	for i := uint64(0); i < 10; i++ {
+		checkSeed(t, modelgen.Symmetric, base+i*7919)
+	}
+}
+
+// TestLumpPreservesReachWithin is the lumping-preservation property test:
+// on random Markovian seeds the bisimulation quotient must reproduce the
+// unlumped chain's time-bounded reachability to 1e-12 when both are solved
+// at a 1e-13 uniformization tail. This pins the semantic content of
+// bisim.Lump directly, independent of the solver-precision cross-checks in
+// the exact oracle.
+func TestLumpPreservesReachWithin(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		g, err := modelgen.Generate(modelgen.Markovian, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		parsed, err := slim.Parse(g.Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		built, err := model.Instantiate(parsed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rt, err := network.New(built.Net)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		goal, err := built.CompileExpr(g.Goal)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		br, err := ctmc.Build(rt, goal, maxStates)
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		praw, err := br.Chain.ReachWithin(g.Bound, symTail)
+		if err != nil {
+			t.Fatalf("seed %d: unlumped solve: %v", seed, err)
+		}
+		lumped, err := bisim.Lump(br.Chain)
+		if err != nil {
+			t.Fatalf("seed %d: lump: %v", seed, err)
+		}
+		plump, err := lumped.Quotient.ReachWithin(g.Bound, symTail)
+		if err != nil {
+			t.Fatalf("seed %d: lumped solve: %v", seed, err)
+		}
+		if diff := math.Abs(praw - plump); diff > symTol {
+			t.Errorf("seed %d: lumping moved ReachWithin by %.2e (%d states -> %d blocks; %.15f vs %.15f)",
+				seed, diff, br.Chain.NumStates(), lumped.Blocks, praw, plump)
+		}
+	}
+}
+
+// breakReplica re-prints g's model with one replica's down-state injection
+// changed from health 0 to health 1: the model stays lint-clean and
+// simulates fine, but the tampered replica's shadow flow no longer mirrors
+// its siblings, so the transposition certificate must reject the group and
+// Check must fail under exactly the symmetry oracle.
+func breakReplica(t *testing.T, g *modelgen.Generated) string {
+	t.Helper()
+	m, err := slim.Parse(g.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range m.Extensions {
+		if len(ext.Target) == 1 && ext.Target[0] == "u1" {
+			for _, inj := range ext.Injections {
+				if inj.State == "down" {
+					inj.Value = &slim.NumLit{Value: 1, IsInt: true}
+					return slim.Print(m)
+				}
+			}
+		}
+	}
+	t.Fatal("symmetric model has no u1 down injection to tamper")
+	return ""
+}
+
+// TestShrinkSymmetricShape pins the shrinker on the symmetric generator
+// shape: a replica farm with one tampered replica fails the symmetry
+// oracle (detection finds no certifiable group), and greedy shrinking must
+// terminate with a smaller reproducer that still fails it — reductions
+// that delete the tampered replica restore the symmetry, change the
+// failing oracle and are rejected by the shrinker's same-oracle rule.
+func TestShrinkSymmetricShape(t *testing.T) {
+	g, err := modelgen.Generate(modelgen.Symmetric, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := breakReplica(t, g)
+	parsed, err := slim.Parse(src)
+	if err != nil {
+		t.Fatalf("tampered model does not parse: %v", err)
+	}
+	g2 := &modelgen.Generated{
+		Class: g.Class, Seed: g.Seed,
+		Model: parsed, Source: src,
+		Goal: g.Goal, Bound: g.Bound,
+	}
+	d := Check(g2)
+	if d == nil {
+		t.Fatal("tampered replica farm did not fail any oracle")
+	}
+	if d.Oracle != "symmetry" {
+		t.Fatalf("failed oracle %s (%s), want symmetry", d.Oracle, d.Detail)
+	}
+	shrunk := Shrink(d)
+	if shrunk.Oracle != "symmetry" {
+		t.Fatalf("shrinking changed the oracle from symmetry to %s", shrunk.Oracle)
+	}
+	if len(shrunk.Source) > len(d.Source) {
+		t.Fatalf("shrinking grew the model: %d -> %d bytes", len(d.Source), len(shrunk.Source))
+	}
+	if verify := recheck(shrunk, shrunk.Source); verify == nil || verify.Oracle != "symmetry" {
+		t.Fatal("shrunk reproducer does not fail the symmetry oracle anymore")
+	}
+}

@@ -53,10 +53,19 @@ const (
 	// the corpus for the importance-splitting oracle, where plain Monte
 	// Carlo budgets see no successes at all.
 	RareEvent Class = "rareevent"
+	// Symmetric models are Markovian replica farms built to be certified
+	// by the symmetry detector: every replica instantiates the same unit
+	// type, shares one error model implementation (so rates are identical
+	// by construction), and is watched by a counting monitor whose
+	// per-replica latch transitions form a permutation-symmetric multiset
+	// feeding shared failure counters — the same shape as the paper's
+	// sensor-filter family. The counter-abstracted quotient must agree
+	// with the explicit chain to solver precision on every seed.
+	Symmetric Class = "symmetric"
 )
 
 // Classes lists every generator class.
-var Classes = []Class{Markovian, Deterministic, Timed, SingleClockTimed, RareEvent}
+var Classes = []Class{Markovian, Deterministic, Timed, SingleClockTimed, RareEvent, Symmetric}
 
 // Generated is one random model plus the property the harness checks.
 type Generated struct {
@@ -91,6 +100,8 @@ func Generate(class Class, seed uint64) (*Generated, error) {
 		g = genSingleClock(r)
 	case RareEvent:
 		g = genRareEvent(r)
+	case Symmetric:
+		g = genSymmetric(r)
 	default:
 		return nil, fmt.Errorf("modelgen: unknown class %q", class)
 	}
@@ -490,6 +501,134 @@ func genRareEvent(r *rng.Source) *Generated {
 		goal = "u0.health = 0"
 	}
 	return &Generated{Model: m, Goal: goal, Bound: bound}
+}
+
+// genSymmetric builds replica farms the symmetry detector must certify:
+// n interchangeable units of one shared type, one shared error model
+// implementation (identical rates and injections by construction), and a
+// k-of-n counting monitor. The monitor's per-replica latch transitions
+// ("unit i newly degraded → seen_i := true, fails := fails + 1") are a
+// permutation-symmetric multiset over shared counters, so every adjacent
+// replica transposition is a network automorphism — the same shape as the
+// paper's sensor-filter family, at randomized size, depth, watch
+// threshold and repairability. The goal references only shared monitor
+// state, keeping it permutation-invariant.
+func genSymmetric(r *rng.Source) *Generated {
+	m := newModel()
+	nUnits := 2 + r.IntN(3)                                        // 2 .. 4 replicas
+	rate := func() float64 { return float64(1+r.IntN(40)) * 0.05 } // 0.05 .. 2.0
+	threeState := r.Bernoulli(0.4)
+	repairable := r.Bernoulli(0.4)
+	watchDegraded := threeState && r.Bernoulli(0.5)
+	threshold := 1 + r.IntN(nUnits) // k of n
+
+	root := &slim.ComponentImpl{TypeName: "Main", ImplName: "Imp"}
+
+	// One shared unit type: every replica is literally the same component.
+	addComponent(m, &slim.ComponentType{Name: "Unit", Features: []*slim.Feature{
+		{Name: "health", Out: true, Type: intType(0, 2), Default: intLit(2)},
+	}}, &slim.ComponentImpl{TypeName: "Unit", ImplName: "Imp",
+		Modes: []*slim.Mode{{Name: "run", Initial: true}}})
+
+	// One shared error model implementation: the replicas cannot drift
+	// apart in rates or structure.
+	et := &slim.ErrorType{Name: "Wear", States: []slim.ErrorState{
+		{Name: "ok", Initial: true},
+	}}
+	ei := &slim.ErrorImpl{TypeName: "Wear", ImplName: "Imp"}
+	if threeState {
+		et.States = append(et.States, slim.ErrorState{Name: "worn"})
+		ei.Events = append(ei.Events,
+			&slim.ErrorEvent{Name: "wear", Kind: slim.ErrEventInternal, HasRate: true, Rate: rate()})
+		ei.Transitions = append(ei.Transitions,
+			&slim.ErrorTransition{From: "ok", To: "worn", Event: "wear"},
+			&slim.ErrorTransition{From: "worn", To: "down", Event: "fail"})
+	} else {
+		ei.Transitions = append(ei.Transitions,
+			&slim.ErrorTransition{From: "ok", To: "down", Event: "fail"})
+	}
+	et.States = append(et.States, slim.ErrorState{Name: "down"})
+	ei.Events = append(ei.Events,
+		&slim.ErrorEvent{Name: "fail", Kind: slim.ErrEventInternal, HasRate: true, Rate: rate()})
+	if repairable {
+		ei.Events = append(ei.Events,
+			&slim.ErrorEvent{Name: "mend", Kind: slim.ErrEventInternal, HasRate: true, Rate: rate()})
+		ei.Transitions = append(ei.Transitions,
+			&slim.ErrorTransition{From: "down", To: "ok", Event: "mend"})
+	}
+	m.ErrorTypes["Wear"] = et
+	m.ErrorImpls[ei.Name()] = ei
+
+	for i := 1; i <= nUnits; i++ {
+		inst := fmt.Sprintf("u%d", i)
+		injections := []*slim.Injection{
+			{State: "down", Target: []string{"health"}, Value: intLit(0)},
+		}
+		if threeState {
+			injections = append(injections,
+				&slim.Injection{State: "worn", Target: []string{"health"}, Value: intLit(1)})
+		}
+		m.Extensions = append(m.Extensions, &slim.Extension{
+			Target: []string{inst}, ErrorImplRef: "Wear.Imp", Injections: injections,
+		})
+		root.Subcomponents = append(root.Subcomponents,
+			&slim.Subcomponent{Name: inst, ImplRef: "Unit.Imp"})
+	}
+
+	// The counting monitor: per-replica latch transitions feeding a shared
+	// failure counter, plus a threshold trip. Each latch fires at most once
+	// (seen_i guards it), so vanishing states cannot cycle.
+	watchLevel := int64(0)
+	if watchDegraded {
+		watchLevel = 1
+	}
+	monFeats := make([]*slim.Feature, 0, nUnits+1)
+	mon := &slim.ComponentImpl{TypeName: "Watch", ImplName: "Imp",
+		Modes: []*slim.Mode{{Name: "watch", Initial: true}, {Name: "tripped"}},
+	}
+	for i := 1; i <= nUnits; i++ {
+		in := fmt.Sprintf("h%d", i)
+		seen := fmt.Sprintf("seen%d", i)
+		monFeats = append(monFeats, &slim.Feature{Name: in, Type: intType(0, 2), Default: intLit(2)})
+		mon.Subcomponents = append(mon.Subcomponents, &slim.Subcomponent{
+			Name: seen, Data: &slim.DataType{Name: "bool"}, Default: boolLit(false),
+		})
+		mon.Transitions = append(mon.Transitions, &slim.Transition{
+			From: "watch", To: "watch",
+			Guard: bin("and", bin("<=", ref(in), intLit(watchLevel)), &slim.UnaryExpr{Op: "not", X: ref(seen)}),
+			Effects: []slim.Assign{
+				{Target: []string{seen}, Value: boolLit(true)},
+				{Target: []string{"fails"}, Value: bin("+", ref("fails"), intLit(1))},
+			},
+		})
+		root.Connections = append(root.Connections,
+			dataConn(fmt.Sprintf("u%d.health", i), "mon."+in))
+	}
+	mon.Subcomponents = append(mon.Subcomponents, &slim.Subcomponent{
+		Name: "fails", Data: intType(0, int64(nUnits)), Default: intLit(0),
+	})
+	mon.Transitions = append(mon.Transitions, &slim.Transition{
+		From: "watch", To: "tripped",
+		Guard:   bin(">=", ref("fails"), intLit(int64(threshold))),
+		Effects: []slim.Assign{{Target: []string{"alarm"}, Value: boolLit(true)}},
+	})
+	monFeats = append(monFeats, boolPort("alarm", true))
+	addComponent(m, &slim.ComponentType{Name: "Watch", Features: monFeats}, mon)
+	root.Subcomponents = append(root.Subcomponents, &slim.Subcomponent{Name: "mon", ImplRef: "Watch.Imp"})
+
+	m.ComponentTypes["Main"] = &slim.ComponentType{Name: "Main", Category: "system"}
+	m.ComponentImpls["Main.Imp"] = root
+	m.Root = "Main.Imp"
+
+	goal := "mon.alarm"
+	if r.Bernoulli(0.3) {
+		goal = fmt.Sprintf("mon.fails >= %d", threshold)
+	}
+	return &Generated{
+		Model: m,
+		Goal:  goal,
+		Bound: float64(1+r.IntN(12)) * 0.25, // 0.25 .. 3.0
+	}
 }
 
 // genTimed builds leaves of four flavors — clock components with genuinely

@@ -121,6 +121,12 @@ func (rt *Runtime) isPruned(pi, ti int) bool {
 	return rt.pruned != nil && rt.pruned[pi][ti]
 }
 
+// PrunedMask returns the statically-dead transition mask installed by
+// Prune, indexed like Net().Processes, or nil when no pruning is active.
+// Callers must treat the mask as read-only. The symmetry detector uses it
+// to certify that pruning did not break replica interchangeability.
+func (rt *Runtime) PrunedMask() [][]bool { return rt.pruned }
+
 // flowOrder topologically sorts flow variables by their dependencies on
 // other flow variables, rejecting cycles.
 func flowOrder(net *sta.Network) ([]expr.VarID, error) {

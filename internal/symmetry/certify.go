@@ -1,0 +1,254 @@
+package symmetry
+
+import (
+	"sort"
+	"strconv"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/network"
+	"slimsim/internal/sta"
+)
+
+// pairMap is the transposition swapping two aligned units: variables and
+// processes exchange slot-wise, everything else is fixed.
+type pairMap struct {
+	vars  map[expr.VarID]expr.VarID
+	procs map[int]int
+	a, b  *Unit
+}
+
+func pairVarMap(a, b *Unit) *pairMap {
+	m := &pairMap{
+		vars:  make(map[expr.VarID]expr.VarID, 2*len(a.Vars)),
+		procs: make(map[int]int, 2*len(a.Procs)),
+		a:     a, b: b,
+	}
+	for k := range a.Vars {
+		m.vars[a.Vars[k]] = b.Vars[k]
+		m.vars[b.Vars[k]] = a.Vars[k]
+	}
+	for k := range a.Procs {
+		m.procs[a.Procs[k]] = b.Procs[k]
+		m.procs[b.Procs[k]] = a.Procs[k]
+	}
+	return m
+}
+
+func (m *pairMap) mapVar(v expr.VarID) expr.VarID {
+	if w, ok := m.vars[v]; ok {
+		return w
+	}
+	return v
+}
+
+func (m *pairMap) mapProc(p int) int {
+	if q, ok := m.procs[p]; ok {
+		return q
+	}
+	return p
+}
+
+// mapAction renames a per-replica action label across the transposition:
+// an action whose index token matches one unit is respelled with the
+// other's token. τ and shared labels map to themselves.
+func (m *pairMap) mapAction(act string) string {
+	if act == sta.Tau {
+		return act
+	}
+	skel, token := skeletonize(act)
+	var other string
+	switch token {
+	case m.a.Token:
+		other = m.b.Token
+	case m.b.Token:
+		other = m.a.Token
+	default:
+		return act
+	}
+	if out, ok := respell(skel, other); ok {
+		return out
+	}
+	return act
+}
+
+func identityVar(v expr.VarID) expr.VarID { return v }
+
+// renderExpr appends a canonical rendering of e with every variable
+// reference passed through mapID. ok is false on an unknown node type —
+// the certificate must then fail rather than guess.
+func renderExpr(buf []byte, e expr.Expr, mapID func(expr.VarID) expr.VarID) ([]byte, bool) {
+	if e == nil {
+		return append(buf, "nil"...), true
+	}
+	switch x := e.(type) {
+	case *expr.Lit:
+		return x.Val.AppendText(buf), true
+	case *expr.Ref:
+		buf = append(buf, 'v')
+		return strconv.AppendInt(buf, int64(mapID(x.ID)), 10), true
+	case *expr.Unary:
+		buf = append(buf, '(', byte('u'))
+		buf = append(buf, x.Op.String()...)
+		buf = append(buf, ' ')
+		buf, ok := renderExpr(buf, x.X, mapID)
+		return append(buf, ')'), ok
+	case *expr.Binary:
+		buf = append(buf, '(')
+		buf, ok1 := renderExpr(buf, x.L, mapID)
+		buf = append(buf, ' ')
+		buf = append(buf, x.Op.String()...)
+		buf = append(buf, ' ')
+		buf, ok2 := renderExpr(buf, x.R, mapID)
+		return append(buf, ')'), ok1 && ok2
+	case *expr.Cond:
+		buf = append(buf, "(if "...)
+		buf, ok1 := renderExpr(buf, x.If, mapID)
+		buf = append(buf, " then "...)
+		buf, ok2 := renderExpr(buf, x.Then, mapID)
+		buf = append(buf, " else "...)
+		buf, ok3 := renderExpr(buf, x.Else, mapID)
+		return append(buf, ')'), ok1 && ok2 && ok3
+	default:
+		return buf, false
+	}
+}
+
+// certify checks that every adjacent-unit transposition of the group is an
+// automorphism of rt's network. Adjacent transpositions generate the full
+// symmetric group on the units, so success certifies invariance under all
+// unit permutations.
+func certify(rt *network.Runtime, g *Group) bool {
+	for i := 0; i+1 < len(g.Units); i++ {
+		if !certifyPair(rt, &g.Units[i], &g.Units[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+func certifyPair(rt *network.Runtime, a, b *Unit) bool {
+	net := rt.Net()
+	if len(a.Vars) != len(b.Vars) || len(a.Procs) != len(b.Procs) {
+		return false
+	}
+	m := pairVarMap(a, b)
+
+	// Paired variable declarations must agree in type, initial value and
+	// flow-ness; flow equations are compared below with every other flow.
+	for k := range a.Vars {
+		da, db := &net.Vars[a.Vars[k]], &net.Vars[b.Vars[k]]
+		if da.Type != db.Type || !da.Init.Equal(db.Init) || da.Flow != db.Flow {
+			return false
+		}
+	}
+
+	// Every flow equation must commute with the transposition:
+	// π(flow(v)) must be exactly flow(π(v)). This covers both per-replica
+	// flows (which must mirror each other) and shared flows (which must
+	// be symmetric in the replicas).
+	for vi := range net.Vars {
+		if !net.Vars[vi].Flow {
+			continue
+		}
+		swapped, ok1 := renderExpr(nil, net.Vars[vi].FlowExpr, m.mapVar)
+		image, ok2 := renderExpr(nil, net.Vars[m.mapVar(expr.VarID(vi))].FlowExpr, identityVar)
+		if !ok1 || !ok2 || string(swapped) != string(image) {
+			return false
+		}
+	}
+
+	// Every process must map onto its image: replicas pairwise isomorphic
+	// under the renaming, shared processes invariant.
+	mask := rt.PrunedMask()
+	for pi := range net.Processes {
+		if !processMatches(net, mask, m, pi, m.mapProc(pi)) {
+			return false
+		}
+	}
+	return true
+}
+
+// processMatches compares process p rendered under the transposition with
+// process q rendered as-is: same location structure, same alphabet modulo
+// action respelling, and equal transition multisets (including the
+// statically-pruned bits, so pruning cannot silently break the symmetry).
+func processMatches(net *sta.Network, mask [][]bool, m *pairMap, pi, qi int) bool {
+	p, q := net.Processes[pi], net.Processes[qi]
+	if len(p.Locations) != len(q.Locations) || p.Initial != q.Initial ||
+		len(p.Transitions) != len(q.Transitions) || len(p.Alphabet) != len(q.Alphabet) {
+		return false
+	}
+	for li := range p.Locations {
+		lp, lq := &p.Locations[li], &q.Locations[li]
+		if lp.Name != lq.Name || lp.Urgent != lq.Urgent || len(lp.Rates) != len(lq.Rates) {
+			return false
+		}
+		swapped, ok1 := renderExpr(nil, lp.Invariant, m.mapVar)
+		image, ok2 := renderExpr(nil, lq.Invariant, identityVar)
+		if !ok1 || !ok2 || string(swapped) != string(image) {
+			return false
+		}
+		for v, r := range lp.Rates {
+			if rq, ok := lq.Rates[m.mapVar(v)]; !ok || rq != r {
+				return false
+			}
+		}
+	}
+	for act := range p.Alphabet {
+		if _, ok := q.Alphabet[m.mapAction(act)]; !ok {
+			return false
+		}
+	}
+	ps := renderTransitions(p, mask, pi, m.mapVar, m.mapAction)
+	qs := renderTransitions(q, mask, qi, identityVar, func(s string) string { return s })
+	if ps == nil || qs == nil || len(ps) != len(qs) {
+		return false
+	}
+	sort.Strings(ps)
+	sort.Strings(qs)
+	for i := range ps {
+		if ps[i] != qs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// renderTransitions renders each transition of p as a canonical string
+// under the given variable and action mappings; nil on unknown expression
+// nodes.
+func renderTransitions(p *sta.Process, mask [][]bool, pi int, mapVar func(expr.VarID) expr.VarID, mapAct func(string) string) []string {
+	out := make([]string, 0, len(p.Transitions))
+	for ti := range p.Transitions {
+		t := &p.Transitions[ti]
+		buf := make([]byte, 0, 64)
+		buf = strconv.AppendInt(buf, int64(t.From), 10)
+		buf = append(buf, '>')
+		buf = strconv.AppendInt(buf, int64(t.To), 10)
+		buf = append(buf, '!')
+		buf = append(buf, mapAct(t.Action)...)
+		buf = append(buf, '@')
+		buf = strconv.AppendFloat(buf, t.Rate, 'b', -1, 64)
+		buf = append(buf, '?')
+		var ok bool
+		buf, ok = renderExpr(buf, t.Guard, mapVar)
+		if !ok {
+			return nil
+		}
+		for ei := range t.Effects {
+			buf = append(buf, ';')
+			buf = append(buf, 'v')
+			buf = strconv.AppendInt(buf, int64(mapVar(t.Effects[ei].Var)), 10)
+			buf = append(buf, ":="...)
+			buf, ok = renderExpr(buf, t.Effects[ei].Expr, mapVar)
+			if !ok {
+				return nil
+			}
+		}
+		if mask != nil && mask[pi][ti] {
+			buf = append(buf, "|pruned"...)
+		}
+		out = append(out, string(buf))
+	}
+	return out
+}

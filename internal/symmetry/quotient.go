@@ -1,0 +1,29 @@
+package symmetry
+
+import (
+	"fmt"
+
+	"slimsim/internal/ctmc"
+	"slimsim/internal/expr"
+	"slimsim/internal/network"
+)
+
+// BuildQuotient builds the counter-abstracted CTMC of rt under the
+// certified reduction: the ordinary explicit construction (vanishing-state
+// resolution and all) with every state canonicalized to its orbit
+// representative, so the chain's states are (shared state, replica counts
+// per local configuration) and parallel replica edges merge into
+// binomially scaled rates. The goal must be permutation-invariant —
+// checked here, since the goal labeling must be constant on orbits for the
+// quotient to preserve time-bounded reachability (a strong lumping in the
+// sense of internal/bisim).
+func BuildQuotient(rt *network.Runtime, red *Reduction, goal expr.Expr, maxStates int) (*ctmc.BuildResult, error) {
+	if red == nil || len(red.Groups) == 0 {
+		return nil, fmt.Errorf("symmetry: no certified replica groups")
+	}
+	if !red.Invariant(goal) {
+		return nil, fmt.Errorf("symmetry: goal is not invariant under the replica permutations")
+	}
+	canon := red.NewCanonicalizer()
+	return ctmc.BuildWith(rt, goal, maxStates, ctmc.BuildOptions{Canon: canon.Canon})
+}

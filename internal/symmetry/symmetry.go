@@ -1,0 +1,307 @@
+// Package symmetry detects groups of interchangeable replica processes in
+// an instantiated SLIM network and exploits them by building the
+// counter-abstracted CTMC directly, without ever materializing the 2^N
+// concrete product the explicit flow enumerates.
+//
+// Detection is a two-stage design: a cheap *proposal* heuristic followed by
+// a sound *certificate* check, so the heuristic can be arbitrarily sloppy
+// without ever compromising exactness.
+//
+//   - Proposal: entity names are skeletonized by deleting their digit runs
+//     ("s3.val" → skeleton "s#.val", index token "3"). Names whose skeleton
+//     occurs with several distinct index tokens are replica candidates; all
+//     candidate processes and variables sharing an index token form one
+//     *unit*, and units with identical skeleton signatures form a candidate
+//     *group* (the sensor-filter family yields one group of N units, each
+//     holding a sensor, its filter, both error processes and their
+//     per-replica variables and monitor ports).
+//
+//   - Certificate: for every adjacent pair of units the transposition that
+//     swaps them (and fixes everything else) must be an automorphism of the
+//     network — paired variable declarations identical, every flow
+//     equation, invariant, guard and effect structurally equal under the
+//     renaming, replica processes isomorphic transition-by-transition,
+//     shared processes invariant, and the statically-pruned transition
+//     mask symmetric. Adjacent transpositions generate the full symmetric
+//     group on the units, so a verified group certifies invariance under
+//     every replica permutation. Groups that fail any check are silently
+//     dropped: the result is a *certificate*, not a guess, and a model
+//     that uses its replicas asymmetrically simply gets no reduction.
+//
+// A verified Reduction canonicalizes states by sorting the per-unit
+// configurations of every group, which quotients the chain by the
+// permutation orbits — the classic counter abstraction: a canonical state
+// is exactly (shared state, number of replicas per local configuration),
+// and merging the parallel edges of k same-configuration replicas yields
+// the binomially scaled rates k·λ without any dedicated arithmetic. See
+// docs/SYMMETRY.md.
+package symmetry
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"slimsim/internal/expr"
+	"slimsim/internal/network"
+	"slimsim/internal/sta"
+)
+
+// Unit is one replica: the processes and variables owned by a single index
+// token, each sorted by skeleton so that slot k of one unit corresponds to
+// slot k of every other unit in its group.
+type Unit struct {
+	// Token is the index token ("3" for s3/f3), joined with "," when a
+	// name carries several digit runs.
+	Token string
+	// Procs are process indices into Net().Processes.
+	Procs []int
+	// Vars are global variable IDs.
+	Vars []expr.VarID
+}
+
+// Group is a set of ≥2 interchangeable units certified by Detect.
+type Group struct {
+	Units []Unit
+	// ProcSkeletons and VarSkeletons name the replicated entities (one
+	// per unit slot), for diagnostics and reports.
+	ProcSkeletons []string
+	VarSkeletons  []string
+}
+
+// Reduction is the certified symmetry structure of a network.
+type Reduction struct {
+	Groups []Group
+	net    *sta.Network
+}
+
+// Replicas returns the unit count of each group, largest first — the
+// headline numbers for reports ("2 groups × 8 replicas").
+func (r *Reduction) Replicas() []int {
+	out := make([]int, len(r.Groups))
+	for i := range r.Groups {
+		out[i] = len(r.Groups[i].Units)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// Invariant reports whether e is structurally invariant under every replica
+// permutation of the reduction (required of the goal predicate before the
+// quotient chain may be used to decide it).
+func (r *Reduction) Invariant(e expr.Expr) bool {
+	if e == nil {
+		return true
+	}
+	for gi := range r.Groups {
+		g := &r.Groups[gi]
+		for i := 0; i+1 < len(g.Units); i++ {
+			m := pairVarMap(&g.Units[i], &g.Units[i+1])
+			id, ok1 := renderExpr(nil, e, identityVar)
+			sw, ok2 := renderExpr(nil, e, m.mapVar)
+			if !ok1 || !ok2 || string(id) != string(sw) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Detect proposes replica groups by name skeleton and keeps exactly those
+// that pass the transposition-automorphism certificate against rt's
+// network (including its pruned-transition mask). It returns nil when no
+// group survives; the explicit flow is the only option then.
+func Detect(rt *network.Runtime) *Reduction {
+	net := rt.Net()
+	groups := propose(net)
+	if len(groups) == 0 {
+		return nil
+	}
+	kept := groups[:0]
+	for _, g := range groups {
+		if certify(rt, &g) {
+			kept = append(kept, g)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return &Reduction{Groups: kept, net: net}
+}
+
+// skeletonize splits a name into its digit-run skeleton and index token:
+// "mon.sval12" → ("mon.sval#", "12"), "s3.val@nom" → ("s#.val@nom", "3").
+// Names without digits have an empty token and are shared.
+func skeletonize(name string) (skel, token string) {
+	var sb, tb strings.Builder
+	i := 0
+	for i < len(name) {
+		c := name[i]
+		if c >= '0' && c <= '9' {
+			j := i
+			for j < len(name) && name[j] >= '0' && name[j] <= '9' {
+				j++
+			}
+			sb.WriteByte('#')
+			if tb.Len() > 0 {
+				tb.WriteByte(',')
+			}
+			tb.WriteString(name[i:j])
+			i = j
+			continue
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return sb.String(), tb.String()
+}
+
+// respell rebuilds a name from its skeleton by splicing in another token's
+// digit runs; used to map per-replica action labels across units. ok is
+// false when the run counts disagree.
+func respell(skel, token string) (string, bool) {
+	if token == "" {
+		return "", strings.Count(skel, "#") == 0
+	}
+	runs := strings.Split(token, ",")
+	var sb strings.Builder
+	ri := 0
+	for i := 0; i < len(skel); i++ {
+		if skel[i] != '#' {
+			sb.WriteByte(skel[i])
+			continue
+		}
+		if ri >= len(runs) {
+			return "", false
+		}
+		sb.WriteString(runs[ri])
+		ri++
+	}
+	if ri != len(runs) {
+		return "", false
+	}
+	return sb.String(), true
+}
+
+// propose builds candidate groups from name skeletons alone; every result
+// still has to pass certify.
+func propose(net *sta.Network) []Group {
+	type entity struct {
+		token string
+		idx   int
+	}
+	procSkels := map[string][]entity{}
+	for pi, p := range net.Processes {
+		skel, token := skeletonize(p.Name)
+		if token == "" {
+			continue
+		}
+		procSkels[skel] = append(procSkels[skel], entity{token, pi})
+	}
+	varSkels := map[string][]entity{}
+	for vi := range net.Vars {
+		skel, token := skeletonize(net.Vars[vi].Name)
+		if token == "" {
+			continue
+		}
+		varSkels[skel] = append(varSkels[skel], entity{token, vi})
+	}
+
+	// A skeleton is replicated when it occurs with ≥2 distinct tokens,
+	// exactly once per token.
+	replicated := func(es []entity) bool {
+		if len(es) < 2 {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, e := range es {
+			if seen[e.token] {
+				return false
+			}
+			seen[e.token] = true
+		}
+		return true
+	}
+
+	type slot struct {
+		skel string
+		idx  int
+	}
+	unitProcs := map[string][]slot{}
+	unitVars := map[string][]slot{}
+	for skel, es := range procSkels {
+		if !replicated(es) {
+			continue
+		}
+		for _, e := range es {
+			unitProcs[e.token] = append(unitProcs[e.token], slot{skel, e.idx})
+		}
+	}
+	for skel, es := range varSkels {
+		if !replicated(es) {
+			continue
+		}
+		for _, e := range es {
+			unitVars[e.token] = append(unitVars[e.token], slot{skel, e.idx})
+		}
+	}
+
+	// Group units by their skeleton signature.
+	bySig := map[string][]Unit{}
+	sigSkels := map[string][2][]string{}
+	for token := range unitVars {
+		ps, vs := unitProcs[token], unitVars[token]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].skel < ps[j].skel })
+		sort.Slice(vs, func(i, j int) bool { return vs[i].skel < vs[j].skel })
+		u := Unit{Token: token}
+		var pSkels, vSkels []string
+		var sig strings.Builder
+		for _, s := range ps {
+			u.Procs = append(u.Procs, s.idx)
+			pSkels = append(pSkels, s.skel)
+			sig.WriteString("p:" + s.skel + "\x00")
+		}
+		for _, s := range vs {
+			u.Vars = append(u.Vars, expr.VarID(s.idx))
+			vSkels = append(vSkels, s.skel)
+			sig.WriteString("v:" + s.skel + "\x00")
+		}
+		bySig[sig.String()] = append(bySig[sig.String()], u)
+		sigSkels[sig.String()] = [2][]string{pSkels, vSkels}
+	}
+
+	var groups []Group
+	for sig, units := range bySig {
+		if len(units) < 2 {
+			continue
+		}
+		sort.Slice(units, func(i, j int) bool {
+			return tokenLess(units[i].Token, units[j].Token)
+		})
+		groups = append(groups, Group{
+			Units:         units,
+			ProcSkeletons: sigSkels[sig][0],
+			VarSkeletons:  sigSkels[sig][1],
+		})
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		return tokenLess(groups[i].Units[0].Token, groups[j].Units[0].Token)
+	})
+	return groups
+}
+
+// tokenLess orders index tokens numerically run by run ("2" < "10").
+func tokenLess(a, b string) bool {
+	ar, br := strings.Split(a, ","), strings.Split(b, ",")
+	for i := 0; i < len(ar) && i < len(br); i++ {
+		ai, errA := strconv.Atoi(ar[i])
+		bi, errB := strconv.Atoi(br[i])
+		if errA == nil && errB == nil && ai != bi {
+			return ai < bi
+		}
+		if ar[i] != br[i] {
+			return ar[i] < br[i]
+		}
+	}
+	return len(ar) < len(br)
+}

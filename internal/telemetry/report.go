@@ -218,6 +218,11 @@ type CTMCMetrics struct {
 	BuildMS      float64 `json:"buildMs"`
 	LumpMS       float64 `json:"lumpMs"`
 	SolveMS      float64 `json:"solveMs"`
+	// SymmetryGroups and SymmetryReplicas describe the certified
+	// counter-abstraction reduction when one was applied (slimcheck
+	// symmetry fast path); both absent for explicit builds.
+	SymmetryGroups   int   `json:"symmetryGroups,omitempty"`
+	SymmetryReplicas []int `json:"symmetryReplicas,omitempty"`
 }
 
 // Experiment is a benchmark sweep: one row per sub-run.

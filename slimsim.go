@@ -44,6 +44,7 @@ import (
 	"slimsim/internal/splitting"
 	"slimsim/internal/stats"
 	"slimsim/internal/strategy"
+	"slimsim/internal/symmetry"
 	"slimsim/internal/telemetry"
 	"slimsim/internal/trace"
 	"slimsim/internal/zone"
@@ -482,7 +483,8 @@ type CTMCReport struct {
 	// Probability is the exact (up to truncation error) time-bounded
 	// reachability probability.
 	Probability float64
-	// States is the tangible state count of the explicit chain.
+	// States is the tangible state count of the built chain (quotient
+	// states when Symmetry is non-nil, explicit states otherwise).
 	States int
 	// Explored counts all visited discrete states, including vanishing
 	// ones.
@@ -490,22 +492,86 @@ type CTMCReport struct {
 	// LumpedStates is the quotient size after bisimulation
 	// minimization.
 	LumpedStates int
+	// Symmetry describes the certified replica structure exploited by
+	// the counter-abstraction fast path; nil when the chain was built
+	// explicitly (no symmetry found, goal not invariant, or the path was
+	// disabled with WithoutSymmetry).
+	Symmetry *SymmetryInfo
 	// BuildTime, LumpTime and SolveTime break down the pipeline cost.
 	BuildTime, LumpTime, SolveTime time.Duration
 }
 
+// SymmetryInfo summarizes a certified symmetry reduction.
+type SymmetryInfo struct {
+	// Groups is the number of certified replica groups.
+	Groups int
+	// Replicas is the unit count of each group, largest first.
+	Replicas []int
+}
+
+// CTMCOption configures CheckCTMC.
+type CTMCOption func(*ctmcConfig)
+
+type ctmcConfig struct {
+	noSymmetry bool
+}
+
+// WithoutSymmetry disables the counter-abstraction fast path, forcing the
+// explicit state-space construction even when a replica symmetry is
+// certified. Results are identical either way (the quotient is exact);
+// the option exists for differential testing and benchmarking.
+func WithoutSymmetry() CTMCOption {
+	return func(c *ctmcConfig) { c.noSymmetry = true }
+}
+
+// Untimed reports whether the model lies in the untimed fragment (no
+// clock or continuous variables) that CheckCTMC handles exactly.
+func (m *Model) Untimed() bool {
+	for _, d := range m.built.Net.Vars {
+		if d.Type.Timed() {
+			return false
+		}
+	}
+	return true
+}
+
 // CheckCTMC runs the paper's baseline flow on the untimed fragment:
-// explicit state space → bisimulation lumping → uniformization. It fails
-// on models with clocks or continuous variables.
-func (m *Model) CheckCTMC(goalSrc string, bound float64, maxStates int) (CTMCReport, error) {
+// state space → bisimulation lumping → uniformization. It fails on models
+// with clocks or continuous variables.
+//
+// When the model's replicas form certified symmetry groups (see
+// internal/symmetry) and the goal is permutation-invariant, the chain is
+// built as the counter abstraction directly — states are (shared state,
+// replicas per local configuration) vectors with binomially scaled rates —
+// never materializing the exponential concrete product. The reduction is
+// exact: probabilities agree with the explicit flow to solver precision.
+// Disable with WithoutSymmetry.
+func (m *Model) CheckCTMC(goalSrc string, bound float64, maxStates int, opts ...CTMCOption) (CTMCReport, error) {
+	var cfg ctmcConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	goal, err := m.built.CompileExpr(goalSrc)
 	if err != nil {
 		return CTMCReport{}, err
 	}
 	t0 := time.Now()
-	res, err := ctmc.Build(m.rt, goal, maxStates)
-	if err != nil {
-		return CTMCReport{}, err
+	var res *ctmc.BuildResult
+	var sym *SymmetryInfo
+	if !cfg.noSymmetry {
+		if red := symmetry.Detect(m.rt); red != nil && red.Invariant(goal) {
+			res, err = symmetry.BuildQuotient(m.rt, red, goal, maxStates)
+			if err != nil {
+				return CTMCReport{}, err
+			}
+			sym = &SymmetryInfo{Groups: len(red.Groups), Replicas: red.Replicas()}
+		}
+	}
+	if res == nil {
+		res, err = ctmc.Build(m.rt, goal, maxStates)
+		if err != nil {
+			return CTMCReport{}, err
+		}
 	}
 	buildTime := time.Since(t0)
 
@@ -528,6 +594,7 @@ func (m *Model) CheckCTMC(goalSrc string, bound float64, maxStates int) (CTMCRep
 		States:       res.Chain.NumStates(),
 		Explored:     res.Explored,
 		LumpedStates: lumped.Blocks,
+		Symmetry:     sym,
 		BuildTime:    buildTime,
 		LumpTime:     lumpTime,
 		SolveTime:    solveTime,
@@ -550,6 +617,12 @@ type ZoneReport struct {
 	// SolveTime is the total analysis time.
 	SolveTime time.Duration
 }
+
+// OverflowError reports that the explicit state-space construction hit the
+// maxStates cap. It carries the exploration counters and a prefix of the
+// state key at the frontier; test with errors.As. An overflow is an
+// ordinary resource limit (exit code 1), not an engine failure.
+type OverflowError = ctmc.OverflowError
 
 // ErrZoneIneligible reports that a model falls outside the fragment the
 // exact zone analysis handles (at most one clock, no continuous variables,
