@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet nopanic staticcheck vulncheck fmtcheck lint race verify ci bench bench-smoke bench-compare bench-json bench-table1 bench-table1-smoke bench-fig5 bench-fig5-smoke bench-rare bench-rare-smoke difftest soundness fuzz-smoke fuzz-long
+.PHONY: build test vet nopanic staticcheck vulncheck fmtcheck lint race verify ci serve-smoke bench bench-smoke bench-compare bench-json bench-table1 bench-table1-smoke bench-fig5 bench-fig5-smoke bench-rare bench-rare-smoke difftest soundness fuzz-smoke fuzz-long
 
 build:
 	$(GO) build ./...
@@ -49,9 +49,16 @@ lint: build
 	$(GO) run ./cmd/slimlint internal/lint/testdata/clean.slim
 
 # race re-runs the scheduler- and worker-pool-heavy packages under the
-# race detector.
+# race detector, plus the daemon package whose caches share compiled
+# models across request-handling goroutines.
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/sim/
+	$(GO) test -race ./internal/parallel/ ./internal/sim/ ./internal/serve/
+
+# serve-smoke boots the slimserve daemon on an ephemeral port, POSTs the
+# same model twice and asserts the second response reports a
+# compiled-model cache hit with a byte-identical report (docs/SERVE.md).
+serve-smoke:
+	$(GO) test -count=1 -run TestServeSmoke ./cmd/slimserve/
 
 # difftest pushes the committed 300+-model corpus through the full
 # differential oracle hierarchy (generator -> lint -> round-trip ->
@@ -89,7 +96,7 @@ fuzz-long: build
 
 verify: build test
 
-ci: verify vet staticcheck vulncheck fmtcheck race lint difftest bench-smoke bench-table1-smoke bench-fig5-smoke bench-rare-smoke fuzz-smoke
+ci: verify vet staticcheck vulncheck fmtcheck race lint difftest serve-smoke bench-smoke bench-table1-smoke bench-fig5-smoke bench-rare-smoke fuzz-smoke
 
 # BENCH_PKGS are the packages carrying the hot-path micro-benchmarks
 # (engine step, move memoization, compiled expression evaluation, pooled

@@ -1,0 +1,112 @@
+// Command slimserve is the long-running analysis daemon: a small HTTP/JSON
+// service wrapping the slimsim library behind a compiled-model cache and a
+// result memo, so interactive clients (editors, dashboards, CI) pay the
+// parse → lint → instantiate → abstract-interpretation cost once per model
+// and re-run nothing for repeated requests. See docs/SERVE.md for the API.
+//
+// Example:
+//
+//	slimserve -addr localhost:8080 &
+//	curl -s localhost:8080/v1/analyze -d '{
+//	  "model": "... SLIM source ...",
+//	  "goal": "not u.alive", "bound": 3600
+//	}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"slimsim/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "slimserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a termination signal (or, in
+// tests, until ready receives the bound address and the returned stop
+// function is called). Shutdown is graceful twice over: the HTTP server
+// stops accepting and drains in-flight requests, then the job queue drains
+// every accepted analysis, both bounded by -drain.
+func run(args []string, ready chan<- readyServer) error {
+	fs := flag.NewFlagSet("slimserve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "localhost:8080", "listen address")
+		modelCache  = fs.Int("model-cache", 32, "compiled models kept in the LRU cache")
+		resultCache = fs.Int("result-cache", 256, "memoized reports kept in the LRU cache")
+		queueSize   = fs.Int("queue", 64, "accepted-but-unfinished jobs before submissions get 503")
+		jobs        = fs.Int("jobs", 2, "concurrent analysis runners")
+		timeout     = fs.Duration("timeout", 60*time.Second, "synchronous /v1/analyze wait before 504 (the job keeps running)")
+		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests and queued jobs")
+		maxWorkers  = fs.Int("max-workers", 16, "cap on the per-request workers parameter")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := serve.New(serve.Config{
+		ModelCache:  *modelCache,
+		ResultCache: *resultCache,
+		Queue:       *queueSize,
+		Jobs:        *jobs,
+		Timeout:     *timeout,
+		MaxWorkers:  *maxWorkers,
+	})
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen on %s: %w", *addr, err)
+	}
+	log.Printf("slimserve: listening on http://%s (api docs/SERVE.md)", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	testStop := make(chan struct{})
+	if ready != nil {
+		ready <- readyServer{addr: ln.Addr().String(), stop: func() { close(testStop) }}
+	}
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case sig := <-stop:
+		log.Printf("slimserve: %s received, draining (budget %s)", sig, *drain)
+	case <-testStop:
+	}
+
+	// Graceful shutdown: stop the listener and drain in-flight HTTP
+	// exchanges, then drain the job queue. A context-based Shutdown (not
+	// srv.Close) so accepted work finishes; see docs/SERVE.md.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("slimserve: http drain: %v", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// readyServer lets tests learn the bound address and trigger the graceful
+// path without signals.
+type readyServer struct {
+	addr string
+	stop func()
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+const testModel = `
+device Unit
+features
+  alive: out data port bool default true;
+end Unit;
+
+device implementation Unit.Imp
+modes
+  run: initial mode;
+end Unit.Imp;
+
+system S
+end S;
+
+system implementation S.Imp
+subcomponents
+  u: device Unit.Imp;
+end S.Imp;
+
+error model Fail
+states
+  ok: initial state;
+  dead: state;
+end Fail;
+
+error model implementation Fail.Imp
+events
+  die: error event occurrence poisson 0.1;
+transitions
+  ok -[die]-> dead;
+end Fail.Imp;
+
+root S.Imp;
+
+extend u with Fail.Imp {
+  inject dead: alive := false;
+}
+`
+
+// TestServeSmoke is the end-to-end exercise wired into `make serve-smoke`:
+// boot the daemon on an ephemeral port, POST the same model and property
+// twice, and require the second response to report a compiled-model cache
+// hit with a byte-identical report. Then check the cache hit also shows on
+// /debug/telemetry and shut the daemon down gracefully.
+func TestServeSmoke(t *testing.T) {
+	ready := make(chan readyServer, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run([]string{"-addr", "localhost:0", "-jobs", "1"}, ready) }()
+	var rs readyServer
+	select {
+	case rs = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited before becoming ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + rs.addr
+
+	body := `{"model":` + string(mustJSON(testModel)) + `,"goal":"not u.alive","bound":10,"delta":0.1,"epsilon":0.1}`
+	type response struct {
+		ModelHash        string          `json:"modelHash"`
+		Property         string          `json:"property"`
+		CompiledCacheHit bool            `json:"compiledCacheHit"`
+		ResultCacheHit   bool            `json:"resultCacheHit"`
+		Report           json.RawMessage `json:"report"`
+	}
+	post := func() response {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/analyze", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze: %d %s", resp.StatusCode, buf.String())
+		}
+		var r response
+		if err := json.Unmarshal(buf.Bytes(), &r); err != nil {
+			t.Fatalf("decode %q: %v", buf.String(), err)
+		}
+		return r
+	}
+
+	first := post()
+	if first.CompiledCacheHit || first.ResultCacheHit {
+		t.Errorf("first request must compile and sample, got %+v", first)
+	}
+	second := post()
+	if !second.CompiledCacheHit || !second.ResultCacheHit {
+		t.Errorf("second request must hit both caches, got compiled=%v result=%v",
+			second.CompiledCacheHit, second.ResultCacheHit)
+	}
+	if !bytes.Equal(first.Report, second.Report) {
+		t.Errorf("reports not byte-identical:\nfirst:  %s\nsecond: %s", first.Report, second.Report)
+	}
+
+	statsResp, err := http.Get(base + "/debug/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		CompiledModels struct {
+			Hits uint64 `json:"hits"`
+		} `json:"compiledModels"`
+	}
+	err = json.NewDecoder(statsResp.Body).Decode(&st)
+	statsResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompiledModels.Hits < 1 {
+		t.Errorf("compiled-model cache hit not visible on /debug/telemetry")
+	}
+
+	rs.stop()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("graceful shutdown failed: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not drain in time")
+	}
+}
+
+// TestBadFlags: a bad listen address must fail fast, not hang.
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-addr", "256.0.0.1:99999"}, nil); err == nil {
+		t.Fatal("bad address must error")
+	}
+	if err := run([]string{"-no-such-flag"}, nil); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

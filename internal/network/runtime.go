@@ -47,6 +47,10 @@ func New(net *sta.Network) (*Runtime, error) {
 		contRates: make(map[expr.VarID]*contRate),
 	}
 	for pi, p := range net.Processes {
+		// Build the outgoing-transition index now, while construction is
+		// still single-threaded: the lazy build in sta.Outgoing races when
+		// a shared Runtime's first paths run on several goroutines.
+		p.BuildIndex()
 		for a := range p.Alphabet {
 			rt.actions[a] = append(rt.actions[a], pi)
 		}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a size-bounded least-recently-used cache with hit/miss counters.
+// Both server caches are instances: the compiled-model cache (values are
+// *slimsim.CompiledModel, keyed by content hash) and the result memo
+// (values are memoized responses, keyed by the full request key). Values
+// must be safe to share between goroutines — the cache hands out the same
+// value to every getter.
+type lru struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	hits, misses uint64
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// newLRU returns a cache bounded to cap entries (cap < 1 is treated as 1:
+// a cache that cannot hold anything would defeat the daemon's purpose).
+func newLRU(cap int) *lru {
+	if cap < 1 {
+		cap = 1
+	}
+	return &lru{cap: cap, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached value and promotes it to most recently used.
+func (c *lru) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) a value, evicting the least recently used
+// entry when the cache is full.
+func (c *lru) add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// stats returns the cumulative hit/miss counters and the current size.
+func (c *lru) stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,186 @@
+// HTTP handlers for the serve API. Bodies are capped at maxBodyBytes, all
+// JSON responses go through telemetry.ServeJSON (so encode/write failures
+// are logged, not dropped), and progress streaming uses server-sent events
+// fed by the same telemetry snapshot the CLI progress line renders.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"slimsim/internal/telemetry"
+)
+
+// maxBodyBytes caps a request body (the model source dominates): 8 MiB is
+// far beyond any realistic SLIM model.
+const maxBodyBytes = 8 << 20
+
+// writeError emits a JSON error envelope with the given HTTP status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// decode parses a request body, rejecting unknown fields so typos in knob
+// names fail loudly instead of silently running with defaults.
+func decode(w http.ResponseWriter, r *http.Request) (Request, error) {
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return req, fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return req, fmt.Errorf("decode request: %v", err)
+	}
+	return req, nil
+}
+
+// handleAnalyze is the synchronous endpoint: submit, then wait for the
+// result up to the configured timeout. On timeout the job keeps running
+// (there is no way to cancel a sampling loop mid-path) and the 504 body
+// names the job id so the client can switch to polling.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	req, err := decode(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j, status, err := s.submit(req)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	timer := time.NewTimer(s.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case <-j.done:
+		s.writeJobResult(w, j)
+	case <-timer.C:
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Sprintf("job %s still running after %s; poll /v1/jobs/%s", j.id, s.cfg.Timeout, j.id))
+	case <-r.Context().Done():
+		// Client gone; the job still runs and lands in the result memo.
+	}
+}
+
+// writeJobResult renders a finished job: the response on success, the
+// recorded status and message on failure.
+func (s *Server) writeJobResult(w http.ResponseWriter, j *job) {
+	st := j.Status()
+	if st.State == "error" {
+		writeError(w, st.StatusCode, st.Error)
+		return
+	}
+	telemetry.ServeJSON(w, st.Response)
+}
+
+// handleSubmit is the asynchronous endpoint: validate, enqueue and return
+// 202 with the job id immediately.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := decode(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j, status, err := s.submit(req)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(JobStatus{ID: j.id, State: "queued"})
+}
+
+// lookup resolves a job id from the request path.
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+// handleJob reports a job's state, progress or result.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	telemetry.ServeJSON(w, j.Status())
+}
+
+// handleJobEvents streams a job's progress as server-sent events: one
+// "progress" event per interval carrying the telemetry snapshot (the same
+// data the CLI progress line renders), then a single "result" event with
+// the final JobStatus when the job finishes.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	emit := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	ticker := time.NewTicker(200 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-j.done:
+			emit("result", j.Status())
+			return
+		case <-ticker.C:
+			emit("progress", j.tel.Snapshot())
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleHealth is the liveness probe; draining servers report 503 so load
+// balancers stop routing to them during shutdown.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	queued := len(s.queue)
+	s.mu.Unlock()
+	status := http.StatusOK
+	state := "ok"
+	if draining {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{"status": state, "queued": queued})
+}
+
+// handleStats serves the cache and queue counters on /debug/telemetry —
+// the daemon-level analogue of the per-run collector snapshot the CLIs
+// expose under the same path.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	telemetry.ServeJSON(w, s.Stats())
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"slimsim/internal/prop"
+	"slimsim/internal/rng"
+	"slimsim/internal/strategy"
+)
+
+// traceObserver records every path event as a formatted line, so two runs
+// can be compared bit for bit (fmt prints float64s exactly via %v shortest
+// round-trip formatting — equal strings mean equal bits).
+type traceObserver struct {
+	b strings.Builder
+}
+
+func (o *traceObserver) OnDelay(now, delay float64) { fmt.Fprintf(&o.b, "d %v %v\n", now, delay) }
+func (o *traceObserver) OnMove(now float64, label string) {
+	fmt.Fprintf(&o.b, "m %v %s\n", now, label)
+}
+func (o *traceObserver) OnVerdict(now float64, label string) {
+	fmt.Fprintf(&o.b, "v %v %s\n", now, label)
+}
+
+// TestSharedRuntimeConcurrentDeterminism is the contract behind the
+// slimserve compiled-model cache: one network.Runtime shared by many
+// goroutines — each with its own scratch (engine pool) and rng source —
+// must produce bit-identical traces for identical seeds. Run under -race
+// (the Makefile race target includes this package) it also proves the
+// sharing is data-race free.
+func TestSharedRuntimeConcurrentDeterminism(t *testing.T) {
+	rt := windowNet(t, 1, 3, 4) // clocks + invariants: more machinery than a plain Markov net
+	const (
+		goroutines = 8
+		paths      = 50
+		seed       = 99
+	)
+	traces := make([]string, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Per-goroutine observer and engine copy; the runtime, the
+			// compiled evaluator and the scratch pool stay shared.
+			obs := &traceObserver{}
+			engine, err := NewEngine(rt, Config{
+				Strategy: strategy.ASAP{},
+				Property: prop.Reach(10, doneRef()),
+			})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			eng := engine.WithObserver(obs)
+			src := rng.New(seed)
+			for i := 0; i < paths; i++ {
+				res, err := eng.SamplePath(src.Split(uint64(i)))
+				if err != nil {
+					errs[g] = fmt.Errorf("path %d: %w", i, err)
+					return
+				}
+				fmt.Fprintf(&obs.b, "r %v %v %v %d\n", res.Satisfied, res.EndTime, res.DecidedAt, res.Steps)
+			}
+			traces[g] = obs.b.String()
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if traces[0] == "" || !strings.Contains(traces[0], "v ") {
+		t.Fatalf("trace is empty or lacks verdict events:\n%s", traces[0])
+	}
+	for g := 1; g < goroutines; g++ {
+		if traces[g] != traces[0] {
+			t.Errorf("goroutine %d trace diverges from goroutine 0:\n--- 0 ---\n%s--- %d ---\n%s",
+				g, traces[0], g, traces[g])
+		}
+	}
+}

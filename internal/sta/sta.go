@@ -105,19 +105,29 @@ func (p *Process) LocationByName(name string) (LocID, bool) {
 
 // Outgoing returns the indices into Transitions that leave loc. The slice
 // is shared; callers must not modify it.
+//
+// The index is built lazily on first use, which is NOT safe for concurrent
+// first calls; network.New builds it eagerly for every process so a
+// validated Runtime can be shared across goroutines (the slimserve
+// compiled-model cache relies on this; a -race test in internal/sim pins
+// it).
 func (p *Process) Outgoing(loc LocID) []int {
 	if p.outgoing == nil {
-		p.buildIndex()
+		p.BuildIndex()
 	}
 	return p.outgoing[loc]
 }
 
-func (p *Process) buildIndex() {
-	p.outgoing = make([][]int, len(p.Locations))
+// BuildIndex (re)builds the outgoing-transition index. Constructors call
+// it before a process is shared between goroutines; it must also be called
+// after mutating Transitions.
+func (p *Process) BuildIndex() {
+	outgoing := make([][]int, len(p.Locations))
 	for i := range p.Transitions {
 		from := p.Transitions[i].From
-		p.outgoing[from] = append(p.outgoing[from], i)
+		outgoing[from] = append(outgoing[from], i)
 	}
+	p.outgoing = outgoing
 }
 
 // Validate checks the process's well-formedness rules:

@@ -34,6 +34,14 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// MaxPlannedSamples is the largest sample budget a generator will plan
+// (N_max). Params.Validate admits any ε ∈ (0,1), and a tiny ε makes the
+// Chernoff bound astronomically large — e.g. ε=1e-9 plans ≈1.8e18 paths —
+// which both overflows the int conversion and could never finish anyway.
+// The cap is the point where the plan stops being a plan; requests beyond
+// it are configuration errors, reported before any sampling starts.
+const MaxPlannedSamples = math.MaxInt32
+
 // ChernoffBound returns the number of samples N such that the empirical
 // mean of N i.i.d. Bernoulli variables deviates from the true probability
 // by more than ε with probability at most δ:
@@ -42,13 +50,20 @@ func (p Params) Validate() error {
 //
 // This is the standard two-sided Chernoff–Hoeffding bound used by the
 // paper's generator (the printed formula in the paper is OCR-garbled; this
-// is the form from the cited APMC literature).
+// is the form from the cited APMC literature). Budgets above
+// MaxPlannedSamples are rejected with an error instead of silently
+// overflowing the conversion to int (which yielded a garbage plan the
+// generator could stop on instantly).
 func ChernoffBound(p Params) (int, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
 	}
-	n := math.Log(2/p.Delta) / (2 * p.Epsilon * p.Epsilon)
-	return int(math.Ceil(n)), nil
+	n := math.Ceil(math.Log(2/p.Delta) / (2 * p.Epsilon * p.Epsilon))
+	if !(n <= MaxPlannedSamples) {
+		return 0, fmt.Errorf("stats: Chernoff sample budget %.4g exceeds N_max %d (δ=%g, ε=%g); loosen the accuracy target",
+			n, int64(MaxPlannedSamples), p.Delta, p.Epsilon)
+	}
+	return int(n), nil
 }
 
 // Estimate is the running state of a Bernoulli estimator.

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -325,5 +326,48 @@ func TestUpperQuantileMatchesNaive(t *testing.T) {
 		if math.Abs(got-want) > 1e-8 {
 			t.Errorf("upperQuantile(%g) = %g, normalQuantile(1-δ/2) = %g", d, got, want)
 		}
+	}
+}
+
+// TestChernoffBoundOverflow pins the N_max guard: a sample budget above
+// MaxPlannedSamples must come back as an explicit error, not overflow the
+// int conversion into a garbage plan the generator stops on instantly.
+func TestChernoffBoundOverflow(t *testing.T) {
+	// ε=1e-9 plans ≈1.8e18 samples — far past N_max and past MaxInt32.
+	_, err := ChernoffBound(Params{Delta: 0.05, Epsilon: 1e-9})
+	if err == nil {
+		t.Fatal("ChernoffBound(ε=1e-9) = nil error, want N_max overflow")
+	}
+	if !strings.Contains(err.Error(), "exceeds N_max") {
+		t.Fatalf("overflow error %q does not name N_max", err)
+	}
+	// NewChernoff must refuse the same parameters rather than return a
+	// generator whose Done() is immediately (or never) true.
+	if g, err := NewChernoff(Params{Delta: 0.05, Epsilon: 1e-9}); err == nil {
+		t.Fatalf("NewChernoff(ε=1e-9) = %+v, nil error; want N_max overflow", g)
+	}
+}
+
+// TestChernoffBoundBoundary walks ε across the N_max threshold: just-legal
+// budgets plan a positive in-range N, just-illegal ones error, and the
+// planned N is always ⌈ln(2/δ)/(2ε²)⌉.
+func TestChernoffBoundBoundary(t *testing.T) {
+	const delta = 0.05
+	// Solve ln(2/δ)/(2ε²) = MaxPlannedSamples for the threshold ε.
+	crit := math.Sqrt(math.Log(2/delta) / (2 * MaxPlannedSamples))
+
+	okEps := crit * 1.0001 // slightly looser: budget just under N_max
+	n, err := ChernoffBound(Params{Delta: delta, Epsilon: okEps})
+	if err != nil {
+		t.Fatalf("ChernoffBound(ε=%g) error: %v", okEps, err)
+	}
+	want := int(math.Ceil(math.Log(2/delta) / (2 * okEps * okEps)))
+	if n != want || n <= 0 || n > MaxPlannedSamples {
+		t.Fatalf("ChernoffBound(ε=%g) = %d, want %d in (0, N_max]", okEps, n, want)
+	}
+
+	badEps := crit * 0.999 // slightly tighter: budget just over N_max
+	if n, err := ChernoffBound(Params{Delta: delta, Epsilon: badEps}); err == nil {
+		t.Fatalf("ChernoffBound(ε=%g) = %d, nil error; want N_max overflow", badEps, n)
 	}
 }

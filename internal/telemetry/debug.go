@@ -1,31 +1,32 @@
 // Live debugging endpoints for long runs: net/http/pprof profiles, the
 // expvar variable dump, and a JSON view of the collector snapshot. Enabled
-// by the -pprof flag of the CLIs; see docs/OBSERVABILITY.md.
+// by the -pprof flag of the CLIs; see docs/OBSERVABILITY.md. The slimserve
+// daemon mounts the same mux on its own server via DebugMux.
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"time"
 )
 
-// ServeDebug listens on addr and serves, in the background:
+// DebugMux returns a mux serving the debug endpoints:
 //
 //	/debug/pprof/...   the standard pprof profiles
 //	/debug/vars        the expvar dump (runtime memstats etc.)
 //	/debug/telemetry   the collector snapshot as JSON (if c is non-nil)
 //
-// It returns the server (whose Close stops it) once the listener is bound,
-// so a bad address fails fast instead of asynchronously.
-func ServeDebug(addr string, c *Collector) (*http.Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("telemetry: debug server: %w", err)
-	}
+// ServeDebug mounts it on its own listener; servers with their own mux
+// (slimserve) merge it instead and register their own /debug/telemetry by
+// passing a nil collector.
+func DebugMux(c *Collector) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -35,13 +36,49 @@ func ServeDebug(addr string, c *Collector) (*http.Server, error) {
 	mux.Handle("/debug/vars", expvar.Handler())
 	if c != nil {
 		mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			_ = enc.Encode(c.Snapshot())
+			ServeJSON(w, c.Snapshot())
 		})
 	}
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
+	return mux
+}
+
+// ServeJSON writes v as indented JSON. Encode and write failures are
+// reported, not dropped: an unencodable value is a 500 (and a bug), a
+// failed write usually means the client went away mid-response — worth a
+// log line, not a crash.
+func ServeJSON(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("telemetry: encode %T: %v", v, err)
+		http.Error(w, fmt.Sprintf("encode %T: %v", v, err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("telemetry: write %T response: %v", v, err)
+	}
+}
+
+// ServeDebug listens on addr and serves the DebugMux endpoints in the
+// background.
+//
+// It returns the server (whose Close stops it) once the listener is bound,
+// so a bad address fails fast instead of asynchronously. Serve errors other
+// than the expected http.ErrServerClosed are logged instead of silently
+// dropped. Long-running daemons should prefer a context-based
+// srv.Shutdown over Close to drain in-flight requests.
+func ServeDebug(addr string, c *Collector) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: DebugMux(c), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("telemetry: debug server on %s: %v", addr, err)
+		}
+	}()
 	return srv, nil
 }

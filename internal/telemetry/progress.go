@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"time"
+	"unicode/utf8"
 )
 
 // FormatProgress renders one progress line for a snapshot. With a planned
@@ -33,6 +34,19 @@ func FormatProgress(s Snapshot) string {
 	return b.String()
 }
 
+// padOverwrite pads s with spaces so it fully overwrites a previous line of
+// prev terminal cells, and returns s's own display width. Width is counted
+// in runes, not bytes: the line contains the multibyte p̂ glyph, so len(s)
+// overstates the width and a shrinking line would leave a stale tail on
+// screen.
+func padOverwrite(s string, prev int) (padded string, width int) {
+	width = utf8.RuneCountInString(s)
+	if pad := prev - width; pad > 0 {
+		return s + strings.Repeat(" ", pad), width
+	}
+	return s, width
+}
+
 // StartProgress launches a goroutine that rewrites a progress line on w
 // every interval (default 500 ms). The returned stop function prints the
 // final state followed by a newline and waits for the goroutine to exit;
@@ -45,15 +59,9 @@ func (c *Collector) StartProgress(w io.Writer, interval time.Duration) (stop fun
 	var wg sync.WaitGroup
 	var width int
 	line := func() {
-		s := FormatProgress(c.Snapshot())
-		// Pad with spaces so a shrinking line fully overwrites its
-		// predecessor.
-		pad := width - len(s)
-		if pad < 0 {
-			pad = 0
-		}
-		width = len(s)
-		fmt.Fprintf(w, "\r%s%s", s, strings.Repeat(" ", pad))
+		var padded string
+		padded, width = padOverwrite(FormatProgress(c.Snapshot()), width)
+		fmt.Fprintf(w, "\r%s", padded)
 	}
 	wg.Add(1)
 	go func() {

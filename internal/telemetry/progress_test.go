@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+// TestFormatProgressIsMultibyte documents the premise of the padding fix:
+// the progress line contains the two-rune-wide p̂ (p + combining
+// circumflex), so its byte length exceeds its rune count and byte-based
+// padding under-pads.
+func TestFormatProgressIsMultibyte(t *testing.T) {
+	s := FormatProgress(Snapshot{Samples: 10, Planned: 100, Estimate: 0.5, Lo: 0.4, Hi: 0.6})
+	if !strings.Contains(s, "p̂") {
+		t.Fatalf("progress line %q lost the p̂ glyph this test pins", s)
+	}
+	if len(s) <= utf8.RuneCountInString(s) {
+		t.Fatalf("progress line %q is pure ASCII; the padding regression test below is vacuous", s)
+	}
+}
+
+// TestPadOverwriteCoversShrinkingLine renders a long progress line (rate +
+// ETA) followed by a short one (no rate) and checks the short line is
+// padded to fully overwrite the long one — measured in runes, since that
+// is what the terminal displays. With byte-based padding the short line
+// stays strictly narrower than the long one and leaves a stale tail.
+func TestPadOverwriteCoversShrinkingLine(t *testing.T) {
+	long := FormatProgress(Snapshot{
+		Samples: 59000, Planned: 73778, Successes: 123,
+		Estimate: 0.0021, Lo: 0.0018, Hi: 0.0024,
+		Rate: 12345.6, Running: true, Elapsed: 3 * time.Second,
+	})
+	short := FormatProgress(Snapshot{
+		Samples: 73778, Planned: 73778, Successes: 123,
+		Estimate: 0.0021, Lo: 0.0018, Hi: 0.0024,
+	})
+	if utf8.RuneCountInString(short) >= utf8.RuneCountInString(long) {
+		t.Fatalf("test needs a shrinking line: short %q is not narrower than long %q", short, long)
+	}
+
+	_, width := padOverwrite(long, 0)
+	if want := utf8.RuneCountInString(long); width != want {
+		t.Fatalf("padOverwrite width = %d, want rune count %d", width, want)
+	}
+	padded, _ := padOverwrite(short, width)
+	if got := utf8.RuneCountInString(padded); got != width {
+		t.Errorf("shrinking line padded to %d cells, want %d (stale tail of %d cells would remain)",
+			got, width, width-got)
+	}
+	if !strings.HasPrefix(padded, short) || strings.Trim(padded[len(short):], " ") != "" {
+		t.Errorf("padding must append only spaces, got %q", padded)
+	}
+}
+
+// TestPadOverwriteGrowingLine needs no padding. "p̂=1" is four runes: p,
+// the combining circumflex U+0302, =, 1.
+func TestPadOverwriteGrowingLine(t *testing.T) {
+	padded, width := padOverwrite("p̂=1", 2)
+	if padded != "p̂=1" || width != 4 {
+		t.Fatalf("padOverwrite(p̂=1, 2) = %q, %d; want unpadded line of width 4", padded, width)
+	}
+}

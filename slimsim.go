@@ -35,12 +35,10 @@ import (
 	"slimsim/internal/absint"
 	"slimsim/internal/bisim"
 	"slimsim/internal/ctmc"
-	"slimsim/internal/model"
 	"slimsim/internal/network"
 	"slimsim/internal/prop"
 	"slimsim/internal/rng"
 	"slimsim/internal/sim"
-	"slimsim/internal/slim"
 	"slimsim/internal/splitting"
 	"slimsim/internal/stats"
 	"slimsim/internal/strategy"
@@ -51,11 +49,12 @@ import (
 )
 
 // Model is a loaded, instantiated and validated SLIM model, ready for
-// analysis. It is immutable and safe for concurrent use.
+// analysis. It is immutable and safe for concurrent use: the embedded
+// CompiledModel (see session.go) is the shareable compile artifact, and all
+// mutable per-run state lives in Session values and per-worker scratch
+// arenas inside the engine.
 type Model struct {
-	built    *model.Built
-	rt       *network.Runtime
-	analysis *absint.Result
+	*CompiledModel
 }
 
 // LoadOption configures model loading.
@@ -78,31 +77,11 @@ func WithoutPruning() LoadOption {
 // Transitions the pass proves unable to ever fire are dropped from move
 // enumeration (disable with WithoutPruning).
 func LoadModel(src string, opts ...LoadOption) (*Model, error) {
-	var cfg loadConfig
-	for _, o := range opts {
-		o(&cfg)
-	}
-	parsed, err := slim.Parse(src)
+	cm, err := Compile(src, opts...)
 	if err != nil {
 		return nil, err
 	}
-	built, err := model.Instantiate(parsed)
-	if err != nil {
-		return nil, err
-	}
-	rt, err := network.New(built.Net)
-	if err != nil {
-		return nil, err
-	}
-	m := &Model{built: built, rt: rt, analysis: absint.Analyze(rt)}
-	if !cfg.noPrune {
-		if mask, any := m.analysis.PruneMask(); any {
-			if err := rt.Prune(mask); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return m, nil
+	return &Model{CompiledModel: cm}, nil
 }
 
 // LoadModelFile reads and loads a SLIM model from a file.
@@ -384,20 +363,13 @@ func (m *Model) analysisConfig(opts Options, p prop.Property) (sim.AnalysisConfi
 }
 
 // Analyze estimates the probability of the property via Monte Carlo
-// simulation.
+// simulation. It is shorthand for NewSession followed by Session.Run.
 func (m *Model) Analyze(opts Options) (Report, error) {
-	p, err := m.CompileProperty(opts)
+	s, err := m.NewSession(opts)
 	if err != nil {
 		return Report{}, err
 	}
-	cfg, err := m.analysisConfig(opts, p)
-	if err != nil {
-		return Report{}, err
-	}
-	if opts.Telemetry != nil {
-		opts.Telemetry.SetRun(telemetry.RunInfo{Property: propertyText(opts)})
-	}
-	return sim.Analyze(m.rt, cfg)
+	return s.Run()
 }
 
 // AnalyzeSweep estimates the probability of the property under every time
